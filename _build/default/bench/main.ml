@@ -1,0 +1,298 @@
+(* Benchmark harness: regenerates every table (E1-E11) and figure (F1-F4)
+   of EXPERIMENTS.md, then runs Bechamel micro-benchmarks of the hot
+   paths. `dune exec bench/main.exe` runs everything; pass experiment ids
+   (e.g. `e1 e7 figures micro`) to run a subset. *)
+
+let run_tables filter =
+  List.iter
+    (fun (name, outcome) ->
+      let id =
+        String.lowercase_ascii (List.hd (String.split_on_char ' ' name))
+      in
+      if filter = [] || List.mem id filter then begin
+        Harness.Report.section name;
+        Harness.Report.print outcome.Experiments.Tables.table;
+        if outcome.Experiments.Tables.ok then
+          Harness.Report.note "expected shape: OK"
+        else begin
+          Harness.Report.note "EXPECTED SHAPE VIOLATED:";
+          List.iter
+            (fun s -> Harness.Report.note ("  " ^ s))
+            outcome.Experiments.Tables.notes
+        end
+      end)
+    (Experiments.Tables.all ())
+
+(* Write every table as CSV and every figure as text/DOT under a
+   directory (default "artifacts"). *)
+let export_artifacts dir =
+  let () = try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> () in
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "  wrote %s\n" path
+  in
+  List.iter
+    (fun (name, outcome) ->
+      let id = String.lowercase_ascii (List.hd (String.split_on_char ' ' name)) in
+      write (id ^ ".csv") (Harness.Report.to_csv outcome.Experiments.Tables.table))
+    (Experiments.Tables.all ());
+  List.iteri
+    (fun i (_, body) -> write (Printf.sprintf "figure%d.txt" (i + 1)) body)
+    (Experiments.Figures.all ());
+  (* DOT sources of the two buffer-graph figures *)
+  let dot_of g dest scheme =
+    let tables = Routing.Table.correct_all g in
+    let next_hop ~p ~d = Routing.Selfstab.next_hop tables.(p) ~d in
+    let bg =
+      match scheme with
+      | `Dest -> Ssmfp.Buffer_graph.destination_based g ~next_hop
+      | `Ssmfp -> Ssmfp.Buffer_graph.ssmfp g ~next_hop
+    in
+    Ssmfp.Buffer_graph.to_dot ~letters:true
+      (Ssmfp.Buffer_graph.component bg ~dest)
+  in
+  write "figure1.dot" (dot_of Topology.Builders.paper_figure1 1 `Dest);
+  write "figure2.dot" (dot_of Topology.Builders.paper_figure2 1 `Ssmfp);
+  write "network_fig2.dot"
+    (Topology.Dot.of_graph ~labels:Topology.Dot.default_letter
+       Topology.Builders.paper_figure2)
+
+(* ASCII chart: amortized rounds/delivery against the diameter (E4's
+   series in figure form). *)
+let run_charts () =
+  Harness.Report.section "Chart: amortized rounds/delivery vs diameter (E4)";
+  let series =
+    List.map
+      (fun (name, g, seed) ->
+        let n = Topology.Graph.n g in
+        let rng = Prng.Splitmix.of_int (seed + 3000) in
+        let wl = Harness.Workload.uniform_random rng ~n ~per_processor:3 in
+        let cfg =
+          Harness.Runner.config ~daemon:Harness.Runner.Synchronous ~seed g wl
+        in
+        let r = Harness.Runner.run cfg in
+        let delivered = Harness.Oracle.valid_delivered r.Harness.Runner.oracle in
+        ( Printf.sprintf "%-7s D=%-2d" name (Topology.Metrics.diameter g),
+          float_of_int r.Harness.Runner.stats.Sim.Engine.rounds
+          /. float_of_int (max 1 delivered) ))
+      [
+        ("path3", Topology.Builders.path 3, 41);
+        ("path5", Topology.Builders.path 5, 42);
+        ("path9", Topology.Builders.path 9, 43);
+        ("path13", Topology.Builders.path 13, 44);
+        ("path17", Topology.Builders.path 17, 45);
+        ("ring8", Topology.Builders.ring 8, 46);
+        ("ring16", Topology.Builders.ring 16, 47);
+        ("ring24", Topology.Builders.ring 24, 48);
+      ]
+  in
+  print_string
+    (Harness.Report.bar_chart ~width:50
+       ~title:"rounds per delivered message (saturated, correct tables)"
+       series);
+  print_newline ()
+
+let run_scaling_chart () =
+  Harness.Report.section
+    "Chart: adversarial recovery cost vs network size (wall clock)";
+  let series =
+    List.map
+      (fun n ->
+        let g = Topology.Builders.ring n in
+        let rng = Prng.Splitmix.of_int 1 in
+        let wl = Harness.Workload.uniform_random rng ~n ~per_processor:2 in
+        let cfg =
+          Harness.Runner.config ~spec:Harness.Fault.adversarial
+            ~daemon:Harness.Runner.Synchronous ~seed:2 g wl
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Harness.Runner.run cfg in
+        let dt = Unix.gettimeofday () -. t0 in
+        ( Printf.sprintf "ring%-3d (%d rounds)" n r.Harness.Runner.stats.Sim.Engine.rounds,
+          dt *. 1000. ))
+      [ 8; 12; 16; 24; 32; 40 ]
+  in
+  print_string
+    (Harness.Report.bar_chart ~width:50
+       ~title:
+         "milliseconds to drain a fully adversarial configuration (2 msgs/proc)"
+       series);
+  print_newline ()
+
+(* Drain curve: how the buffered-message population falls while the
+   network digests a fully adversarial configuration. *)
+let run_drain_chart () =
+  Harness.Report.section "Chart: drain curve of an adversarial recovery (ring12)";
+  let g = Topology.Builders.ring 12 in
+  let n = 12 in
+  let rng = Prng.Splitmix.of_int 4 in
+  let wl = Harness.Workload.uniform_random rng ~n ~per_processor:2 in
+  let proto = Ssmfp.Protocol.make g in
+  let fault_rng = Prng.Splitmix.of_int 5 in
+  let t =
+    Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+        Harness.Fault.initial_states ~rng:fault_rng Harness.Fault.adversarial g
+          ~workload:wl p)
+  in
+  let daemon = Sim.Daemon.synchronous () in
+  let samples = ref [] in
+  let sample () =
+    let round = (Sim.Engine.stats t).Sim.Engine.rounds in
+    samples := (round, Ssmfp.Protocol.message_count (Sim.Engine.net t)) :: !samples
+  in
+  let raise_requests () =
+    Topology.Graph.iter_vertices
+      (fun p ->
+        let st = Sim.Engine.state t p in
+        if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+          Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+      g
+  in
+  sample ();
+  (try
+     for _ = 1 to 100_000 do
+       raise_requests ();
+       match Sim.Engine.step t daemon with
+       | None -> raise Exit
+       | Some _ -> sample ()
+     done
+   with Exit -> ());
+  let samples = List.rev !samples in
+  let total_rounds =
+    List.fold_left (fun acc (r, _) -> max acc r) 1 samples
+  in
+  let buckets = 12 in
+  let series =
+    List.init buckets (fun i ->
+        let lo = i * total_rounds / buckets
+        and hi = (i + 1) * total_rounds / buckets in
+        let in_bucket =
+          List.filter_map
+            (fun (r, c) -> if r >= lo && r < max (lo + 1) hi then Some c else None)
+            samples
+        in
+        let avg =
+          match in_bucket with
+          | [] -> 0.
+          | l ->
+              float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+        in
+        (Printf.sprintf "rounds %3d-%-3d" lo hi, avg))
+  in
+  print_string
+    (Harness.Report.bar_chart ~width:50
+       ~title:"buffered messages (valid + invalid), synchronous daemon" series);
+  print_newline ()
+
+let run_figures () =
+  List.iter
+    (fun (name, body) ->
+      Harness.Report.section name;
+      print_string body)
+    (Experiments.Figures.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let micro_tests () =
+  let open Bechamel in
+  let ring8 = Topology.Builders.ring 8 in
+  let engine_steps graph spec seed steps () =
+    let rng = Prng.Splitmix.of_int (seed + 500) in
+    let wl =
+      Harness.Workload.uniform_random rng ~n:(Topology.Graph.n graph)
+        ~per_processor:1
+    in
+    let cfg =
+      Harness.Runner.config ~spec ~daemon:Harness.Runner.Synchronous ~seed
+        ~max_steps:steps graph wl
+    in
+    ignore (Harness.Runner.run cfg)
+  in
+  let routing_stabilize () =
+    let tables = Routing.Table.worst_all ring8 in
+    ignore (Routing.Selfstab.stabilize ring8 (Routing.Table.read tables))
+  in
+  let guard_evaluation =
+    let g = ring8 in
+    let proto = Ssmfp.Protocol.make g in
+    let states = Array.init 8 (fun p -> Ssmfp.State.clean g p) in
+    let net = Sim.Engine.synthetic ~graph:g ~states in
+    fun () ->
+      for p = 0 to 7 do
+        ignore (proto.Sim.Engine.enabled net p)
+      done
+  in
+  let baseline_run () =
+    let rng = Prng.Splitmix.of_int 17 in
+    let wl = Harness.Workload.uniform_random rng ~n:8 ~per_processor:2 in
+    ignore (Harness.Runner.run_baseline ring8 wl)
+  in
+  let figure3 () = ignore (Ssmfp.Figure3.run ()) in
+  [
+    Test.make ~name:"engine: pristine delivery (ring8)"
+      (Staged.stage (engine_steps ring8 Harness.Fault.pristine 1 5_000));
+    Test.make ~name:"engine: adversarial recovery (ring8)"
+      (Staged.stage (engine_steps ring8 Harness.Fault.adversarial 2 50_000));
+    Test.make ~name:"routing: stabilize from worst (ring8)"
+      (Staged.stage routing_stabilize);
+    Test.make ~name:"protocol: guard sweep (ring8, quiet)"
+      (Staged.stage guard_evaluation);
+    Test.make ~name:"baseline: full workload (ring8)"
+      (Staged.stage baseline_run);
+    Test.make ~name:"figure3: scripted execution" (Staged.stage figure3);
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Harness.Report.section "Micro-benchmarks (Bechamel)";
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = benchmark (Test.make_grouped ~name:"ssmfp" (micro_tests ())) in
+  let analysis = analyze results in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          Printf.printf "  %-45s %12.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
+    analysis
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.map String.lowercase_ascii args in
+  let want what = args = [] || List.mem what args in
+  let table_filter =
+    let is_id a =
+      String.length a >= 2 && String.length a <= 3 && a.[0] = 'e'
+    in
+    List.filter is_id args
+  in
+  if table_filter <> [] || args = [] || List.mem "tables" args then
+    run_tables table_filter;
+  if want "figures" then run_figures ();
+  if want "charts" then begin
+    run_charts ();
+    run_scaling_chart ();
+    run_drain_chart ()
+  end;
+  if want "micro" then run_micro ();
+  (match args with
+  | "artifacts" :: rest ->
+      export_artifacts (match rest with d :: _ -> d | [] -> "artifacts")
+  | _ -> ());
+  print_newline ()

@@ -1,0 +1,462 @@
+(* Command-line front end: run simulations, regenerate the experiment
+   tables and figures, export buffer graphs, and model-check.
+
+   Examples:
+     ssmfp_cli run --topology ring:8 --corruption adversarial --daemon distributed
+     ssmfp_cli run --topology random:16:10 --messages 3 --seed 9
+     ssmfp_cli tables e1 e4
+     ssmfp_cli figures
+     ssmfp_cli dot --topology path:5 --dest 0 --scheme ssmfp
+     ssmfp_cli mc --scenario 2chain *)
+
+open Cmdliner
+
+(* ---------------- topology parsing ---------------- *)
+
+let parse_topology s =
+  let fail () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad topology %S (try ring:8, path:5, star:6, complete:5, \
+            grid:3x4, torus:3x3, hypercube:3, btree:7, random:12:6, fig1, \
+            fig2)"
+           s))
+  in
+  let int_of x = int_of_string_opt x in
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "fig1" ] -> Ok ("fig1", Topology.Builders.paper_figure1)
+  | [ "fig2" ] -> Ok ("fig2", Topology.Builders.paper_figure2)
+  | [ kind; a ] -> (
+      match (kind, int_of a) with
+      | "ring", Some n -> Ok (s, Topology.Builders.ring n)
+      | "path", Some n -> Ok (s, Topology.Builders.path n)
+      | "star", Some n -> Ok (s, Topology.Builders.star n)
+      | "complete", Some n -> Ok (s, Topology.Builders.complete n)
+      | "btree", Some n -> Ok (s, Topology.Builders.binary_tree n)
+      | "hypercube", Some d -> Ok (s, Topology.Builders.hypercube d)
+      | ("grid" | "torus"), _ -> (
+          match String.split_on_char 'x' a with
+          | [ r; c ] -> (
+              match (int_of r, int_of c) with
+              | Some rows, Some cols when kind = "grid" ->
+                  Ok (s, Topology.Builders.grid ~rows ~cols)
+              | Some rows, Some cols ->
+                  Ok (s, Topology.Builders.torus ~rows ~cols)
+              | _ -> fail ())
+          | _ -> fail ())
+      | _ -> fail ())
+  | [ "random"; n; extra ] -> (
+      match (int_of n, int_of extra) with
+      | Some n, Some extra_edges ->
+          Ok
+            ( s,
+              Topology.Builders.random_connected (Prng.Splitmix.of_int 1) ~n
+                ~extra_edges )
+      | _ -> fail ())
+  | _ -> fail ()
+
+let topology_conv =
+  Arg.conv
+    ( (fun s -> parse_topology s),
+      fun fmt (name, _) -> Format.pp_print_string fmt name )
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv ("ring:8", Topology.Builders.ring 8)
+    & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
+        ~doc:"Network: ring:8, path:5, star:6, grid:3x4, random:12:6, fig2, ...")
+
+(* ---------------- run command ---------------- *)
+
+let corruption_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "pristine" | "none" -> Ok ("pristine", Harness.Fault.pristine)
+    | "random" -> Ok ("random", Harness.Fault.random_spec (Prng.Splitmix.of_int 3))
+    | "adversarial" | "worst" -> Ok ("adversarial", Harness.Fault.adversarial)
+    | _ -> Error (`Msg "corruption must be pristine, random or adversarial")
+  in
+  Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+
+let daemon_conv =
+  let parse s =
+    match Harness.Runner.daemon_kind_of_string s with
+    | Ok k -> Ok k
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt k ->
+      Format.pp_print_string fmt (Harness.Runner.daemon_kind_to_string k))
+
+let run_cmd =
+  let corruption =
+    Arg.(
+      value
+      & opt corruption_conv ("adversarial", Harness.Fault.adversarial)
+      & info [ "c"; "corruption" ] ~docv:"LEVEL"
+          ~doc:"Initial configuration: pristine, random or adversarial.")
+  in
+  let daemon =
+    Arg.(
+      value
+      & opt daemon_conv Harness.Runner.Distributed_random
+      & info [ "d"; "daemon" ] ~docv:"DAEMON"
+          ~doc:
+            "Scheduler: synchronous, central, distributed, round-robin, \
+             adversarial or random-action.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let messages =
+    Arg.(
+      value & opt int 2
+      & info [ "m"; "messages" ] ~docv:"K"
+          ~doc:"Messages per processor (uniform random destinations).")
+  in
+  let workload_kind =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("uniform", `Uniform); ("all-to-one", `All_to_one);
+               ("one-to-all", `One_to_all); ("permutation", `Permutation);
+               ("neighbors", `Neighbors);
+             ])
+          `Uniform
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:
+            "Traffic pattern: uniform, all-to-one, one-to-all, permutation \
+             or neighbors.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget.")
+  in
+  let run (name, graph) (spec_name, spec) daemon seed messages max_steps
+      workload_kind =
+    let n = Topology.Graph.n graph in
+    let rng = Prng.Splitmix.of_int (seed + 7919) in
+    let workload =
+      match workload_kind with
+      | `Uniform -> Harness.Workload.uniform_random rng ~n ~per_processor:messages
+      | `All_to_one ->
+          Harness.Workload.all_to_one ~n ~dest:0 ~per_processor:messages ()
+      | `One_to_all -> Harness.Workload.one_to_all ~n ~src:0 ~rounds:messages
+      | `Permutation ->
+          Harness.Workload.permutation rng ~n ~per_processor:messages
+      | `Neighbors ->
+          Harness.Workload.neighbors_only graph ~per_processor:messages
+    in
+    let cfg =
+      Harness.Runner.config ~spec ~daemon ~seed ~max_steps graph workload
+    in
+    let r = Harness.Runner.run cfg in
+    Printf.printf "topology    : %s (n=%d, Δ=%d, D=%d)\n" name n
+      (Topology.Graph.max_degree graph)
+      (Topology.Metrics.diameter graph);
+    Printf.printf "corruption  : %s (%d invalid messages planted)\n" spec_name
+      r.invalid_planted;
+    Printf.printf "daemon      : %s\n" (Harness.Runner.daemon_kind_to_string daemon);
+    Printf.printf "outcome     : %s after %d steps / %d rounds / %d moves\n"
+      (match r.outcome with
+      | `Quiescent -> "quiescent"
+      | `Max_steps -> "step budget exhausted")
+      r.stats.Sim.Engine.steps r.stats.Sim.Engine.rounds r.stats.Sim.Engine.moves;
+    Printf.printf "moves       : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (rule, k) -> Printf.sprintf "%s=%d" rule k)
+            r.stats.Sim.Engine.moves_by_rule));
+    Printf.printf "routing R_A : settled at round %d\n" r.routing_settled_round;
+    Printf.printf "valid       : %d generated, %d delivered\n"
+      (Harness.Oracle.valid_generated r.oracle)
+      (Harness.Oracle.valid_delivered r.oracle);
+    Printf.printf "invalid     : %d delivered (bound 2n=%d per destination)\n"
+      (Harness.Oracle.invalid_delivered_total r.oracle)
+      (2 * n);
+    let lat = Harness.Stats.summarize (Harness.Oracle.latencies r.oracle) in
+    if lat.Harness.Stats.count > 0 then
+      Printf.printf "latency     : %s\n"
+        (Format.asprintf "%a" Harness.Stats.pp_summary lat);
+    Printf.printf "SP verdict  : %s\n"
+      (if r.verdict.Harness.Oracle.ok then "satisfied (exactly-once)"
+       else "VIOLATED — " ^ String.concat "; " r.verdict.Harness.Oracle.violations);
+    if r.verdict.Harness.Oracle.ok then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ corruption $ daemon $ seed $ messages
+      $ max_steps $ workload_kind)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run SSMFP on a network from a (possibly corrupted) configuration.")
+    term
+
+(* ---------------- tables command ---------------- *)
+
+let tables_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"e1..e11 (default all)")
+  in
+  let run ids =
+    let wanted = List.map String.lowercase_ascii ids in
+    let code = ref 0 in
+    List.iter
+      (fun (name, (o : Experiments.Tables.outcome)) ->
+        let id =
+          String.lowercase_ascii (List.hd (String.split_on_char ' ' name))
+        in
+        if wanted = [] || List.mem id wanted then begin
+          Harness.Report.section name;
+          Harness.Report.print o.Experiments.Tables.table;
+          if not o.Experiments.Tables.ok then begin
+            code := 1;
+            List.iter
+              (fun s -> Harness.Report.note ("VIOLATED: " ^ s))
+              o.Experiments.Tables.notes
+          end
+        end)
+      (Experiments.Tables.all ());
+    !code
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the experiment tables (EXPERIMENTS.md).")
+    Term.(const run $ ids)
+
+let figures_cmd =
+  let run () =
+    List.iter
+      (fun (name, body) ->
+        Harness.Report.section name;
+        print_string body)
+      (Experiments.Figures.all ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures (1-4).")
+    Term.(const run $ const ())
+
+(* ---------------- dot command ---------------- *)
+
+let dot_cmd =
+  let dest =
+    Arg.(value & opt int 0 & info [ "dest" ] ~docv:"D" ~doc:"Destination component.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (enum [ ("ssmfp", `Ssmfp); ("destination", `Dest) ]) `Ssmfp
+      & info [ "scheme" ] ~doc:"Buffer graph scheme: ssmfp or destination.")
+  in
+  let run (_, graph) dest scheme =
+    let tables = Routing.Table.correct_all graph in
+    let next_hop ~p ~d = Routing.Selfstab.next_hop tables.(p) ~d in
+    let bg =
+      match scheme with
+      | `Ssmfp -> Ssmfp.Buffer_graph.ssmfp graph ~next_hop
+      | `Dest -> Ssmfp.Buffer_graph.destination_based graph ~next_hop
+    in
+    print_string
+      (Ssmfp.Buffer_graph.to_dot (Ssmfp.Buffer_graph.component bg ~dest));
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a buffer graph in Graphviz DOT format.")
+    Term.(const run $ topology_arg $ dest $ scheme)
+
+(* ---------------- watch command ---------------- *)
+
+let watch_cmd =
+  let dest =
+    Arg.(value & opt int 0 & info [ "dest" ] ~docv:"D" ~doc:"Destination component to display.")
+  in
+  let steps =
+    Arg.(value & opt int 40 & info [ "steps" ] ~docv:"N" ~doc:"Steps to display.")
+  in
+  let every =
+    Arg.(value & opt int 1 & info [ "every" ] ~docv:"K" ~doc:"Render every K-th step.")
+  in
+  let corruption =
+    Arg.(
+      value
+      & opt corruption_conv ("adversarial", Harness.Fault.adversarial)
+      & info [ "c"; "corruption" ] ~docv:"LEVEL"
+          ~doc:"Initial configuration: pristine, random or adversarial.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let run (name, graph) (spec_name, spec) dest steps every seed =
+    let n = Topology.Graph.n graph in
+    if dest < 0 || dest >= n then begin
+      Printf.eprintf "dest %d out of range\n" dest;
+      exit 2
+    end;
+    let master = Prng.Splitmix.of_int seed in
+    let fault_rng = Prng.Splitmix.split master in
+    let daemon_rng = Prng.Splitmix.split master in
+    let wl_rng = Prng.Splitmix.split master in
+    let workload = Harness.Workload.uniform_random wl_rng ~n ~per_processor:1 in
+    let protocol = Ssmfp.Protocol.make graph in
+    let t =
+      Sim.Engine.make ~graph ~protocol ~init:(fun p ->
+          Harness.Fault.initial_states ~rng:fault_rng spec graph
+            ~workload p)
+    in
+    let daemon = Sim.Daemon.distributed_random daemon_rng in
+    Printf.printf "%s, %s corruption, watching destination %d\n" name
+      spec_name dest;
+    print_endline
+      (Harness.Viz.frame graph (Sim.Engine.net t) ~dest ~step:0 ~moves:[]);
+    let moves_of events =
+      List.filter_map
+        (fun (pid, ev) ->
+          match ev with
+          | Ssmfp.Protocol.Routing_update d when d = dest ->
+              Some (Printf.sprintf "p%d:RA" pid)
+          | Ssmfp.Protocol.Generated (_, d)
+          | Ssmfp.Protocol.Internal_forward (_, d)
+          | Ssmfp.Protocol.Copied (_, _, d)
+          | Ssmfp.Protocol.Erased_after_forward (_, d)
+          | Ssmfp.Protocol.Erased_duplicate (_, d)
+            when d = dest ->
+              Some (Printf.sprintf "p%d" pid)
+          | Ssmfp.Protocol.Delivered _ when pid = dest ->
+              Some (Printf.sprintf "p%d:deliver" pid)
+          | _ -> None)
+        events
+    in
+    let raise_requests t =
+      Topology.Graph.iter_vertices
+        (fun p ->
+          let st = Sim.Engine.state t p in
+          if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+            Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+        graph
+    in
+    (try
+       for i = 1 to steps do
+         raise_requests t;
+         match Sim.Engine.step t daemon with
+         | None ->
+             print_endline "(terminal configuration reached)";
+             raise Exit
+         | Some events ->
+             if i mod every = 0 then
+               print_endline
+                 (Harness.Viz.frame graph (Sim.Engine.net t) ~dest ~step:i
+                    ~moves:(moves_of events))
+       done
+     with Exit -> ());
+    print_endline "caterpillars now:";
+    print_endline (Harness.Viz.caterpillars graph (Sim.Engine.net t) ~dest);
+    0
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Step a run and render one destination's buffers after each step.")
+    Term.(const run $ topology_arg $ corruption $ dest $ steps $ every $ seed)
+
+(* ---------------- pif command ---------------- *)
+
+let pif_cmd =
+  let waves =
+    Arg.(value & opt int 3 & info [ "waves" ] ~docv:"K" ~doc:"Waves to run.")
+  in
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~docv:"R" ~doc:"Root processor.")
+  in
+  let corrupted =
+    Arg.(value & flag & info [ "corrupted" ] ~doc:"Random initial phases.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let run (name, graph) waves root corrupted seed =
+    match Pif.tree_of graph ~root with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "%s (pif needs a tree topology, e.g. path:5, btree:7)\n" msg;
+        2
+    | tree ->
+        let rng = Prng.Splitmix.of_int seed in
+        let initial _ =
+          if corrupted then Prng.Splitmix.choose rng [ Pif.B; Pif.F; Pif.C ]
+          else Pif.C
+        in
+        let r =
+          Pif.run_waves ~initial tree ~waves
+            ~daemon:(Sim.Daemon.distributed_random rng)
+        in
+        Printf.printf
+          "%s root %d: %d waves completed in %d rounds (%d steps); coverage %s\n"
+          name root r.Pif.waves_completed r.Pif.rounds r.Pif.steps
+          (if r.Pif.coverage_ok then "ok" else "VIOLATED");
+        if r.Pif.coverage_ok && r.Pif.waves_completed >= waves then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "pif"
+       ~doc:"Run the companion snap-stabilizing PIF protocol on a tree.")
+    Term.(const run $ topology_arg $ waves $ root $ corrupted $ seed)
+
+(* ---------------- mc command ---------------- *)
+
+let mc_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("2chain", `Two); ("3chain", `Three) ]) `Two
+      & info [ "scenario" ] ~doc:"2chain (exhaustive) or 3chain (sampled).")
+  in
+  let samples =
+    Arg.(
+      value & opt int 2000
+      & info [ "samples" ] ~docv:"N" ~doc:"Initial configurations for 3chain.")
+  in
+  let run scenario samples =
+    let sc, inits =
+      match scenario with
+      | `Two ->
+          let sc = Mc.Explore.two_chain in
+          (sc, Mc.Explore.enumerate_initials sc)
+      | `Three ->
+          let sc = Mc.Explore.three_chain in
+          (sc, Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:samples sc)
+    in
+    Printf.printf "initial configurations: %d\n%!" (List.length inits);
+    let sr = Mc.Explore.check_safety sc inits in
+    Printf.printf "safety: %d configurations, %d transitions\n"
+      sr.Mc.Explore.explored sr.Mc.Explore.transitions;
+    Printf.printf "  duplicate delivery: %b\n" sr.Mc.Explore.duplicate_delivery;
+    Printf.printf "  lost valid message: %s\n"
+      (Option.value ~default:"none" sr.Mc.Explore.lost_valid);
+    Printf.printf "  deadlock: %s\n"
+      (Option.value ~default:"none" sr.Mc.Explore.deadlock);
+    let lr = Mc.Explore.check_liveness sc inits in
+    Printf.printf "liveness: %d runs, worst %d steps, %d failures\n"
+      lr.Mc.Explore.checked lr.Mc.Explore.max_steps_seen
+      (List.length lr.Mc.Explore.failures);
+    List.iteri
+      (fun i s -> if i < 5 then Printf.printf "  %s\n" s)
+      lr.Mc.Explore.failures;
+    if
+      sr.Mc.Explore.duplicate_delivery
+      || sr.Mc.Explore.lost_valid <> None
+      || sr.Mc.Explore.deadlock <> None
+      || lr.Mc.Explore.failures <> []
+    then 1
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Model-check SP on small networks.")
+    Term.(const run $ scenario $ samples)
+
+let () =
+  let doc = "snap-stabilizing message forwarding (Cournier-Dubois-Villain, IPPS 2009)" in
+  let info = Cmd.info "ssmfp_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [ run_cmd; watch_cmd; tables_cmd; figures_cmd; dot_cmd; pif_cmd; mc_cmd ]))

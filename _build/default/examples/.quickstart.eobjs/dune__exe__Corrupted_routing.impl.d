@@ -1,0 +1,1 @@
+examples/corrupted_routing.ml: Harness List Printf Prng Routing Sim String Topology

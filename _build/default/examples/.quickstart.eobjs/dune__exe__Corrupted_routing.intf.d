@@ -1,0 +1,1 @@
+examples/corrupted_routing.mli:

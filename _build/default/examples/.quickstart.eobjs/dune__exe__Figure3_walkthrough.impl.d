@@ -1,0 +1,1 @@
+examples/figure3_walkthrough.ml: Format List Ssmfp

@@ -1,0 +1,1 @@
+examples/hotspot_convergecast.ml: Baseline Harness List Printf Sim Ssmfp Topology

@@ -1,0 +1,1 @@
+examples/message_passing_demo.ml: Harness Mp Printf Prng Topology

@@ -1,0 +1,1 @@
+examples/pif_waves.ml: Array List Pif Printf Prng Sim Topology

@@ -1,0 +1,1 @@
+examples/pif_waves.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Harness Printf Prng Sim String Topology

@@ -1,0 +1,1 @@
+examples/request_response.ml: Array Harness List Printf Prng Sim String Topology

@@ -1,0 +1,1 @@
+lib/baseline/forwarding.ml: Array List Queue Ssmfp Topology

@@ -1,0 +1,1 @@
+lib/baseline/forwarding.mli: Ssmfp Topology

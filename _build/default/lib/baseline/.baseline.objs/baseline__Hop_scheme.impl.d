@@ -1,0 +1,1 @@
+lib/baseline/hop_scheme.ml: Array List Queue Routing Ssmfp Topology

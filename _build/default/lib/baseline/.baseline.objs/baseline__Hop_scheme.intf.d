@@ -1,0 +1,1 @@
+lib/baseline/hop_scheme.mli: Routing Ssmfp Topology

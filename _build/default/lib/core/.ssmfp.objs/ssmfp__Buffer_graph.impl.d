@@ -1,0 +1,1 @@
+lib/core/buffer_graph.ml: Hashtbl List Option Printf Topology

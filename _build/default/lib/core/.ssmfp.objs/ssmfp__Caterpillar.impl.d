@@ -1,0 +1,1 @@
+lib/core/caterpillar.ml: Array Format List Message Printf Sim State String Topology

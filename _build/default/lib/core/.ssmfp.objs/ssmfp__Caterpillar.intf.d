@@ -1,0 +1,1 @@
+lib/core/caterpillar.mli: Format Message Sim State Topology

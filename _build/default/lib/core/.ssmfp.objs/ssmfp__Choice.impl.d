@@ -1,0 +1,1 @@
+lib/core/choice.ml: Hashtbl List Topology

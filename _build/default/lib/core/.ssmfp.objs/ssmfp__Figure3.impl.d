@@ -1,0 +1,1 @@
+lib/core/figure3.ml: Array Format List Message Option Printf Protocol Routing Sim State String Topology

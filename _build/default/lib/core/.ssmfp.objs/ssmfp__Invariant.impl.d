@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Array Caterpillar Format Hashtbl List Message Option Printf Protocol Sim State String Topology

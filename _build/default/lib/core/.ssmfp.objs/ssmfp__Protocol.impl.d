@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Choice Color Format List Message Option Routing Sim State Topology

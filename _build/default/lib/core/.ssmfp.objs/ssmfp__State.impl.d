@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Format List Message Option Routing Topology

@@ -1,0 +1,105 @@
+type node = { owner : int; dest : int; role : [ `Single | `R | `E ] }
+
+type t = { nodes : node list; arcs : (node * node) list }
+
+let destination_based g ~next_hop =
+  let nodes = ref [] and arcs = ref [] in
+  let vertices = Topology.Graph.vertices g in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p ->
+          let node = { owner = p; dest = d; role = `Single } in
+          nodes := node :: !nodes;
+          if p <> d then begin
+            let q = next_hop ~p ~d in
+            if Topology.Graph.is_edge g p q then
+              arcs := (node, { owner = q; dest = d; role = `Single }) :: !arcs
+          end)
+        vertices)
+    vertices;
+  { nodes = List.rev !nodes; arcs = List.rev !arcs }
+
+let ssmfp g ~next_hop =
+  let nodes = ref [] and arcs = ref [] in
+  let vertices = Topology.Graph.vertices g in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p ->
+          let r = { owner = p; dest = d; role = `R } in
+          let e = { owner = p; dest = d; role = `E } in
+          nodes := e :: r :: !nodes;
+          arcs := (r, e) :: !arcs;
+          if p <> d then begin
+            let q = next_hop ~p ~d in
+            if Topology.Graph.is_edge g p q then
+              arcs := (e, { owner = q; dest = d; role = `R }) :: !arcs
+          end)
+        vertices)
+    vertices;
+  { nodes = List.rev !nodes; arcs = List.rev !arcs }
+
+let component t ~dest =
+  {
+    nodes = List.filter (fun n -> n.dest = dest) t.nodes;
+    arcs = List.filter (fun (a, _) -> a.dest = dest) t.arcs;
+  }
+
+(* Tarjan-free cycle detection: iterative DFS with colors. *)
+let cycles t =
+  let succ = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace succ a (b :: Option.value ~default:[] (Hashtbl.find_opt succ a)))
+    t.arcs;
+  let color = Hashtbl.create 64 in
+  (* 0 = white (absent), 1 = on stack, 2 = done *)
+  let found = ref [] in
+  let rec dfs path n =
+    match Hashtbl.find_opt color n with
+    | Some 2 -> ()
+    | Some 1 ->
+        (* Back edge: [path] is [n :: rest] (this revisit first), and
+           [rest] descends from the last visited node back to [n]'s open
+           occurrence; the cycle is that segment in forward order. *)
+        let rec take = function
+          | [] -> []
+          | x :: rest -> if x = n then [ x ] else x :: take rest
+        in
+        (match path with
+        | _ :: rest -> found := List.rev (take rest) :: !found
+        | [] -> ())
+    | Some _ | None ->
+        Hashtbl.replace color n 1;
+        List.iter
+          (fun m -> dfs (m :: path) m)
+          (Option.value ~default:[] (Hashtbl.find_opt succ n));
+        Hashtbl.replace color n 2
+  in
+  List.iter (fun n -> if not (Hashtbl.mem color n) then dfs [ n ] n) t.nodes;
+  !found
+
+let is_acyclic t = cycles t = []
+
+let node_name n =
+  let prefix =
+    match n.role with `Single -> "b" | `R -> "bufR" | `E -> "bufE"
+  in
+  Printf.sprintf "%s%d(d%d)" prefix n.owner n.dest
+
+let node_label ~letters n =
+  let who i = if letters then Topology.Dot.default_letter i else string_of_int i in
+  let prefix =
+    match n.role with `Single -> "b" | `R -> "R" | `E -> "E"
+  in
+  Printf.sprintf "%s_%s(%s)" prefix (who n.owner) (who n.dest)
+
+let to_dot ?(letters = false) t =
+  let nodes =
+    List.map (fun n -> (node_name n, node_label ~letters n)) t.nodes
+  in
+  let edges =
+    List.map (fun (a, b) -> (node_name a, node_name b)) t.arcs
+  in
+  Topology.Dot.of_digraph ~name:"buffer_graph" ~nodes ~edges ()

@@ -1,0 +1,47 @@
+(** Buffer graphs (Merlin–Schweitzer deadlock avoidance; paper §3.1,
+    Figures 1 and 2).
+
+    A buffer graph orients the allowed message moves along edges between
+    buffers; if it is acyclic, a deadlock-free controller exists. Two
+    schemes are built here:
+
+    - the classic {e destination-based} scheme of Figure 1: one buffer
+      [b_p(d)] per processor and destination, with an edge
+      [b_p(d) → b_q(d)] whenever [q] is [p]'s next hop towards [d] — the
+      component of [d] is isomorphic to the routing tree [T_d];
+    - SSMFP's scheme of Figure 2: two buffers per processor and
+      destination, with the internal edge [bufR_p(d) → bufE_p(d)] and the
+      forwarding edge [bufE_p(d) → bufR_q(d)] for [q = nextHop_p(d)].
+
+    Built against *current* routing tables: with corrupted tables the
+    graph may contain cycles (exactly the situation of Figure 3, noted in
+    the paper as "a cycle involving buffers of a and c"); with stabilized
+    tables both schemes are acyclic, which the test suite checks. *)
+
+type node = { owner : int; dest : int; role : [ `Single | `R | `E ] }
+
+type t = { nodes : node list; arcs : (node * node) list }
+
+val destination_based :
+  Topology.Graph.t -> next_hop:(p:int -> d:int -> int) -> t
+(** Figure 1's scheme over all destinations. *)
+
+val ssmfp : Topology.Graph.t -> next_hop:(p:int -> d:int -> int) -> t
+(** Figure 2's scheme over all destinations. Forwarding arcs whose
+    [next_hop] is not a neighbour (corrupt tables) are dropped: no move
+    can use them. *)
+
+val component : t -> dest:int -> t
+(** Restriction to one destination's connected component. *)
+
+val is_acyclic : t -> bool
+
+val cycles : t -> node list list
+(** One representative cycle per strongly connected component of size > 1
+    (or with a self-loop). Empty iff {!is_acyclic}. *)
+
+val node_name : node -> string
+(** e.g. ["b2(d0)"], ["bufR2(d0)"], ["bufE2(d0)"]. *)
+
+val to_dot : ?letters:bool -> t -> string
+(** DOT rendering; [letters] uses the paper's a, b, c vertex names. *)

@@ -1,0 +1,136 @@
+type kind = Type1 | Type2 | Type3
+
+type buffer = { owner : int; which : [ `R | `E ] }
+
+type t = {
+  kind : kind;
+  dest : int;
+  head : int;
+  buffers : buffer list;
+  message : Message.t;
+}
+
+let kind_name = function
+  | Type1 -> "type 1"
+  | Type2 -> "type 2"
+  | Type3 -> "type 3"
+
+let slot_of (net : State.t Sim.Engine.net) q d = State.slot net.states.(q) d
+
+let readable g ~p q = q = p || Topology.Graph.is_edge g p q
+
+let buf_e_seen g net ~p q d =
+  if readable g ~p q then (slot_of net q d).State.buf_e else None
+
+(* Neighbors of p whose reception buffer holds the exact copy (m, p, c). *)
+let downstream_copies g net ~p ~d (m : Message.t) =
+  List.filter
+    (fun q ->
+      match (slot_of net q d).State.buf_r with
+      | Some (m' : Message.t) ->
+          m'.info = m.info && m'.last = p && m'.color = m.color
+      | None -> false)
+    (Topology.Graph.neighbors g p)
+
+let classify_r g net ~p ~d =
+  match (slot_of net p d).State.buf_r with
+  | None -> None
+  | Some m ->
+      let q = m.Message.last in
+      let upstream_holds =
+        q <> p
+        &&
+        match buf_e_seen g net ~p q d with
+        | Some m' ->
+            Message.matches_info_color m' ~info:m.Message.info
+              ~color:m.Message.color
+        | None -> false
+      in
+      if upstream_holds then None
+        (* tail of q's type-3 caterpillar, reported there *)
+      else
+        Some
+          {
+            kind = Type1;
+            dest = d;
+            head = p;
+            buffers = [ { owner = p; which = `R } ];
+            message = m;
+          }
+
+let classify_e g net ~p ~d =
+  match (slot_of net p d).State.buf_e with
+  | None -> None
+  | Some m -> (
+      match downstream_copies g net ~p ~d m with
+      | [] ->
+          Some
+            {
+              kind = Type2;
+              dest = d;
+              head = p;
+              buffers = [ { owner = p; which = `E } ];
+              message = m;
+            }
+      | qs ->
+          Some
+            {
+              kind = Type3;
+              dest = d;
+              head = p;
+              buffers =
+                { owner = p; which = `E }
+                :: List.map (fun q -> { owner = q; which = `R }) qs;
+              message = m;
+            })
+
+let classify_buffer g net ~p ~d which =
+  match which with
+  | `R -> classify_r g net ~p ~d
+  | `E -> classify_e g net ~p ~d
+
+let classify_dest g net ~d =
+  let n = Topology.Graph.n g in
+  let rec loop p acc =
+    if p >= n then List.rev acc
+    else
+      let acc =
+        match classify_r g net ~p ~d with Some c -> c :: acc | None -> acc
+      in
+      let acc =
+        match classify_e g net ~p ~d with Some c -> c :: acc | None -> acc
+      in
+      loop (p + 1) acc
+  in
+  loop 0 []
+
+let classify_all g net =
+  List.concat_map (fun d -> classify_dest g net ~d) (Topology.Graph.vertices g)
+
+let covered_buffers cats =
+  List.concat_map
+    (fun c -> List.map (fun b -> (b.owner, c.dest, b.which)) c.buffers)
+    cats
+
+let covers_all_occupied g net =
+  let covered = covered_buffers (classify_all g net) in
+  let is_covered p d which = List.mem (p, d, which) covered in
+  let ok = ref true in
+  Topology.Graph.iter_vertices
+    (fun p ->
+      Topology.Graph.iter_vertices
+        (fun d ->
+          let sl = slot_of net p d in
+          if sl.State.buf_r <> None && not (is_covered p d `R) then ok := false;
+          if sl.State.buf_e <> None && not (is_covered p d `E) then ok := false)
+        g)
+    g;
+  !ok
+
+let pp fmt c =
+  let buffer b =
+    Printf.sprintf "%s_%d" (match b.which with `R -> "bufR" | `E -> "bufE") b.owner
+  in
+  Format.fprintf fmt "%s on p%d for dest %d: %a in [%s]" (kind_name c.kind)
+    c.head c.dest Message.pp c.message
+    (String.concat "; " (List.map buffer c.buffers))

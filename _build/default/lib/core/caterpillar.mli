@@ -1,0 +1,62 @@
+(** Caterpillars (paper Definition 3, Figure 4).
+
+    A caterpillar is the maximal group of buffers currently holding one
+    message occurrence; its type tells where the occurrence stands in the
+    three-phase copy/erase handshake that moves messages without loss or
+    duplication:
+
+    - {b type 1}: the occurrence lives only in a reception buffer
+      [bufR_p(d)] (its upstream emission copy is gone, or it was just
+      generated);
+    - {b type 2}: it lives only in an emission buffer [bufE_p(d)] (not yet
+      copied downstream);
+    - {b type 3}: it lives in [bufE_p(d)] *and* in reception buffers of
+      neighbors that copied it (normally just [nextHop_p(d)]; several in
+      corrupted configurations, until R5 prunes the strays).
+
+    The proofs advance by showing type 1 → type 2 → (delivery or type 3 on
+    the same processor) → type 1 on the next hop. The classifier below is
+    used by tests (every occupied buffer belongs to a caterpillar; each
+    class's guard implications), by the Figure 4 regeneration, and by the
+    progress oracle. *)
+
+type kind = Type1 | Type2 | Type3
+
+type buffer = { owner : int; which : [ `R | `E ] }
+
+type t = {
+  kind : kind;
+  dest : int;
+  head : int;  (** the processor [p] of Definition 3 *)
+  buffers : buffer list;  (** the caterpillar's buffers, head first *)
+  message : Message.t;  (** the occurrence in the head buffer *)
+}
+
+val kind_name : kind -> string
+
+val classify_buffer :
+  Topology.Graph.t ->
+  State.t Sim.Engine.net ->
+  p:int ->
+  d:int ->
+  [ `R | `E ] ->
+  t option
+(** The caterpillar whose *head* is that buffer: [None] if the buffer is
+    empty, or if it is a reception buffer that is the tail of a neighbour's
+    type-3 caterpillar (covered there). *)
+
+val classify_dest : Topology.Graph.t -> State.t Sim.Engine.net -> d:int -> t list
+(** All caterpillars of destination [d]'s buffer-graph component. *)
+
+val classify_all : Topology.Graph.t -> State.t Sim.Engine.net -> t list
+
+val covered_buffers : t list -> (int * int * [ `R | `E ]) list
+(** [(processor, dest, which)] of every buffer claimed by the caterpillars
+    (duplicates possible: an emission buffer may head several type-3
+    caterpillars in corrupted configurations — the paper notes this). *)
+
+val covers_all_occupied : Topology.Graph.t -> State.t Sim.Engine.net -> bool
+(** Every occupied buffer of the configuration belongs to at least one
+    caterpillar — the structural invariant behind Lemmas 1–5. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+let members g ~p = p :: Topology.Graph.neighbors g p
+
+let normalize g ~p queue =
+  let allowed = members g ~p in
+  let seen = Hashtbl.create 8 in
+  let keep x =
+    if List.mem x allowed && not (Hashtbl.mem seen x) then begin
+      Hashtbl.replace seen x ();
+      true
+    end
+    else false
+  in
+  let kept = List.filter keep queue in
+  let missing = List.filter (fun x -> not (Hashtbl.mem seen x)) allowed in
+  kept @ List.sort compare missing
+
+let is_well_formed g ~p queue =
+  let allowed = List.sort compare (members g ~p) in
+  List.sort compare queue = allowed && List.length queue = List.length allowed
+
+let select ~candidate queue = List.find_opt candidate queue
+
+let serve s queue = List.filter (fun x -> x <> s) queue @ [ s ]

@@ -1,0 +1,18 @@
+let free_colors g ~delta ~neighbor_buf_r ~p =
+  let blocked = Array.make (delta + 1) false in
+  let note q =
+    match neighbor_buf_r q with
+    | Some (m : Message.t) when m.color >= 0 && m.color <= delta ->
+        blocked.(m.color) <- true
+    | Some _ | None -> ()
+  in
+  List.iter note (Topology.Graph.neighbors g p);
+  let rec collect c acc =
+    if c < 0 then acc else collect (c - 1) (if blocked.(c) then acc else c :: acc)
+  in
+  collect delta []
+
+let pick g ~delta ~neighbor_buf_r ~p =
+  match free_colors g ~delta ~neighbor_buf_r ~p with
+  | c :: _ -> c
+  | [] -> invalid_arg "Color.pick: no free color (delta too small?)"

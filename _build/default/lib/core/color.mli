@@ -1,0 +1,27 @@
+(** The color allocation procedure [color_p(d)] (§3.2).
+
+    When a message moves into an emission buffer (rule R2) it receives a
+    color in [0..Δ] carried by no message currently sitting in the
+    reception buffers of [p]'s neighbors for the same destination. Since
+    [p] has at most [Δ] neighbors, at most [Δ] of the [Δ + 1] colors are
+    blocked and a free one always exists — the pigeonhole fact the paper's
+    Lemma 5 (no duplication) rests on. We pick the smallest free color,
+    which keeps executions deterministic. *)
+
+val free_colors :
+  Topology.Graph.t ->
+  delta:int ->
+  neighbor_buf_r:(int -> Message.t option) ->
+  p:int ->
+  int list
+(** All colors of [0..delta] not carried by any [bufR_q(d)], [q ∈ N_p],
+    ascending. [delta] is the network's [Δ]. *)
+
+val pick :
+  Topology.Graph.t ->
+  delta:int ->
+  neighbor_buf_r:(int -> Message.t option) ->
+  p:int ->
+  int
+(** The smallest free color. @raise Invalid_argument if none exists, which
+    would mean [delta] was not the maximal degree. *)

@@ -1,0 +1,133 @@
+type violation = { check : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.check v.detail
+
+let violation check fmt = Printf.ksprintf (fun detail -> { check; detail }) fmt
+
+let fold_buffers (net : State.t Sim.Engine.net) f acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun p st ->
+      List.iter
+        (fun (d, which, m) -> acc := f !acc ~p ~d ~which m)
+        (State.occupied_buffers st))
+    net.states;
+  !acc
+
+let domains g net =
+  let delta = Topology.Graph.max_degree g in
+  fold_buffers net
+    (fun acc ~p ~d ~which (m : Message.t) ->
+      let where =
+        Printf.sprintf "%s_%d(d%d)"
+          (match which with `R -> "bufR" | `E -> "bufE")
+          p d
+      in
+      let acc =
+        if m.last = p || Topology.Graph.is_edge g p m.last then acc
+        else
+          violation "domains" "%s: last = %d outside N_p u {p}" where m.last
+          :: acc
+      in
+      if m.color >= 0 && m.color <= delta then acc
+      else violation "domains" "%s: color = %d outside 0..%d" where m.color delta :: acc)
+    []
+
+(* Occurrences of each valid ghost: (processor, which, message). *)
+let valid_ghost_occurrences net =
+  let tbl = Hashtbl.create 32 in
+  ignore
+    (fold_buffers net
+       (fun () ~p ~d ~which (m : Message.t) ->
+         if Message.is_valid m then begin
+           let key = m.ghost.Message.gid in
+           Hashtbl.replace tbl key
+             ((p, d, which, m) :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+         end)
+       ());
+  tbl
+
+let ghost_shape _g net =
+  let tbl = valid_ghost_occurrences net in
+  Hashtbl.fold
+    (fun gid occs acc ->
+      match occs with
+      | [] | [ _ ] -> acc
+      | several -> (
+          let emissions =
+            List.filter (fun (_, _, which, _) -> which = `E) several
+          in
+          let receptions =
+            List.filter (fun (_, _, which, _) -> which = `R) several
+          in
+          match emissions with
+          | [ (p, _, _, _) ] ->
+              List.fold_left
+                (fun acc (q, _, _, (m : Message.t)) ->
+                  if m.last = p then acc
+                  else
+                    violation "ghost-shape"
+                      "ghost %d: copy at bufR_%d has last = %d, not its \
+                       emission holder %d"
+                      gid q m.last p
+                    :: acc)
+                acc receptions
+          | [] ->
+              violation "ghost-shape"
+                "ghost %d: %d reception copies with no emission source" gid
+                (List.length receptions)
+              :: acc
+          | _ ->
+              violation "ghost-shape" "ghost %d: held by several emission buffers"
+                gid
+              :: acc))
+    tbl []
+
+let erasure_exclusion g net =
+  let enabled p = Protocol.enabled_rules g ~run_routing:false net ~p in
+  let has rule dest acts =
+    List.exists
+      (fun a -> a.Protocol.rule = rule && a.Protocol.dest = dest)
+      acts
+  in
+  let tbl = valid_ghost_occurrences net in
+  Hashtbl.fold
+    (fun gid occs acc ->
+      let emission =
+        List.find_opt (fun (_, _, which, _) -> which = `E) occs
+      in
+      match emission with
+      | Some (p, d, _, _) when has Protocol.R4 d (enabled p) ->
+          List.fold_left
+            (fun acc (q, d', which, _) ->
+              if which = `R && has Protocol.R5 d' (enabled q) then
+                violation "erasure-exclusion"
+                  "ghost %d: R4 enabled at %d while R5 enabled on its copy \
+                   at %d"
+                  gid p q
+                :: acc
+              else acc)
+            acc occs
+      | _ -> acc)
+    tbl []
+
+let caterpillar_coverage g net =
+  if Caterpillar.covers_all_occupied g net then []
+  else [ violation "caterpillar-coverage" "some occupied buffer is uncovered" ]
+
+let all g net =
+  List.concat
+    [
+      domains g net;
+      ghost_shape g net;
+      erasure_exclusion g net;
+      caterpillar_coverage g net;
+    ]
+
+let check_exn g net =
+  match all g net with
+  | [] -> ()
+  | vs ->
+      failwith
+        (String.concat "; "
+           (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs))

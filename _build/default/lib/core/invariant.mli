@@ -1,0 +1,46 @@
+(** Run-time checkable structural invariants of SSMFP configurations.
+
+    These are the mechanized counterparts of facts the paper's proofs rely
+    on implicitly. They hold in every *reachable* configuration (after
+    arbitrary corruption, some only once the protocol has touched the
+    relevant state), and the property-based tests assert them along random
+    executions:
+
+    - {b domains}: every buffered message has [last ∈ N_p ∪ {p}] and
+      [color ∈ 0..Δ] (the corruption domain, preserved by every rule);
+    - {b ghost shape}: a *valid* message occurrence (one ghost id) lives
+      either in a single buffer, or in exactly one emission buffer
+      [bufE_p] plus reception-buffer copies that all carry [last = p] —
+      copies only ever stem from the live emission buffer (this is why R4
+      can never erase the last copy, Lemma 4);
+    - {b exclusive erasure}: no ghost is both R4- and R5-erasable at
+      the same processor pair in a way that could drop both copies in one
+      step (R4 at [p] and R5 at [nextHop_p(d)] have contradictory guards
+      on [nextHop_p(d)]);
+    - {b caterpillar coverage}: every occupied buffer belongs to a
+      caterpillar (Definition 3 is total over occupied buffers). *)
+
+type violation = { check : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val domains : Topology.Graph.t -> State.t Sim.Engine.net -> violation list
+(** Flag/last/color domain violations over all buffers. *)
+
+val ghost_shape : Topology.Graph.t -> State.t Sim.Engine.net -> violation list
+(** The valid-ghost occurrence shape described above. *)
+
+val erasure_exclusion :
+  Topology.Graph.t -> State.t Sim.Engine.net -> violation list
+(** For every valid ghost with an emission-buffer occurrence at [p] whose
+    R4 is enabled, no copy of that ghost has R5 enabled (double erasure in
+    one step would lose the message). *)
+
+val caterpillar_coverage :
+  Topology.Graph.t -> State.t Sim.Engine.net -> violation list
+
+val all : Topology.Graph.t -> State.t Sim.Engine.net -> violation list
+(** Every check above, concatenated. Empty on healthy configurations. *)
+
+val check_exn : Topology.Graph.t -> State.t Sim.Engine.net -> unit
+(** @raise Failure with a rendered violation list if {!all} is non-empty. *)

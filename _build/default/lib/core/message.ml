@@ -1,0 +1,38 @@
+type info = string
+
+type validity = Valid | Invalid
+
+type ghost = { gid : int; validity : validity; born_src : int }
+
+type t = { info : info; last : int; color : int; ghost : ghost }
+
+let counter = ref 0
+
+let fresh_ghost validity born_src =
+  incr counter;
+  { gid = !counter; validity; born_src }
+
+let reset_ghost_counter () = counter := 0
+
+let fresh_valid ~src info =
+  { info; last = src; color = 0; ghost = fresh_ghost Valid src }
+
+let fresh_invalid ~at ~last ~color info =
+  { info; last; color; ghost = fresh_ghost Invalid at }
+
+let same_visible a b = a.info = b.info && a.last = b.last && a.color = b.color
+
+let matches_info_color t ~info ~color = t.info = info && t.color = color
+
+let with_hop t ~last = { t with last }
+
+let with_recolor t ~last ~color = { t with last; color }
+
+let is_valid t = t.ghost.validity = Valid
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s,%d,%d)"
+    (match t.ghost.validity with Valid -> "" | Invalid -> "!")
+    t.info t.last t.color
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Buffer Format List Routing Sim Ssmfp String Topology

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Baseline Float Harness Hashtbl List Mc Mp Option Printf Prng Routing Sim Ssmfp String Topology

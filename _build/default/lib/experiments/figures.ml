@@ -1,0 +1,117 @@
+let with_buf f =
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let f1_destination_based_buffer_graph () =
+  let g = Topology.Builders.paper_figure1 in
+  let tables = Routing.Table.correct_all g in
+  let next_hop ~p ~d = Routing.Selfstab.next_hop tables.(p) ~d in
+  let bg = Ssmfp.Buffer_graph.destination_based g ~next_hop in
+  with_buf (fun fmt ->
+      Format.fprintf fmt
+        "Figure 1 — destination-based buffer graph (one buffer per \
+         processor and destination)@.";
+      Format.fprintf fmt "network: %a@." Topology.Graph.pp g;
+      Format.fprintf fmt "acyclic: %b (deadlock-free controller exists)@."
+        (Ssmfp.Buffer_graph.is_acyclic bg);
+      Topology.Graph.iter_vertices
+        (fun d ->
+          let comp = Ssmfp.Buffer_graph.component bg ~dest:d in
+          Format.fprintf fmt "  component of destination %s: %d buffers, %d arcs@."
+            (Topology.Dot.default_letter d)
+            (List.length comp.Ssmfp.Buffer_graph.nodes)
+            (List.length comp.Ssmfp.Buffer_graph.arcs))
+        g;
+      Format.fprintf fmt "DOT (destination b):@.%s"
+        (Ssmfp.Buffer_graph.to_dot ~letters:true
+           (Ssmfp.Buffer_graph.component bg ~dest:1)))
+
+let f2_ssmfp_buffer_graph () =
+  let g = Topology.Builders.paper_figure2 in
+  let correct = Routing.Table.correct_all g in
+  let corrupted =
+    (* The Figure 3 corruption: nextHop_a(b) = c, nextHop_c(b) = a. *)
+    let t = Array.map Array.copy correct in
+    t.(0).(1) <- { Routing.Selfstab.dist = 0; via = 2 };
+    t.(2).(1) <- { Routing.Selfstab.dist = 1; via = 0 };
+    t
+  in
+  let bg_of tables =
+    Ssmfp.Buffer_graph.ssmfp g ~next_hop:(fun ~p ~d ->
+        Routing.Selfstab.next_hop tables.(p) ~d)
+  in
+  let correct_bg = Ssmfp.Buffer_graph.component (bg_of correct) ~dest:1 in
+  let corrupt_bg = Ssmfp.Buffer_graph.component (bg_of corrupted) ~dest:1 in
+  with_buf (fun fmt ->
+      Format.fprintf fmt
+        "Figure 2 — SSMFP buffer graph for destination b (two buffers per \
+         processor)@.";
+      Format.fprintf fmt "network: %a@." Topology.Graph.pp g;
+      Format.fprintf fmt "correct tables: acyclic = %b@."
+        (Ssmfp.Buffer_graph.is_acyclic correct_bg);
+      Format.fprintf fmt
+        "Figure 3 corrupted tables (nextHop_a(b)=c, nextHop_c(b)=a): acyclic \
+         = %b@."
+        (Ssmfp.Buffer_graph.is_acyclic corrupt_bg);
+      (match Ssmfp.Buffer_graph.cycles corrupt_bg with
+      | cycle :: _ ->
+          Format.fprintf fmt "  cycle: %s@."
+            (String.concat " -> "
+               (List.map Ssmfp.Buffer_graph.node_name cycle))
+      | [] -> ());
+      Format.fprintf fmt "DOT (correct tables):@.%s"
+        (Ssmfp.Buffer_graph.to_dot ~letters:true correct_bg))
+
+let f3_execution () =
+  let r = Ssmfp.Figure3.run () in
+  with_buf (fun fmt -> Ssmfp.Figure3.print fmt r)
+
+let f4_caterpillars () =
+  let g = Topology.Builders.path 3 in
+  let d = 2 in
+  let base = Array.init 3 (fun p -> Ssmfp.State.clean g p) in
+  let set p buf_r buf_e states =
+    let sl = Ssmfp.State.slot states.(p) d in
+    states.(p) <-
+      Ssmfp.State.with_slot states.(p) d
+        { sl with Ssmfp.State.buf_r; buf_e }
+  in
+  let scenario title build =
+    let states = Array.map (fun s -> s) base in
+    build states;
+    let net = Sim.Engine.synthetic ~graph:g ~states in
+    let cats = Ssmfp.Caterpillar.classify_dest g net ~d in
+    with_buf (fun fmt ->
+        Format.fprintf fmt "%s@." title;
+        List.iter
+          (fun c -> Format.fprintf fmt "  %a@." Ssmfp.Caterpillar.pp c)
+          cats)
+  in
+  let m info last color =
+    Some (Ssmfp.Message.fresh_invalid ~at:1 ~last ~color info)
+  in
+  String.concat ""
+    [
+      "Figure 4 — the three caterpillar types (destination 2, path 0-1-2)\n";
+      scenario "(a) type 1: message only in bufR_1 (freshly arrived)"
+        (fun states -> set 1 (m "m" 0 1) None states);
+      scenario "(b) type 2: message only in bufE_1 (not yet copied downstream)"
+        (fun states -> set 1 None (m "m" 1 1) states);
+      scenario
+        "(c) type 3: message in bufE_1 and its copy in bufR_2 = \
+         bufR_nextHop(1)"
+        (fun states ->
+          set 1 None (m "m" 1 1) states;
+          set 2 (m "m" 1 1) None states);
+    ]
+
+let all () =
+  [
+    ("Figure 1", f1_destination_based_buffer_graph ());
+    ("Figure 2", f2_ssmfp_buffer_graph ());
+    ("Figure 3", f3_execution ());
+    ("Figure 4", f4_caterpillars ());
+  ]

@@ -1,0 +1,21 @@
+(** Regeneration of the paper's figures as textual artifacts. *)
+
+val f1_destination_based_buffer_graph : unit -> string
+(** Figure 1: the destination-based buffer graph of the 5-processor
+    example network, component per destination, with the acyclicity
+    verdict and DOT source. *)
+
+val f2_ssmfp_buffer_graph : unit -> string
+(** Figure 2: SSMFP's two-buffer graph for destination b on the
+    4-processor network — correct tables (acyclic) and the Figure 3
+    corrupted tables (the a↔c buffer cycle the paper points out). *)
+
+val f3_execution : unit -> string
+(** Figure 3: the scripted 16-step execution (see {!Ssmfp.Figure3}). *)
+
+val f4_caterpillars : unit -> string
+(** Figure 4: constructed configurations exhibiting caterpillars of types
+    1, 2 and 3, with the classifier's output. *)
+
+val all : unit -> (string * string) list
+(** Every figure, keyed by id. *)

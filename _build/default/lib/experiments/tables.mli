@@ -1,0 +1,76 @@
+(** The experiment tables of EXPERIMENTS.md (one per proposition/claim of
+    the paper; the paper itself has no measured tables, so these are the
+    quantitative artifacts its proofs predict — see DESIGN.md §4).
+
+    Every function is deterministic (seeded), prints nothing, and returns
+    the populated table plus a machine-checkable verdict so the test suite
+    can assert the *shape* the paper predicts. [bench/main.exe] renders
+    them. *)
+
+type outcome = {
+  table : Harness.Report.table;
+  ok : bool;  (** the paper-predicted shape holds *)
+  notes : string list;  (** one line per violated expectation, empty iff ok *)
+}
+
+val e1_invalid_deliveries : unit -> outcome
+(** Proposition 4: with all [2n] buffers of destination [d]'s component
+    pre-filled with distinct invalid messages, at most [2n] invalid
+    messages are delivered to [d]. Sweeps rings and random graphs. *)
+
+val e2_worst_case_latency : unit -> outcome
+(** Proposition 5: delivery latency in rounds of messages under saturating
+    cross-traffic stays within the [O(max(R_A, Δ^D))] envelope; sweeps
+    paths, rings, stars and trees, with correct and corrupted tables. *)
+
+val e3_delay_and_waiting : unit -> outcome
+(** Proposition 6: delay before first emission and waiting time between
+    emissions, measured per processor under saturation. *)
+
+val e4_amortized : unit -> outcome
+(** Proposition 7: amortized rounds per delivered message is [O(D)] (the
+    proof's constant is 3D once tables are correct), far below the [Δ^D]
+    worst case. Sweeps the diameter via paths and rings. *)
+
+val e5_routing_stabilization : unit -> outcome
+(** Substrate: measured [R_A] (rounds for [A] to reach silence from
+    corrupted tables) against the diameter, per topology and daemon. *)
+
+val e6_overhead_vs_baseline : unit -> outcome
+(** "No significant over-cost": SSMFP with correct tables vs the
+    fault-free Merlin–Schweitzer baseline on the same workload — rounds
+    and moves per delivered message, and their ratios. *)
+
+val e7_snap_stabilization : unit -> outcome
+(** Specification SP from arbitrary configurations: topology × daemon ×
+    corruption matrix, all runs must deliver every valid message exactly
+    once; plus the exhaustive 2-chain model-check counts. *)
+
+val e8_ablations : unit -> outcome
+(** Why each mechanism exists: disabling colors loses messages, disabling
+    R5 wedges the pipeline, disabling queue rotation starves processors.
+    The faithful variant passes where each ablation fails. *)
+
+val e9_message_passing : unit -> outcome
+(** The §4 port: SP verdicts of the message-passing SSMFP under corrupted
+    processes and channel garbage. *)
+
+val e10_buffer_economics : unit -> outcome
+(** Buffer requirements of the deadlock-free schemes the paper discusses
+    (destination-based n, SSMFP 2n, hop-count D+1 buffers per processor),
+    with the hop scheme's correctness under correct tables and its
+    message-dropping failure under corrupted ones — the trade-off behind
+    the paper's open problem on minimal buffer counts. *)
+
+val e11_daemon_sensitivity : unit -> outcome
+(** The same adversarial recovery under every fair daemon: steps, rounds,
+    moves and latency; SP must hold under each. *)
+
+val e12_choice_fairness : unit -> outcome
+(** The fairness mechanism behind Propositions 5 and 6: under convergecast
+    contention, a feeder waiting on [choice_p(d)] is passed at most [Δ]
+    times before being served (the rotating queue's guarantee; the [Δ^D]
+    worst case compounds exactly this per-hop bound). *)
+
+val all : unit -> (string * outcome) list
+(** Every table, keyed by experiment id, in order. *)

@@ -1,0 +1,1 @@
+lib/harness/fault.ml: Array List Printf Prng Routing Ssmfp Topology

@@ -1,0 +1,1 @@
+lib/harness/fault.mli: Prng Ssmfp Topology Workload

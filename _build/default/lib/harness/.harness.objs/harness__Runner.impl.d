@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Baseline Fault List Option Oracle Printf Prng Sim Ssmfp String Topology Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Baseline Fault Oracle Sim Ssmfp Stdlib Topology Workload

@@ -1,0 +1,1 @@
+lib/harness/viz.ml: Array Format List Printf Routing Sim Ssmfp String Topology

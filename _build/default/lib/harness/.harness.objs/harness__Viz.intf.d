@@ -1,0 +1,1 @@
+lib/harness/viz.mli: Sim Ssmfp Topology

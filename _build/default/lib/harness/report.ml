@@ -1,0 +1,69 @@
+type table = { headers : string list; mutable rows : string list list }
+
+let table ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Report.add_row: arity mismatch";
+  t.rows <- t.rows @ [ row ]
+
+let add_int_row t label ints =
+  add_row t (label :: List.map string_of_int ints)
+
+let widths t =
+  let all = t.headers :: t.rows in
+  let cols = List.length t.headers in
+  List.init cols (fun i ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+
+let render t =
+  let ws = widths t in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat " | " (List.map2 pad row ws)
+  in
+  let sep =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') ws)
+  in
+  String.concat "\n" (line t.headers :: sep :: List.map line t.rows) ^ "\n"
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '~')
+  | None -> ());
+  print_string (render t);
+  print_newline ()
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat "," (List.map csv_escape row))
+       (t.headers :: t.rows))
+  ^ "\n"
+
+let bar_chart ?(width = 50) ~title data =
+  let max_v = List.fold_left (fun acc (_, v) -> max acc v) 0. data in
+  let max_label =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 data
+  in
+  let line (label, v) =
+    let bar_len =
+      if max_v <= 0. then 0
+      else int_of_float (v /. max_v *. float_of_int width)
+    in
+    Printf.sprintf "  %-*s | %s %.2f" max_label label (String.make bar_len '#') v
+  in
+  String.concat "\n" (title :: List.map line data) ^ "\n"
+
+let section s =
+  let bar = String.make (String.length s + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar s bar
+
+let note s = Printf.printf "  %s\n" s

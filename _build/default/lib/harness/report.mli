@@ -1,0 +1,33 @@
+(** Plain-text rendering of experiment results: aligned tables, horizontal
+    bar charts, and CSV export — the shapes of the rows and series
+    [bench/main.exe] prints for every reproduced table and figure. *)
+
+type table
+
+val table : headers:string list -> table
+(** Create an empty table with the given column headers. *)
+
+val add_row : table -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the headers'. *)
+
+val add_int_row : table -> string -> int list -> unit
+(** First column a label, the rest integers. *)
+
+val render : table -> string
+(** Box-drawing-free, pipe-separated, column-aligned rendering. *)
+
+val print : ?title:string -> table -> unit
+(** [render] to stdout, with an optional underlined title. *)
+
+val to_csv : table -> string
+
+val bar_chart :
+  ?width:int -> title:string -> (string * float) list -> string
+(** Horizontal ASCII bar chart, bars scaled to the maximum value
+    (default [width] 50 columns). *)
+
+val section : string -> unit
+(** Print a prominent section header to stdout. *)
+
+val note : string -> unit
+(** Print an indented note line to stdout. *)

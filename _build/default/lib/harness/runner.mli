@@ -1,0 +1,78 @@
+(** Experiment orchestration: build a network, corrupt it, drive the
+    higher layer, run SSMFP (+ [A]) under a chosen daemon, and collect
+    oracle verdicts and measurements.
+
+    The higher layer is simulated in the engine's [before_step] hook: any
+    processor whose [request_p] is down and whose outbox is non-empty
+    raises the flag (the paper's Input/Output contract — the layer may set
+    the flag only when it is false, and the wait is blocking). *)
+
+type daemon_kind =
+  | Synchronous
+  | Central_random
+  | Distributed_random
+  | Round_robin
+  | Adversarial_lowest
+  | Random_action
+
+val daemon_kind_of_string : string -> (daemon_kind, string) Stdlib.result
+val daemon_kind_to_string : daemon_kind -> string
+val all_daemon_kinds : daemon_kind list
+
+type config = {
+  graph : Topology.Graph.t;
+  spec : Fault.spec;  (** initial-configuration corruption *)
+  workload : Workload.t;
+  daemon : daemon_kind;
+  variant : Ssmfp.Protocol.variant;  (** ablation switches *)
+  run_routing : bool;  (** simulate [A]; switch off to freeze tables *)
+  seed : int;  (** master seed: fault injection + daemon randomness *)
+  max_steps : int;
+  prepare : (Ssmfp.State.t array -> unit) option;
+      (** final touch-up of the initial configuration (e.g.
+          {!Fault.fill_component}), applied before the engine starts *)
+  responder : (int -> Ssmfp.Message.info -> (int * Ssmfp.Message.info) list) option;
+      (** higher-layer reactions: when a valid message is delivered at a
+          processor, [responder pid info] lists the [(destination, info)]
+          messages that processor submits in response (request/response
+          traffic). Replies count towards the SP verdict like any other
+          workload message. Make it terminating: a responder that always
+          replies never drains. *)
+}
+
+val config :
+  ?spec:Fault.spec ->
+  ?daemon:daemon_kind ->
+  ?variant:Ssmfp.Protocol.variant ->
+  ?run_routing:bool ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?prepare:(Ssmfp.State.t array -> unit) ->
+  ?responder:(int -> Ssmfp.Message.info -> (int * Ssmfp.Message.info) list) ->
+  Topology.Graph.t ->
+  Workload.t ->
+  config
+(** Defaults: pristine spec, [Distributed_random] daemon, faithful
+    variant, routing on, seed 1, 2_000_000 steps. *)
+
+type result = {
+  outcome : [ `Quiescent | `Max_steps ];
+  stats : Sim.Engine.stats;
+  oracle : Oracle.t;
+  verdict : Oracle.verdict;  (** SP check (loss checked iff quiescent) *)
+  invalid_planted : int;  (** invalid occurrences in the initial config *)
+  submitted : int;
+      (** workload messages plus responder replies over the whole run *)
+  routing_settled_round : int;
+      (** round of the last routing-table write (measured [R_A]; 0 when
+          tables start correct or [A] is frozen) *)
+  final_net : Ssmfp.State.t Sim.Engine.net;
+}
+
+val run : config -> result
+(** Execute to quiescence (engine terminal) or [max_steps]. *)
+
+val run_baseline :
+  Topology.Graph.t -> Workload.t -> Baseline.Forwarding.stats
+(** Drive the fault-free baseline to quiescence on the same workload (for
+    the over-cost comparison, experiment E6). *)

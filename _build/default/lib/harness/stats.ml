@@ -1,0 +1,75 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let count = List.length
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> nan
+  | xs ->
+      let m = mean xs in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (sq /. float_of_int (List.length xs))
+
+let minimum = function [] -> nan | xs -> List.fold_left min infinity xs
+let maximum = function [] -> nan | xs -> List.fold_left max neg_infinity xs
+
+let percentile p = function
+  | [] -> nan
+  | xs ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+      in
+      List.nth sorted (max 0 (min (n - 1) rank))
+
+let summarize xs =
+  {
+    count = count xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = minimum xs;
+    max = maximum xs;
+    p50 = percentile 50. xs;
+    p90 = percentile 90. xs;
+    p99 = percentile 99. xs;
+  }
+
+let of_ints = List.map float_of_int
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.2f sd=%.2f min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+let histogram ~buckets xs =
+  if xs = [] || buckets <= 0 then []
+  else begin
+    let lo = minimum xs and hi = maximum xs in
+    let width =
+      if hi = lo then 1. else (hi -. lo) /. float_of_int buckets
+    in
+    let counts = Array.make buckets 0 in
+    let place x =
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = max 0 (min (buckets - 1) i) in
+      counts.(i) <- counts.(i) + 1
+    in
+    List.iter place xs;
+    List.init buckets (fun i ->
+        ( lo +. (float_of_int i *. width),
+          lo +. (float_of_int (i + 1) *. width),
+          counts.(i) ))
+  end

@@ -1,0 +1,36 @@
+(** Descriptive statistics over measurement samples.
+
+    Every experiment reports aggregates of per-message or per-run
+    measurements; this module keeps those computations in one audited
+    place. All functions tolerate the empty sample by returning [nan]
+    (or [0] for {!count}). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val count : float list -> int
+val mean : float list -> float
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0..100], nearest-rank on the sorted
+    sample. *)
+
+val summarize : float list -> summary
+
+val of_ints : int list -> float list
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** [(lo, hi, count)] equal-width buckets spanning the sample range. *)

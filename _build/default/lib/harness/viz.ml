@@ -1,0 +1,50 @@
+let name ~letters p =
+  if letters then Topology.Dot.default_letter p else Printf.sprintf "p%d" p
+
+let buf = function
+  | None -> "-"
+  | Some m -> Ssmfp.Message.to_string m
+
+let component ?(letters = false) g (net : Ssmfp.State.t Sim.Engine.net) ~dest =
+  let width =
+    Topology.Graph.fold_vertices
+      (fun p acc ->
+        let sl = Ssmfp.State.slot net.states.(p) dest in
+        max acc (String.length (buf sl.Ssmfp.State.buf_r)))
+      g 1
+  in
+  let line p =
+    let st = net.states.(p) in
+    let sl = Ssmfp.State.slot st dest in
+    let hop = Routing.Selfstab.next_hop st.Ssmfp.State.routing ~d:dest in
+    Printf.sprintf "%s: nextHop=%s  R[%-*s] E[%s]%s" (name ~letters p)
+      (name ~letters hop) width
+      (buf sl.Ssmfp.State.buf_r)
+      (buf sl.Ssmfp.State.buf_e)
+      (if st.Ssmfp.State.request then "  req" else "")
+  in
+  String.concat "\n" (List.map line (Topology.Graph.vertices g))
+
+let digest g (net : Ssmfp.State.t Sim.Engine.net) =
+  let line p =
+    let st = net.states.(p) in
+    let occupied = List.length (Ssmfp.State.occupied_buffers st) in
+    Printf.sprintf "p%-3d buffers=%-3d outbox=%-3d request=%b" p occupied
+      (List.length st.Ssmfp.State.outbox)
+      st.Ssmfp.State.request
+  in
+  String.concat "\n" (List.map line (Topology.Graph.vertices g))
+
+let caterpillars g net ~dest =
+  match Ssmfp.Caterpillar.classify_dest g net ~d:dest with
+  | [] -> "(no message in this component)"
+  | cats ->
+      String.concat "\n"
+        (List.map (fun c -> Format.asprintf "%a" Ssmfp.Caterpillar.pp c) cats)
+
+let frame ?(letters = false) g net ~dest ~step ~moves =
+  let header =
+    Printf.sprintf "-- step %d%s --" step
+      (if moves = [] then "" else ": " ^ String.concat ", " moves)
+  in
+  header ^ "\n" ^ component ~letters g net ~dest

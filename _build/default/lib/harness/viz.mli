@@ -1,0 +1,39 @@
+(** Plain-text rendering of SSMFP configurations — the observability layer
+    for the CLI's [watch] mode, example walkthroughs and failing-test
+    dumps.
+
+    Renders one line per processor, showing the routing next hop and the
+    two buffers of the destination under scrutiny (or a digest over all
+    destinations), with the paper's message notation [(m, q, c)] and a [!]
+    prefix on invalid occurrences. *)
+
+val component :
+  ?letters:bool ->
+  Topology.Graph.t ->
+  Ssmfp.State.t Sim.Engine.net ->
+  dest:int ->
+  string
+(** Destination [dest]'s buffer-graph component, e.g.:
+    {[
+    a: nextHop=c  R[!(x,1,0)] E[-]        req
+    b: nextHop=b  R[-]        E[(m,0,1)]
+    ]}
+    [letters] (default false) uses a, b, c, ... vertex names. *)
+
+val digest : Topology.Graph.t -> Ssmfp.State.t Sim.Engine.net -> string
+(** One line per processor summarizing all destinations: occupied-buffer
+    count, pending outbox size, request flag — for large networks. *)
+
+val caterpillars :
+  Topology.Graph.t -> Ssmfp.State.t Sim.Engine.net -> dest:int -> string
+(** The caterpillar classification of the component, one per line. *)
+
+val frame :
+  ?letters:bool ->
+  Topology.Graph.t ->
+  Ssmfp.State.t Sim.Engine.net ->
+  dest:int ->
+  step:int ->
+  moves:string list ->
+  string
+(** A watch-mode frame: step header, moves executed, then {!component}. *)

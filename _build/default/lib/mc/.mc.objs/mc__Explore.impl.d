@@ -1,0 +1,1 @@
+lib/mc/explore.ml: Array Buffer Format Hashtbl List Printf Prng Queue Routing Sim Ssmfp String Topology

@@ -1,0 +1,1 @@
+lib/mc/generic.ml: Array Buffer Fun Hashtbl List Queue Sim

@@ -1,0 +1,1 @@
+lib/mc/generic.mli: Sim Topology

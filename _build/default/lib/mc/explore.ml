@@ -1,0 +1,367 @@
+type scenario = {
+  graph : Topology.Graph.t;
+  dest : int;
+  src : int;
+  payload_pool : string list;
+}
+
+let two_chain =
+  {
+    graph = Topology.Builders.path 2;
+    dest = 1;
+    src = 0;
+    payload_pool = [ "v"; "x" ];
+  }
+
+let three_chain =
+  {
+    graph = Topology.Builders.path 3;
+    dest = 2;
+    src = 0;
+    payload_pool = [ "v" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical keys: ghost ids and the rr cursor are abstracted away.    *)
+
+let canon_msg (m : Ssmfp.Message.t option) =
+  match m with
+  | None -> "-"
+  | Some m ->
+      Printf.sprintf "%s.%d.%d.%c" m.Ssmfp.Message.info m.Ssmfp.Message.last
+        m.Ssmfp.Message.color
+        (if Ssmfp.Message.is_valid m then 'V' else 'I')
+
+let canon_key states delivered =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun (st : Ssmfp.State.t) ->
+      Buffer.add_char buf (if st.Ssmfp.State.request then 'R' else 'r');
+      Array.iter
+        (fun (e : Routing.Selfstab.entry) ->
+          Buffer.add_string buf (string_of_int e.Routing.Selfstab.dist);
+          Buffer.add_char buf '.';
+          Buffer.add_string buf (string_of_int e.Routing.Selfstab.via);
+          Buffer.add_char buf ',')
+        st.Ssmfp.State.routing;
+      Buffer.add_string buf (string_of_int (List.length st.Ssmfp.State.outbox));
+      Array.iter
+        (fun (sl : Ssmfp.State.slot) ->
+          Buffer.add_char buf '[';
+          Buffer.add_string buf (canon_msg sl.Ssmfp.State.buf_r);
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (canon_msg sl.Ssmfp.State.buf_e);
+          Buffer.add_char buf '|';
+          List.iter
+            (fun q -> Buffer.add_string buf (string_of_int q))
+            sl.Ssmfp.State.queue;
+          Buffer.add_char buf ']')
+        st.Ssmfp.State.slots;
+      Buffer.add_char buf ';')
+    states;
+  Buffer.add_string buf (string_of_int (min delivered 2));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Initial configurations                                              *)
+
+let message_choices scenario ~at =
+  let g = scenario.graph in
+  let delta = Topology.Graph.max_degree g in
+  let lasts = at :: Topology.Graph.neighbors g at in
+  let colors = List.init (delta + 1) (fun c -> c) in
+  None
+  :: List.concat_map
+       (fun info ->
+         List.concat_map
+           (fun last ->
+             List.map
+               (fun color ->
+                 Some (Ssmfp.Message.fresh_invalid ~at ~last ~color info))
+               colors)
+           lasts)
+       scenario.payload_pool
+
+let queue_choices g ~p =
+  let members = p :: Topology.Graph.neighbors g p in
+  (* All rotations plus the reverse order: covers every order for degree
+     <= 2 processors (the exhaustive scenarios) and a spread for more. *)
+  let rec rotations k l acc =
+    if k = 0 then acc
+    else
+      match l with
+      | x :: rest -> rotations (k - 1) (rest @ [ x ]) ((rest @ [ x ]) :: acc)
+      | [] -> acc
+  in
+  List.sort_uniq compare
+    (members :: List.rev members :: rotations (List.length members - 1) members [])
+
+let proc_choices scenario p =
+  let g = scenario.graph in
+  let base = Ssmfp.State.clean g ~correct_routing:true p in
+  let outbox = if p = scenario.src then [ (scenario.dest, "v") ] else [] in
+  let msgs = message_choices scenario ~at:p in
+  let queues = queue_choices g ~p in
+  List.concat_map
+    (fun buf_r ->
+      List.concat_map
+        (fun buf_e ->
+          List.concat_map
+            (fun queue ->
+              List.map
+                (fun request ->
+                  let st =
+                    Ssmfp.State.with_slot base scenario.dest
+                      { Ssmfp.State.buf_r; buf_e; queue }
+                  in
+                  { st with Ssmfp.State.request; outbox })
+                [ false; true ])
+            queues)
+        msgs)
+    msgs
+
+let enumerate_initials scenario =
+  let per_proc =
+    List.map (fun p -> proc_choices scenario p)
+      (Topology.Graph.vertices scenario.graph)
+  in
+  List.fold_left
+    (fun acc choices ->
+      List.concat_map
+        (fun partial -> List.map (fun st -> st :: partial) choices)
+        acc)
+    [ [] ] per_proc
+  |> List.map (fun l -> Array.of_list (List.rev l))
+
+let sample_initials rng ~count scenario =
+  let per_proc =
+    Array.of_list
+      (List.map
+         (fun p -> Array.of_list (proc_choices scenario p))
+         (Topology.Graph.vertices scenario.graph))
+  in
+  List.init count (fun _ ->
+      Array.map (fun choices -> Prng.Splitmix.choose_array rng choices) per_proc)
+
+let sample_initials_corrupted rng ~count scenario =
+  let g = scenario.graph in
+  List.map
+    (fun states ->
+      Array.mapi
+        (fun p st ->
+          Ssmfp.State.with_routing st (Routing.Selfstab.init_random rng g p))
+        states)
+    (sample_initials rng ~count scenario)
+
+(* ------------------------------------------------------------------ *)
+(* Safety: BFS over all central-daemon choices                         *)
+
+type safety_report = {
+  initial_count : int;
+  explored : int;
+  transitions : int;
+  duplicate_delivery : bool;
+  lost_valid : string option;
+  deadlock : string option;
+}
+
+let render_config states =
+  String.concat " / "
+    (Array.to_list
+       (Array.mapi
+          (fun p st -> Format.asprintf "p%d %a" p Ssmfp.State.pp st)
+          states))
+
+let has_traffic states =
+  Array.exists
+    (fun st ->
+      st.Ssmfp.State.outbox <> [] || Ssmfp.State.occupied_buffers st <> [])
+    states
+
+let copy_states states = Array.map (fun s -> s) states
+
+let valid_present states =
+  Array.exists
+    (fun st ->
+      List.exists
+        (fun (_, _, m) -> Ssmfp.Message.is_valid m)
+        (Ssmfp.State.occupied_buffers st))
+    states
+
+(* All non-empty selections of at most one enabled action per processor:
+   the distributed daemon's composite steps. [per_proc] lists each
+   processor's enabled actions. *)
+let selections per_proc =
+  let rec build = function
+    | [] -> [ [] ]
+    | (p, actions) :: rest ->
+        let tails = build rest in
+        let without = tails in
+        let with_p =
+          List.concat_map
+            (fun a -> List.map (fun tl -> (p, a) :: tl) tails)
+            actions
+        in
+        without @ with_p
+  in
+  List.filter (fun sel -> sel <> []) (build per_proc)
+
+let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
+    ?(run_routing = false) ?(max_configs = 2_000_000) scenario initials =
+  let g = scenario.graph in
+  let proto = Ssmfp.Protocol.make ~variant ~run_routing g in
+  let visited = Hashtbl.create 65536 in
+  let frontier = Queue.create () in
+  let explored = ref 0 and transitions = ref 0 in
+  let duplicate = ref false and deadlock = ref None in
+  let lost = ref None in
+  (* A state is keyed together with its valid-delivery counter; whether the
+     valid message has been generated is recoverable from the outboxes. *)
+  let generated states =
+    Array.for_all (fun (st : Ssmfp.State.t) -> st.Ssmfp.State.outbox = []) states
+  in
+  let push states delivered =
+    (* Loss: the valid message was generated, never delivered, and no
+       buffer holds a valid occurrence any more. *)
+    if
+      delivered = 0 && generated states
+      && (not (valid_present states))
+      && !lost = None
+    then lost := Some (render_config states);
+    let key = canon_key states delivered in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.replace visited key ();
+      if Hashtbl.length visited > max_configs then
+        failwith "Explore.check_safety: configuration budget exhausted";
+      Queue.add (states, delivered) frontier
+    end
+  in
+  List.iter (fun states -> push states 0) initials;
+  while not (Queue.is_empty frontier) && not !duplicate do
+    let states, delivered = Queue.pop frontier in
+    incr explored;
+    let net = Sim.Engine.synthetic ~graph:g ~states in
+    let moves = ref 0 in
+    (* Higher-layer transitions: raising a request flag. *)
+    Array.iteri
+      (fun p (st : Ssmfp.State.t) ->
+        if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then begin
+          incr moves;
+          incr transitions;
+          let states' = copy_states states in
+          states'.(p) <- { st with Ssmfp.State.request = true };
+          push states' delivered
+        end)
+      states;
+    (* Protocol transitions. Central daemon: every enabled (processor,
+       action) pair; with [simultaneity], additionally every composite
+       step of the distributed daemon (a non-empty selection of at most
+       one enabled action per processor, all reading the pre-step
+       configuration) — the setting in which erasure races would show. *)
+    let per_proc =
+      List.concat
+        (List.init (Array.length states) (fun p ->
+             match proto.Sim.Engine.enabled net p with
+             | [] -> []
+             | actions -> [ (p, actions) ]))
+    in
+    let apply_selection sel =
+      incr moves;
+      incr transitions;
+      let updates =
+        List.map (fun (p, a) -> (p, proto.Sim.Engine.apply net p a)) sel
+      in
+      let states' = copy_states states in
+      let delivered' =
+        List.fold_left
+          (fun acc (p, (st', events)) ->
+            states'.(p) <- st';
+            List.fold_left
+              (fun acc ev ->
+                match ev with
+                | Ssmfp.Protocol.Delivered m when Ssmfp.Message.is_valid m ->
+                    acc + 1
+                | _ -> acc)
+              acc events)
+          delivered updates
+      in
+      if delivered' >= 2 then duplicate := true;
+      push states' delivered'
+    in
+    if simultaneity then List.iter apply_selection (selections per_proc)
+    else
+      List.iter
+        (fun (p, actions) ->
+          List.iter (fun a -> apply_selection [ (p, a) ]) actions)
+        per_proc;
+    if !moves = 0 && has_traffic states && !deadlock = None then
+      deadlock := Some (render_config states)
+  done;
+  {
+    initial_count = List.length initials;
+    explored = !explored;
+    transitions = !transitions;
+    duplicate_delivery = !duplicate;
+    lost_valid = !lost;
+    deadlock = !deadlock;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Liveness under the weakly fair round-robin daemon                   *)
+
+type liveness_report = {
+  checked : int;
+  max_steps_seen : int;
+  failures : string list;
+}
+
+let check_liveness ?(step_bound = 20_000) scenario initials =
+  let g = scenario.graph in
+  let proto = Ssmfp.Protocol.make ~run_routing:false g in
+  let max_steps_seen = ref 0 and failures = ref [] in
+  let check_one idx states =
+    let init p = states.(p) in
+    let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+    let daemon = Sim.Daemon.round_robin () in
+    let delivered = ref 0 in
+    let raise_requests t =
+      Topology.Graph.iter_vertices
+        (fun p ->
+          let st = Sim.Engine.state t p in
+          if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+            Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+        g
+    in
+    let on_events ~step:_ events =
+      List.iter
+        (fun (_, ev) ->
+          match ev with
+          | Ssmfp.Protocol.Delivered m when Ssmfp.Message.is_valid m ->
+              incr delivered
+          | _ -> ())
+        events
+    in
+    let status =
+      Sim.Engine.run ~max_steps:step_bound ~before_step:raise_requests
+        ~on_events t daemon
+    in
+    let steps = (Sim.Engine.stats t).Sim.Engine.steps in
+    if steps > !max_steps_seen then max_steps_seen := steps;
+    let fail fmt =
+      Printf.ksprintf (fun s ->
+          failures := Printf.sprintf "initial #%d: %s" idx s :: !failures)
+        fmt
+    in
+    (match status with
+    | `Terminal -> ()
+    | `Max_steps -> fail "no quiescence within %d steps" step_bound
+    | `Stopped -> fail "unexpected stop");
+    if status = `Terminal && !delivered <> 1 then
+      fail "valid message delivered %d times (expected 1)" !delivered
+  in
+  List.iteri check_one initials;
+  {
+    checked = List.length initials;
+    max_steps_seen = !max_steps_seen;
+    failures = List.rev !failures;
+  }

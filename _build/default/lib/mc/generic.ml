@@ -1,0 +1,93 @@
+type ('s, 'm) report = {
+  explored : int;
+  transitions : int;
+  violation : (string * 's array * 'm) option;
+}
+
+exception Found
+
+let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
+    ~protocol ~canon ?(externals = fun _ -> []) ~monitor ~monitor_canon
+    ~init_monitor ~check initials =
+  let key states m =
+    let buf = Buffer.create 64 in
+    Array.iter
+      (fun s ->
+        Buffer.add_string buf (canon s);
+        Buffer.add_char buf ';')
+      states;
+    Buffer.add_string buf (monitor_canon m);
+    Buffer.contents buf
+  in
+  let visited = Hashtbl.create 4096 in
+  let frontier = Queue.create () in
+  let explored = ref 0 and transitions = ref 0 in
+  let violation = ref None in
+  let push states m =
+    (match check states m with
+    | Some msg when !violation = None ->
+        violation := Some (msg, states, m);
+        raise Found
+    | _ -> ());
+    let k = key states m in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.replace visited k ();
+      if Hashtbl.length visited > max_configs then
+        failwith "Generic.explore: configuration budget exhausted";
+      Queue.add (states, m) frontier
+    end
+  in
+  (try
+     List.iter (fun states -> push states init_monitor) initials;
+     while not (Queue.is_empty frontier) do
+       let states, m = Queue.pop frontier in
+       incr explored;
+       let net = Sim.Engine.synthetic ~graph ~states in
+       (* external (higher-layer) transitions keep the same monitor *)
+       List.iter
+         (fun states' ->
+           incr transitions;
+           push states' m)
+         (externals states);
+       let per_proc =
+         List.concat
+           (List.init (Array.length states) (fun p ->
+                match protocol.Sim.Engine.enabled net p with
+                | [] -> []
+                | actions -> [ (p, actions) ]))
+       in
+       let apply_selection sel =
+         incr transitions;
+         let states' = Array.map Fun.id states in
+         let m' =
+           List.fold_left
+             (fun m (p, a) ->
+               let s', events = protocol.Sim.Engine.apply net p a in
+               states'.(p) <- s';
+               List.fold_left (fun m e -> monitor m ~pid:p e) m events)
+             m sel
+         in
+         push states' m'
+       in
+       if simultaneity then begin
+         let rec selections = function
+           | [] -> [ [] ]
+           | (p, actions) :: rest ->
+               let tails = selections rest in
+               tails
+               @ List.concat_map
+                   (fun a -> List.map (fun tl -> (p, a) :: tl) tails)
+                   actions
+         in
+         List.iter
+           (fun sel -> if sel <> [] then apply_selection sel)
+           (selections per_proc)
+       end
+       else
+         List.iter
+           (fun (p, actions) ->
+             List.iter (fun a -> apply_selection [ (p, a) ]) actions)
+           per_proc
+     done
+   with Found -> ());
+  { explored = !explored; transitions = !transitions; violation = !violation }

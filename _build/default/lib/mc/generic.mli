@@ -1,0 +1,42 @@
+(** A protocol-agnostic bounded model checker over {!Sim.Engine.protocol}
+    values.
+
+    {!Explore} is specialized to SSMFP; this module factors the search so
+    any protocol written for the engine can be exhaustively verified on
+    small instances. The searched state couples the protocol configuration
+    with a user-supplied *monitor* — an automaton fed by the protocol's
+    events — so temporal properties ("the root never reports completion
+    before everyone was covered") reduce to a state predicate over the
+    pair.
+
+    Transitions are the central daemon's: one enabled action of one
+    processor at a time, plus any user-supplied external transitions
+    (higher-layer writes). Pass [simultaneity] for composite steps. *)
+
+type ('s, 'm) report = {
+  explored : int;  (** distinct canonical (configuration, monitor) pairs *)
+  transitions : int;
+  violation : (string * 's array * 'm) option;
+      (** first violation found: message + witness *)
+}
+
+val explore :
+  ?max_configs:int ->
+  ?simultaneity:bool ->
+  graph:Topology.Graph.t ->
+  protocol:('s, 'a, 'e) Sim.Engine.protocol ->
+  canon:('s -> string) ->
+  ?externals:('s array -> 's array list) ->
+  monitor:('m -> pid:int -> 'e -> 'm) ->
+  monitor_canon:('m -> string) ->
+  init_monitor:'m ->
+  check:('s array -> 'm -> string option) ->
+  's array list ->
+  ('s, 'm) report
+(** BFS from the given initial configurations (each paired with
+    [init_monitor]). [canon] must render a processor state so that equal
+    strings mean protocol-equivalent states (it defines the state
+    abstraction); [monitor] absorbs each emitted event; [check] returns
+    [Some message] on a violated property. The search stops at the first
+    violation or after [max_configs] (default 2_000_000) distinct pairs
+    ([Failure] on exhaustion). *)

@@ -1,0 +1,1 @@
+lib/mp/network.ml: Array Hashtbl List Prng Queue Topology

@@ -1,0 +1,1 @@
+lib/mp/network.mli: Prng Topology

@@ -1,0 +1,1 @@
+lib/mp/ssmfp_mp.ml: Array Harness List Network Option Prng Routing Sim Ssmfp Topology

@@ -1,0 +1,1 @@
+lib/mp/ssmfp_mp.mli: Harness Routing Ssmfp Topology

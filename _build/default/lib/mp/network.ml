@@ -1,0 +1,109 @@
+type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
+
+type ('s, 'm) t = {
+  graph : Topology.Graph.t;
+  states : 's array;
+  channels : (int * int, 'm Queue.t) Hashtbl.t; (* (from, into) -> FIFO *)
+  handler : ('s, 'm) handler;
+  loss : float;
+  timeout : (self:int -> 's -> 's * (int * 'm) list) option;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let channel t ~from ~into =
+  if not (Topology.Graph.is_edge t.graph from into) then
+    invalid_arg "Network: not an edge";
+  match Hashtbl.find_opt t.channels (from, into) with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.channels (from, into) q;
+      q
+
+let create ?(loss = 0.) ?timeout ~init ~handler graph =
+  let t =
+    {
+      graph;
+      states = Array.init (Topology.Graph.n graph) init;
+      channels = Hashtbl.create 64;
+      handler;
+      loss;
+      timeout;
+      delivered = 0;
+      dropped = 0;
+    }
+  in
+  (* Materialize every channel so the scheduler can enumerate them. *)
+  List.iter
+    (fun (u, v) ->
+      ignore (channel t ~from:u ~into:v);
+      ignore (channel t ~from:v ~into:u))
+    (Topology.Graph.edges graph);
+  t
+
+let inject t ~from ~into m = Queue.add m (channel t ~from ~into)
+
+let send_all t ~from m =
+  List.iter
+    (fun q -> Queue.add m (channel t ~from ~into:q))
+    (Topology.Graph.neighbors t.graph from)
+
+let state t p = t.states.(p)
+let set_state t p s = t.states.(p) <- s
+
+let in_flight t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.channels 0
+
+let deliveries t = t.delivered
+let dropped t = t.dropped
+
+(* Handler-originated sends go through the lossy link. *)
+let post t rng ~from sends =
+  List.iter
+    (fun (q, msg) ->
+      if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
+        t.dropped <- t.dropped + 1
+      else Queue.add msg (channel t ~from ~into:q))
+    sends
+
+let fire_timeout t rng =
+  match t.timeout with
+  | None -> false
+  | Some f ->
+      let p = Prng.Splitmix.int rng (Topology.Graph.n t.graph) in
+      let s', sends = f ~self:p t.states.(p) in
+      t.states.(p) <- s';
+      post t rng ~from:p sends;
+      true
+
+let nonempty_channels t =
+  Hashtbl.fold
+    (fun key q acc -> if Queue.is_empty q then acc else key :: acc)
+    t.channels []
+
+let step t rng =
+  match nonempty_channels t with
+  | [] -> fire_timeout t rng
+  | channels ->
+      if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
+        fire_timeout t rng
+      else begin
+        let from, into = Prng.Splitmix.choose rng (List.sort compare channels) in
+        let m = Queue.pop (Hashtbl.find t.channels (from, into)) in
+        t.delivered <- t.delivered + 1;
+        let s', sends = t.handler ~self:into ~from t.states.(into) m in
+        t.states.(into) <- s';
+        post t rng ~from:into sends;
+        true
+      end
+
+let run ?(max_deliveries = 5_000_000) ?stop t rng =
+  let stop_now () = match stop with Some f -> f t | None -> false in
+  let rec loop budget =
+    if budget = 0 then `Max_deliveries
+    else if stop_now () then `Stopped
+    else if step t rng then loop (budget - 1)
+    else `Idle
+  in
+  loop max_deliveries

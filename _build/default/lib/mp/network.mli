@@ -1,0 +1,62 @@
+(** Asynchronous message-passing substrate (paper §4: "it will be
+    interesting to carry our protocol in the message passing model").
+
+    Processes communicate over reliable FIFO channels, one per directed
+    edge. A scheduler step delivers the head message of one non-empty
+    channel to its recipient's handler, which updates the local state and
+    sends messages in turn. The random scheduler is fair with probability
+    1. Channels may start with arbitrary garbage in flight — the
+    message-passing analogue of an arbitrary initial configuration. *)
+
+type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
+(** [handler ~self ~from state msg] consumes one message and returns the
+    new local state plus messages to send as [(neighbor, payload)]. *)
+
+type ('s, 'm) t
+
+val create :
+  ?loss:float ->
+  ?timeout:(self:int -> 's -> 's * (int * 'm) list) ->
+  init:(int -> 's) ->
+  handler:('s, 'm) handler ->
+  Topology.Graph.t ->
+  ('s, 'm) t
+(** [loss] (default 0.) drops each handler-sent message with that
+    probability (injected messages are never dropped). [timeout] equips
+    processes with a spontaneous action — the scheduler occasionally fires
+    it on a random process (and always can when all channels are empty),
+    modelling the timers that retransmission-based protocols need on
+    unreliable channels. *)
+
+val inject : ('s, 'm) t -> from:int -> into:int -> 'm -> unit
+(** Plant a message in the channel [from → into] (initial garbage, or a
+    kick-off message). @raise Invalid_argument on a non-edge. *)
+
+val send_all : ('s, 'm) t -> from:int -> 'm -> unit
+(** Enqueue a broadcast from [from] to all its neighbors. *)
+
+val state : ('s, 'm) t -> int -> 's
+val set_state : ('s, 'm) t -> int -> 's -> unit
+val in_flight : ('s, 'm) t -> int
+(** Total messages currently in channels. *)
+
+val deliveries : ('s, 'm) t -> int
+(** Channel deliveries performed so far. *)
+
+val dropped : ('s, 'm) t -> int
+(** Messages lost to [loss] so far. *)
+
+val step : ('s, 'm) t -> Prng.Splitmix.t -> bool
+(** Deliver one message from a uniformly random non-empty channel, or
+    (with probability 1/8, or whenever all channels are empty) fire the
+    [timeout] of a random process; [false] when channels are empty and no
+    [timeout] is installed. *)
+
+val run :
+  ?max_deliveries:int ->
+  ?stop:(('s, 'm) t -> bool) ->
+  ('s, 'm) t ->
+  Prng.Splitmix.t ->
+  [ `Idle | `Stopped | `Max_deliveries ]
+(** Deliver until channels drain, [stop] holds, or the delivery budget
+    (default 5_000_000) is exhausted. *)

@@ -1,0 +1,240 @@
+type public = {
+  pub_routing : Routing.Selfstab.state;
+  pub_bufs : (Ssmfp.Message.t option * Ssmfp.Message.t option) array;
+}
+
+type payload = Snapshot of int * public
+
+(* Per-neighbor snapshot store: every snapshot with pulse >= ours is kept
+   (at most a couple after pruning), so a barrier can never be starved by
+   a newer snapshot overwriting the one it still needs. *)
+type proc = {
+  core : Ssmfp.State.t;
+  pulse : int;
+  snaps : (int * (int * public) list) list; (* neighbor -> (pulse, pub) list *)
+}
+
+type t = {
+  graph : Topology.Graph.t;
+  net : (proc, payload) Network.t;
+  rng : Prng.Splitmix.t;
+  oracle : Harness.Oracle.t;
+  expected_valid : int;
+  max_pulse : int ref;
+}
+
+type result = {
+  outcome : [ `All_done | `Max_deliveries ];
+  channel_deliveries : int;
+  max_pulse : int;
+  oracle : Harness.Oracle.t;
+  verdict : Harness.Oracle.verdict;
+}
+
+let public_of (core : Ssmfp.State.t) =
+  {
+    pub_routing = Array.copy core.Ssmfp.State.routing;
+    pub_bufs =
+      Array.map
+        (fun sl -> (sl.Ssmfp.State.buf_r, sl.Ssmfp.State.buf_e))
+        core.Ssmfp.State.slots;
+  }
+
+(* Reconstruct the State.t a guard would read for neighbor [q] from its
+   published snapshot. Fields p never reads from a neighbor (queue, rr,
+   request, outbox) get placeholders. *)
+let state_of_public q pub =
+  {
+    Ssmfp.State.routing = pub.pub_routing;
+    slots =
+      Array.map
+        (fun (r, e) -> { Ssmfp.State.buf_r = r; buf_e = e; queue = [ q ] })
+        pub.pub_bufs;
+    rr = 0;
+    request = false;
+    outbox = [];
+  }
+
+let snaps_for proc q =
+  Option.value ~default:[] (List.assoc_opt q proc.snaps)
+
+let store_snap proc q pulse pub =
+  let kept =
+    (pulse, pub)
+    :: List.filter
+         (fun (k, _) -> k <> pulse && k >= proc.pulse)
+         (snaps_for proc q)
+  in
+  { proc with snaps = (q, kept) :: List.remove_assoc q proc.snaps }
+
+let prune proc =
+  {
+    proc with
+    snaps =
+      List.map
+        (fun (q, l) -> (q, List.filter (fun (k, _) -> k >= proc.pulse) l))
+        proc.snaps;
+  }
+
+let barrier_ready g proc ~self =
+  List.for_all
+    (fun q -> List.mem_assoc proc.pulse (snaps_for proc q))
+    (Topology.Graph.neighbors g self)
+
+let make_handler g oracle max_pulse_ref =
+  let n = Topology.Graph.n g in
+  let proto = Ssmfp.Protocol.make g in
+  let dummy = Array.init n (fun p -> Ssmfp.State.clean g p) in
+  let publish proc =
+    (proc.pulse, Snapshot (proc.pulse, public_of proc.core))
+  in
+  let execute_barrier ~self proc =
+    (* Raise request_p if the higher layer has pending traffic. *)
+    let core =
+      if (not proc.core.Ssmfp.State.request) && proc.core.Ssmfp.State.outbox <> []
+      then begin
+        Harness.Oracle.observe_request_raised oracle ~round:proc.pulse ~pid:self;
+        { proc.core with Ssmfp.State.request = true }
+      end
+      else proc.core
+    in
+    let states =
+      Array.init n (fun i ->
+          if i = self then core
+          else if Topology.Graph.is_edge g self i then
+            match List.assoc_opt proc.pulse (snaps_for proc i) with
+            | Some pub -> state_of_public i pub
+            | None -> dummy.(i) (* unreachable: barrier_ready checked *)
+          else dummy.(i))
+    in
+    let net = Sim.Engine.synthetic ~graph:g ~states in
+    let core =
+      match proto.Sim.Engine.enabled net self with
+      | [] -> core
+      | action :: _ ->
+          let core', events = proto.Sim.Engine.apply net self action in
+          List.iter
+            (fun ev ->
+              Harness.Oracle.observe oracle ~round:proc.pulse ~pid:self ev)
+            events;
+          core'
+    in
+    let proc = prune { proc with core; pulse = proc.pulse + 1 } in
+    if proc.pulse > !max_pulse_ref then max_pulse_ref := proc.pulse;
+    proc
+  in
+  let handler ~self ~from proc (Snapshot (k, pub)) =
+    let proc = store_snap proc from k pub in
+    let sends = ref [] in
+    let broadcast proc =
+      let _, msg = publish proc in
+      sends :=
+        !sends @ List.map (fun q -> (q, msg)) (Topology.Graph.neighbors g self)
+    in
+    (* Maximum adoption: jump forward to a larger pulse and republish. *)
+    let proc =
+      if k > proc.pulse then begin
+        let proc = prune { proc with pulse = k } in
+        broadcast proc;
+        proc
+      end
+      else proc
+    in
+    (* Complete as many barriers as the stored snapshots allow. *)
+    let rec drain proc =
+      if barrier_ready g proc ~self then begin
+        let proc = execute_barrier ~self proc in
+        broadcast proc;
+        drain proc
+      end
+      else proc
+    in
+    let proc = drain proc in
+    (proc, !sends)
+  in
+  handler
+
+let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
+    ?(loss = 0.) ?(seed = 1) graph workload =
+  let master = Prng.Splitmix.of_int seed in
+  let fault_rng = Prng.Splitmix.split master in
+  let sched_rng = Prng.Splitmix.split master in
+  let garbage_rng = Prng.Splitmix.split master in
+  let oracle = Harness.Oracle.create () in
+  let max_pulse = ref 0 in
+  let handler = make_handler graph oracle max_pulse in
+  let init p =
+    {
+      core = Harness.Fault.initial_states ~rng:fault_rng spec graph ~workload p;
+      pulse = 0;
+      snaps = [];
+    }
+  in
+  (* Timeout = retransmission: republish the current pulse's snapshot to
+     every neighbor. With lossy channels this is what keeps barriers
+     completing; it is idempotent for the receivers. *)
+  let timeout ~self (proc : proc) =
+    let msg = Snapshot (proc.pulse, public_of proc.core) in
+    ( proc,
+      List.map (fun q -> (q, msg)) (Topology.Graph.neighbors graph self) )
+  in
+  let net = Network.create ~loss ~timeout ~init ~handler graph in
+  (* Bootstrap: everyone publishes its pulse-0 snapshot. *)
+  Topology.Graph.iter_vertices
+    (fun p ->
+      let proc = Network.state net p in
+      Network.send_all net ~from:p
+        (Snapshot (proc.pulse, public_of proc.core)))
+    graph;
+  (* Garbage in flight: random snapshots with random pulses and buffers. *)
+  let edges = Topology.Graph.edges graph in
+  for _ = 1 to channel_garbage do
+    let u, v = Prng.Splitmix.choose garbage_rng edges in
+    let from, into = if Prng.Splitmix.bool garbage_rng then (u, v) else (v, u) in
+    let garbage_core =
+      Harness.Fault.initial_states ~rng:garbage_rng
+        { Harness.Fault.adversarial with buffer_fill = 0.5 }
+        graph
+        ~workload:(Harness.Workload.empty ~n:(Topology.Graph.n graph))
+        from
+    in
+    let pulse = Prng.Splitmix.int garbage_rng 50 in
+    Network.inject net ~from ~into (Snapshot (pulse, public_of garbage_core))
+  done;
+  {
+    graph;
+    net;
+    rng = sched_rng;
+    oracle;
+    expected_valid = Harness.Workload.total workload;
+    max_pulse;
+  }
+
+let all_drained t =
+  let quiet p =
+    let proc = Network.state t.net p in
+    proc.core.Ssmfp.State.outbox = []
+    && Ssmfp.State.occupied_buffers proc.core = []
+  in
+  List.for_all quiet (Topology.Graph.vertices t.graph)
+
+let run ?(max_deliveries = 2_000_000) t =
+  let stop _ = all_drained t in
+  let status = Network.run ~max_deliveries ~stop t.net t.rng in
+  let outcome =
+    match status with
+    | `Stopped -> `All_done
+    | `Idle | `Max_deliveries -> `Max_deliveries
+  in
+  let verdict =
+    Harness.Oracle.check_sp t.oracle ~expected_valid:t.expected_valid
+      ~n:(Topology.Graph.n t.graph)
+      ~at_quiescence:(outcome = `All_done)
+  in
+  {
+    outcome;
+    channel_deliveries = Network.deliveries t.net;
+    max_pulse = !(t.max_pulse);
+    oracle = t.oracle;
+    verdict;
+  }

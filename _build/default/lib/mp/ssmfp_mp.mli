@@ -1,0 +1,69 @@
+(** SSMFP carried to the message-passing model (paper §4, future work).
+
+    The paper closes by asking whether the protocol can run in the (more
+    realistic) message-passing model, noting that no automatic transformer
+    from the state model is known. This module implements the classical
+    local-synchronizer construction experimentally:
+
+    - every process keeps its SSMFP + routing state (reused verbatim from
+      {!Ssmfp.State}) plus *mirrors* of its neighbors' readable variables
+      (buffers and routing entries);
+    - execution proceeds in pulses: a process entering pulse [k] publishes
+      a snapshot of its readable state to its neighbors, and once it holds
+      a pulse-[k] snapshot from every neighbor it evaluates its guards
+      against that consistent pulse-[k] view, executes its
+      highest-priority enabled action (exactly the synchronous-daemon
+      semantics of the state model), and enters pulse [k + 1];
+    - pulses self-stabilize by maximum adoption (a process receiving a
+      snapshot with a larger pulse jumps to it and republishes), the
+      standard asynchronous-unison repair, so arbitrary initial pulses,
+      mirrors and even garbage snapshots sitting in channels are
+      tolerated.
+
+    What this does and does not establish: the construction uses unbounded
+    pulse counters, so it is *not* a snap-stabilizing message-passing
+    protocol (the open problem stands). The experiments measure the
+    behaviour the port actually exhibits — with consistent pulse-aligned
+    views the R4/R5 erasure race that loses messages under stale views
+    cannot fire, and runs from corrupted starts deliver every valid
+    message exactly once. *)
+
+type public = {
+  pub_routing : Routing.Selfstab.state;
+  pub_bufs : (Ssmfp.Message.t option * Ssmfp.Message.t option) array;
+      (** (bufR, bufE) per destination *)
+}
+
+type payload = Snapshot of int * public  (** (pulse, readable state) *)
+
+type t
+
+type result = {
+  outcome : [ `All_done | `Max_deliveries ];
+  channel_deliveries : int;  (** messages the network delivered *)
+  max_pulse : int;  (** highest pulse reached *)
+  oracle : Harness.Oracle.t;
+      (** same observables as the state-model runs; "rounds" are pulses *)
+  verdict : Harness.Oracle.verdict;
+}
+
+val create :
+  ?spec:Harness.Fault.spec ->
+  ?channel_garbage:int ->
+  ?loss:float ->
+  ?seed:int ->
+  Topology.Graph.t ->
+  Harness.Workload.t ->
+  t
+(** [channel_garbage] (default 0) random snapshot messages (random pulses,
+    random buffer contents) are planted in random channels; [spec]
+    (default pristine) corrupts the process states as in the state-model
+    runs; [loss] (default 0.) drops each sent snapshot with that
+    probability — timeout-driven retransmission (each process republishes
+    its current pulse's snapshot when its timer fires) keeps the barriers
+    completing. *)
+
+val run : ?max_deliveries:int -> t -> result
+(** Deliver channel messages under the fair random scheduler until every
+    buffer and outbox is empty (then verify SP), or the budget (default
+    2_000_000) runs out. *)

@@ -1,0 +1,83 @@
+(** Snap-stabilizing PIF (Propagation of Information with Feedback) on
+    tree networks — the protocol of Bui, Datta, Petit & Villain that
+    introduced snap-stabilization, cited by the paper as [2, 3] and the
+    conceptual ancestor of SSMFP's starting-action proof technique.
+
+    This is a companion protocol demonstrating that the [sim] substrate
+    (state model, daemons, rounds) is reusable across the
+    snap-stabilization family; it is exercised by its own exhaustive and
+    property-based tests.
+
+    Each processor of a rooted tree holds one phase variable:
+
+    - [B] (broadcast): the wave's message has reached this processor;
+    - [F] (feedback): this processor's whole subtree has been reached;
+    - [C] (clean): ready for the next wave.
+
+    Rules (root [r], non-root [p] with parent [par]):
+
+    - {b start} (the starting action): [r]: [request ∧ S_r = C ∧ all
+      children C → S_r := B];
+    - {b forward}: [p]: [S_p = C ∧ S_par = B ∧ all children C →
+      S_p := B] — a processor joins only from a clean subtree, which is
+      what makes arbitrary initial [B]/[F] garbage harmless: stray phases
+      first drain as phantom mini-waves that never touch the root's wave;
+    - {b feedback}: [S_p = B ∧ all children F → S_p := F] (vacuous for
+      leaves);
+    - {b clean}: [p]: [S_p = F ∧ S_par ≠ B → S_p := C];
+    - {b complete}: [r]: [S_r = B ∧ all children F → S_r := C].
+
+    Snap-stabilization (checked exhaustively over all [3^n] initial phase
+    vectors in the tests): once requested, the start executes in finite
+    time, and between a start and its completion *every* processor enters
+    [B] — the root's feedback never arrives before full coverage. *)
+
+type phase = B | F | C
+
+val phase_name : phase -> string
+
+type state = {
+  phase : phase;
+  request : bool;  (** meaningful at the root: a wave is wanted *)
+}
+
+type action = Start | Forward | Feedback | Clean | Complete
+
+type event =
+  | Started  (** root began a wave *)
+  | Received  (** this processor entered B during some wave *)
+  | Completed  (** root collected the feedback *)
+
+type tree = {
+  graph : Topology.Graph.t;
+  root : int;
+  parent : int array;  (** [parent.(root) = root] *)
+}
+
+val tree_of : Topology.Graph.t -> root:int -> tree
+(** Orient a tree network towards [root].
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val protocol : tree -> (state, action, event) Sim.Engine.protocol
+
+type wave_report = {
+  waves_completed : int;
+  coverage_ok : bool;
+      (** every processor entered B between each start and its completion *)
+  rounds : int;
+  steps : int;
+}
+
+val run_waves :
+  ?initial:(int -> phase) ->
+  ?max_steps:int ->
+  tree ->
+  waves:int ->
+  daemon:(action Sim.Engine.daemon) ->
+  wave_report
+(** Drive [waves] root requests to completion from the given initial
+    phases (default all-[C]); the report's [coverage_ok] is the PIF
+    specification verdict. *)
+
+val all_phase_vectors : int -> phase array list
+(** All [3^n] phase assignments (for exhaustive tests; keep [n] small). *)

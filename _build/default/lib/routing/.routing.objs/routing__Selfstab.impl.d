@@ -1,0 +1,1 @@
+lib/routing/selfstab.ml: Array Format List Prng Topology

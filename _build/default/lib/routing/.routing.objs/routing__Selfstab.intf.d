@@ -1,0 +1,1 @@
+lib/routing/selfstab.mli: Format Prng Topology

@@ -1,0 +1,1 @@
+lib/routing/table.ml: Array Format Hashtbl List Selfstab Topology

@@ -1,0 +1,128 @@
+type tie = Smallest_id | Largest_id
+
+type entry = { dist : int; via : int }
+type state = entry array
+
+let equal_entry a b = a.dist = b.dist && a.via = b.via
+
+let pp_entry fmt e = Format.fprintf fmt "{d=%d via=%d}" e.dist e.via
+
+(* The canonical tree for a tie-break: among the neighbors strictly
+   closer to d, the smallest or largest id. *)
+let canonical_via ?(tie = Smallest_id) g ~dist_to_d p =
+  let closer q = dist_to_d.(q) = dist_to_d.(p) - 1 in
+  match List.filter closer (Topology.Graph.neighbors g p) with
+  | [] -> invalid_arg "Selfstab.canonical_via: disconnected graph"
+  | q :: _ as qs -> (
+      match tie with
+      | Smallest_id -> q
+      | Largest_id -> List.fold_left max q qs)
+
+let init_correct ?(tie = Smallest_id) g p =
+  let n = Topology.Graph.n g in
+  let dist_to = Array.init n (fun d -> Topology.Metrics.bfs_distances g d) in
+  let dist_from = Topology.Metrics.bfs_distances g p in
+  Array.init n (fun d ->
+      if d = p then { dist = 0; via = p }
+      else { dist = dist_from.(d); via = canonical_via ~tie g ~dist_to_d:dist_to.(d) p })
+
+let init_random rng g p =
+  let n = Topology.Graph.n g in
+  let candidates = p :: Topology.Graph.neighbors g p in
+  Array.init n (fun _ ->
+      { dist = Prng.Splitmix.int rng (n + 1);
+        via = Prng.Splitmix.choose rng candidates })
+
+let init_worst g p =
+  let n = Topology.Graph.n g in
+  let largest_neighbor =
+    List.fold_left max 0 (Topology.Graph.neighbors g p)
+  in
+  Array.init n (fun _ -> { dist = 0; via = largest_neighbor })
+
+let target ?(tie = Smallest_id) g ~read ~p ~d =
+  if p = d then { dist = 0; via = p }
+  else begin
+    let n = Topology.Graph.n g in
+    (* Neighbors are visited in increasing id order; keeping the first
+       minimum gives the smallest-id tie-break, keeping the last gives the
+       largest-id one. *)
+    let best (bd, bv) q =
+      let qd = (read q).(d).dist in
+      let wins = match tie with Smallest_id -> qd < bd | Largest_id -> qd <= bd in
+      if wins then (qd, q) else (bd, bv)
+    in
+    let bd, bv =
+      List.fold_left best (max_int, -1) (Topology.Graph.neighbors g p)
+    in
+    if bd >= n then { dist = n; via = bv } else { dist = bd + 1; via = bv }
+  end
+
+let enabled_dests ?(tie = Smallest_id) g ~read ~p =
+  let table = read p in
+  let n = Topology.Graph.n g in
+  let rec loop d acc =
+    if d < 0 then acc
+    else
+      let acc =
+        if equal_entry table.(d) (target ~tie g ~read ~p ~d) then acc
+        else d :: acc
+      in
+      loop (d - 1) acc
+  in
+  loop (n - 1) []
+
+let apply ?(tie = Smallest_id) g ~read ~p ~d =
+  let table = Array.copy (read p) in
+  table.(d) <- target ~tie g ~read ~p ~d;
+  table
+
+let next_hop state ~d = state.(d).via
+
+let is_silent ?(tie = Smallest_id) g read =
+  let n = Topology.Graph.n g in
+  let rec loop p =
+    p >= n || (enabled_dests ~tie g ~read ~p = [] && loop (p + 1))
+  in
+  loop 0
+
+let is_correct ?(tie = Smallest_id) g read =
+  let n = Topology.Graph.n g in
+  let rec loop p =
+    p >= n
+    || (Array.for_all2 equal_entry (read p) (init_correct ~tie g p)
+       && loop (p + 1))
+  in
+  loop 0
+
+let stabilize ?(tie = Smallest_id) g read =
+  let n = Topology.Graph.n g in
+  let current = ref (Array.init n read) in
+  let rounds = ref 0 in
+  let continue = ref true in
+  (* Synchronous execution of A alone: every enabled (p, d) pair fires at
+     once. Bounded by O(n) rounds for min-hop distance vectors capped at n;
+     the 4n + 4 limit is a safety net against implementation bugs. *)
+  while !continue do
+    let read_now p = !current.(p) in
+    if is_silent ~tie g read_now then continue := false
+    else begin
+      incr rounds;
+      if !rounds > (4 * n) + 4 then
+        failwith "Selfstab.stabilize: did not reach silence (bug)";
+      let next =
+        Array.init n (fun p ->
+            match enabled_dests ~tie g ~read:read_now ~p with
+            | [] -> !current.(p)
+            | dests ->
+                let table = Array.copy !current.(p) in
+                List.iter
+                  (fun d -> table.(d) <- target ~tie g ~read:read_now ~p ~d)
+                  dests;
+                table)
+      in
+      current := next
+    end
+  done;
+  let final = !current in
+  (!rounds, fun p -> final.(p))

@@ -1,0 +1,1 @@
+lib/sim/compose.ml: Array Either Engine List

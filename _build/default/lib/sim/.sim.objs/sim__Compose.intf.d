@@ -1,0 +1,1 @@
+lib/sim/compose.mli: Either Engine Topology

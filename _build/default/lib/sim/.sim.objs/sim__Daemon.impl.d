@@ -1,0 +1,1 @@
+lib/sim/daemon.ml: Array Engine List Printf Prng

@@ -1,0 +1,67 @@
+type ('outer, 'inner) lens = {
+  get : 'outer -> 'inner;
+  set : 'outer -> 'inner -> 'outer;
+}
+
+let lift ~graph ~lens (proto : ('i, 'a, 'e) Engine.protocol) :
+    ('o, 'a, 'e) Engine.protocol =
+  let inner_net (net : 'o Engine.net) =
+    Engine.synthetic ~graph ~states:(Array.map lens.get net.Engine.states)
+  in
+  {
+    Engine.proto_name = proto.Engine.proto_name;
+    enabled = (fun net p -> proto.Engine.enabled (inner_net net) p);
+    apply =
+      (fun net p a ->
+        let inner', events = proto.Engine.apply (inner_net net) p a in
+        (lens.set net.Engine.states.(p) inner', events));
+    action_label = proto.Engine.action_label;
+  }
+
+let priority ~(high : ('s, 'a, 'e) Engine.protocol)
+    ~(low : ('s, 'b, 'f) Engine.protocol) :
+    ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol =
+  {
+    Engine.proto_name = high.Engine.proto_name ^ ">" ^ low.Engine.proto_name;
+    enabled =
+      (fun net p ->
+        match high.Engine.enabled net p with
+        | _ :: _ as actions -> List.map Either.left actions
+        | [] -> List.map Either.right (low.Engine.enabled net p));
+    apply =
+      (fun net p -> function
+        | Either.Left a ->
+            let s, events = high.Engine.apply net p a in
+            (s, List.map Either.left events)
+        | Either.Right b ->
+            let s, events = low.Engine.apply net p b in
+            (s, List.map Either.right events));
+    action_label =
+      (function
+      | Either.Left a -> high.Engine.action_label a
+      | Either.Right b -> low.Engine.action_label b);
+  }
+
+let interleave ~(first : ('s, 'a, 'e) Engine.protocol)
+    ~(second : ('s, 'b, 'f) Engine.protocol) :
+    ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol =
+  {
+    Engine.proto_name =
+      first.Engine.proto_name ^ "+" ^ second.Engine.proto_name;
+    enabled =
+      (fun net p ->
+        List.map Either.left (first.Engine.enabled net p)
+        @ List.map Either.right (second.Engine.enabled net p));
+    apply =
+      (fun net p -> function
+        | Either.Left a ->
+            let s, events = first.Engine.apply net p a in
+            (s, List.map Either.left events)
+        | Either.Right b ->
+            let s, events = second.Engine.apply net p b in
+            (s, List.map Either.right events));
+    action_label =
+      (function
+      | Either.Left a -> first.Engine.action_label a
+      | Either.Right b -> second.Engine.action_label b);
+  }

@@ -1,0 +1,48 @@
+(** Protocol composition combinators.
+
+    Self-stabilizing systems are routinely built by composing layers —
+    the paper composes SSMFP with the routing protocol [A] under strict
+    priority ("a processor which has enabled actions for both algorithms
+    always chooses the action of [A]"). These combinators express such
+    compositions generically over {!Engine.protocol} values:
+
+    - {!lift} embeds a protocol over a component of a larger state (via a
+      lens), so independently written layers can share a processor;
+    - {!priority} is the paper's composition: the high protocol's actions
+      mask the low one's wherever the high protocol is enabled;
+    - {!interleave} offers both protocols' actions side by side (fair
+      composition: the daemon arbitrates).
+
+    [Ssmfp.Protocol] hand-fuses its composition for efficiency; these
+    combinators are the reusable form, exercised by their own tests. *)
+
+type ('outer, 'inner) lens = {
+  get : 'outer -> 'inner;
+  set : 'outer -> 'inner -> 'outer;
+}
+(** A first-class field: [set] must be functional ([get (set o i) = i],
+    [o] not mutated). *)
+
+val lift :
+  graph:Topology.Graph.t ->
+  lens:('o, 'i) lens ->
+  ('i, 'a, 'e) Engine.protocol ->
+  ('o, 'a, 'e) Engine.protocol
+(** Run a protocol over the ['i] component of each processor's ['o]
+    state. Guards see every processor's component through the lens;
+    actions write back through it. *)
+
+val priority :
+  high:('s, 'a, 'e) Engine.protocol ->
+  low:('s, 'b, 'f) Engine.protocol ->
+  ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol
+(** Offer [high]'s actions alone wherever it is enabled; [low]'s actions
+    otherwise — strict local priority, the paper's §3.3 assumption. *)
+
+val interleave :
+  first:('s, 'a, 'e) Engine.protocol ->
+  second:('s, 'b, 'f) Engine.protocol ->
+  ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol
+(** Offer both protocols' enabled actions ([first]'s first); the daemon
+    chooses. Weakly fair daemons then execute both layers infinitely
+    often wherever both stay enabled. *)

@@ -1,0 +1,71 @@
+open Engine
+
+let first_action c =
+  match c.cand_actions with
+  | a :: _ -> (c.cand_pid, a)
+  | [] -> raise (Invalid_selection "candidate with no action")
+
+let synchronous () ~step:_ cands = List.map first_action cands
+
+let central_random rng ~step:_ cands =
+  [ first_action (Prng.Splitmix.choose rng cands) ]
+
+let distributed_random rng ~step:_ cands =
+  List.map first_action (Prng.Splitmix.nonempty_subset rng cands)
+
+let k_central rng ~k =
+  if k < 1 then invalid_arg "Daemon.k_central: k < 1";
+  fun ~step:_ cands ->
+    let arr = Array.of_list cands in
+    Prng.Splitmix.shuffle_in_place rng arr;
+    let take = max 1 (min k (Array.length arr)) in
+    List.map first_action (Array.to_list (Array.sub arr 0 take))
+
+let round_robin () =
+  let cursor = ref 0 in
+  fun ~step:_ cands ->
+    (* Pick the first enabled processor at or after the cursor, wrapping;
+       then advance the cursor past it. Weakly fair: a continuously enabled
+       processor is reached after at most n picks. *)
+    let at_or_after = List.filter (fun c -> c.cand_pid >= !cursor) cands in
+    let chosen =
+      match at_or_after with c :: _ -> c | [] -> List.hd cands
+    in
+    cursor := chosen.cand_pid + 1;
+    [ first_action chosen ]
+
+let adversarial_lowest () ~step:_ cands = [ first_action (List.hd cands) ]
+
+let random_action rng ~step:_ cands =
+  let pick c = (c.cand_pid, Prng.Splitmix.choose rng c.cand_actions) in
+  List.map pick (Prng.Splitmix.nonempty_subset rng cands)
+
+let find_labelled label actions l =
+  List.find_opt (fun a -> label a = l) actions
+
+let resolve ~label cands (pid, rule) =
+  match List.find_opt (fun c -> c.cand_pid = pid) cands with
+  | None ->
+      raise
+        (Invalid_selection
+           (Printf.sprintf "scripted: processor %d not enabled" pid))
+  | Some c -> (
+      match find_labelled label c.cand_actions rule with
+      | Some a -> (pid, a)
+      | None ->
+          raise
+            (Invalid_selection
+               (Printf.sprintf "scripted: rule %s not enabled at processor %d"
+                  rule pid)))
+
+let scripted_multi ~label script =
+  let remaining = ref script in
+  fun ~step:_ cands ->
+    match !remaining with
+    | [] -> raise (Invalid_selection "scripted: script exhausted")
+    | moves :: rest ->
+        remaining := rest;
+        List.map (resolve ~label cands) moves
+
+let scripted ~label script =
+  scripted_multi ~label (List.map (fun m -> [ m ]) script)

@@ -1,0 +1,66 @@
+(** Daemons (schedulers) of §2.1.
+
+    All daemons here are *distributed* in the paper's sense (they pick at
+    least one enabled processor per step); they differ in how many they
+    pick and in their fairness class:
+
+    - {!synchronous} and {!round_robin} are weakly fair (every continuously
+      enabled processor is eventually chosen) — the assumption under which
+      the paper proves liveness;
+    - {!central_random} and {!distributed_random} are strongly fair with
+      probability 1;
+    - {!adversarial_lowest} is unfair: it deterministically favours the
+      lowest-id enabled processor and can starve the others (used to
+      stress the protocol beyond the paper's assumptions);
+    - {!scripted} replays an explicit schedule (used to regenerate the
+      paper's Figure 3 execution step by step).
+
+    Daemons execute the *first* (highest-priority) offered action of a
+    chosen processor unless stated otherwise; together with the composed
+    protocol's action ordering this realizes the paper's assumption that
+    the routing protocol [A] has priority over SSMFP. *)
+
+val synchronous : unit -> 'a Engine.daemon
+(** Every enabled processor moves at every step (maximal concurrency).
+    One round = one step under this daemon. *)
+
+val central_random : Prng.Splitmix.t -> 'a Engine.daemon
+(** Exactly one uniformly random enabled processor moves per step. *)
+
+val distributed_random : Prng.Splitmix.t -> 'a Engine.daemon
+(** A uniformly random non-empty subset of the enabled processors moves
+    per step — the general distributed daemon. *)
+
+val k_central : Prng.Splitmix.t -> k:int -> 'a Engine.daemon
+(** At most [k] uniformly random enabled processors move per step (at
+    least one) — interpolates between the central ([k = 1]) and
+    synchronous ([k >= n]) daemons. @raise Invalid_argument if [k < 1]. *)
+
+val round_robin : unit -> 'a Engine.daemon
+(** Central daemon cycling over processor ids; the canonical weakly fair
+    scheduler. Stateful: create one per run. *)
+
+val adversarial_lowest : unit -> 'a Engine.daemon
+(** Central daemon that always picks the enabled processor with the lowest
+    id — unfair (it can starve high-id processors forever). *)
+
+val random_action : Prng.Splitmix.t -> 'a Engine.daemon
+(** Like {!distributed_random} but each chosen processor executes a
+    uniformly random offered action rather than its highest-priority one —
+    explores the full nondeterminism left by the protocol. *)
+
+val scripted : label:('a -> string) -> (int * string) list -> 'a Engine.daemon
+(** [scripted ~label moves] replays [moves]: at step [i] it selects the
+    [i]-th [(processor, rule-label)] pair, resolving the rule label against
+    the processor's offered actions with [label].
+    @raise Engine.Invalid_selection if the script is exhausted or does not
+    match an enabled action. *)
+
+val scripted_multi :
+  label:('a -> string) -> (int * string) list list -> 'a Engine.daemon
+(** Like {!scripted} but each step selects a *set* of (processor, label)
+    moves, exercising simultaneous execution. *)
+
+val find_labelled : ('a -> string) -> 'a list -> string -> 'a option
+(** [find_labelled label actions l] is the first action of [actions]
+    carrying label [l]. Exposed for tests and custom daemons. *)

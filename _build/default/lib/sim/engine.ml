@@ -1,0 +1,198 @@
+type 's net = { graph : Topology.Graph.t; states : 's array }
+
+type ('s, 'a, 'e) protocol = {
+  proto_name : string;
+  enabled : 's net -> int -> 'a list;
+  apply : 's net -> int -> 'a -> 's * 'e list;
+  action_label : 'a -> string;
+}
+
+type 'a candidate = { cand_pid : int; cand_actions : 'a list }
+
+type 'a daemon = step:int -> 'a candidate list -> (int * 'a) list
+
+exception Invalid_selection of string
+
+type stats = {
+  steps : int;
+  rounds : int;
+  moves : int;
+  moves_by_rule : (string * int) list;
+}
+
+type ('s, 'a, 'e) t = {
+  protocol : ('s, 'a, 'e) protocol;
+  network : 's net;
+  mutable steps : int;
+  mutable rounds : int;
+  mutable moves : int;
+  rule_moves : (string, int) Hashtbl.t;
+  (* Processors enabled at the start of the current round that have neither
+     executed nor been neutralized yet. The round completes when this
+     becomes empty. [round_open] distinguishes a completed round from a
+     frontier that was empty to begin with (terminal configurations). *)
+  pending : bool array;
+  mutable pending_count : int;
+  mutable round_open : bool;
+}
+
+let enabled_pids t =
+  let n = Topology.Graph.n t.network.graph in
+  let rec loop p acc =
+    if p < 0 then acc
+    else
+      let acc =
+        match t.protocol.enabled t.network p with
+        | [] -> acc
+        | actions -> { cand_pid = p; cand_actions = actions } :: acc
+      in
+      loop (p - 1) acc
+  in
+  loop (n - 1) []
+
+let reset_round_frontier t cands =
+  Array.fill t.pending 0 (Array.length t.pending) false;
+  t.pending_count <- 0;
+  List.iter
+    (fun c ->
+      t.pending.(c.cand_pid) <- true;
+      t.pending_count <- t.pending_count + 1)
+    cands
+
+let synthetic ~graph ~states =
+  if Array.length states <> Topology.Graph.n graph then
+    invalid_arg "Engine.synthetic: states length <> graph size";
+  { graph; states }
+
+let make ~graph ~protocol ~init =
+  let n = Topology.Graph.n graph in
+  let network = { graph; states = Array.init n init } in
+  let t =
+    {
+      protocol;
+      network;
+      steps = 0;
+      rounds = 0;
+      moves = 0;
+      rule_moves = Hashtbl.create 16;
+      pending = Array.make n false;
+      pending_count = 0;
+      round_open = false;
+    }
+  in
+  reset_round_frontier t (enabled_pids t);
+  t.round_open <- t.pending_count > 0;
+  t
+
+let net t = t.network
+let graph t = t.network.graph
+let state t p = t.network.states.(p)
+
+let clear_pending t p =
+  if t.pending.(p) then begin
+    t.pending.(p) <- false;
+    t.pending_count <- t.pending_count - 1
+  end
+
+let refresh_round t cands =
+  (* Neutralization: a pending processor that is no longer enabled leaves
+     the frontier without executing. *)
+  let enabled_now = Array.make (Array.length t.pending) false in
+  List.iter (fun c -> enabled_now.(c.cand_pid) <- true) cands;
+  Array.iteri
+    (fun p was_pending ->
+      if was_pending && not enabled_now.(p) then clear_pending t p)
+    t.pending;
+  if t.pending_count = 0 then begin
+    if t.round_open then t.rounds <- t.rounds + 1;
+    reset_round_frontier t cands;
+    t.round_open <- cands <> []
+  end
+
+let set_state t p s =
+  t.network.states.(p) <- s;
+  (* External writes can enable or disable guards; keep the round frontier
+     honest by re-checking neutralization. *)
+  refresh_round t (enabled_pids t)
+
+let candidates t = enabled_pids t
+
+let is_terminal t = enabled_pids t = []
+
+let check_selection cands selection =
+  if selection = [] then
+    raise (Invalid_selection "daemon returned an empty selection");
+  let offered = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace offered c.cand_pid c.cand_actions) cands;
+  let seen = Hashtbl.create 16 in
+  let check (p, a) =
+    if Hashtbl.mem seen p then
+      raise (Invalid_selection (Printf.sprintf "processor %d selected twice" p));
+    Hashtbl.replace seen p ();
+    match Hashtbl.find_opt offered p with
+    | None ->
+        raise
+          (Invalid_selection (Printf.sprintf "processor %d is not enabled" p))
+    | Some actions ->
+        if not (List.memq a actions) then
+          raise
+            (Invalid_selection
+               (Printf.sprintf "action not offered by processor %d" p))
+  in
+  List.iter check selection
+
+let step t daemon =
+  match enabled_pids t with
+  | [] -> None
+  | cands ->
+      let selection = daemon ~step:t.steps cands in
+      check_selection cands selection;
+      (* Composite atomicity: evaluate every chosen action against the
+         pre-step configuration, then commit all writes at once. *)
+      let updates =
+        List.map
+          (fun (p, a) ->
+            let s', events = t.protocol.apply t.network p a in
+            (p, a, s', events))
+          selection
+      in
+      let events =
+        List.concat_map
+          (fun (p, a, s', events) ->
+            t.network.states.(p) <- s';
+            t.moves <- t.moves + 1;
+            let label = t.protocol.action_label a in
+            Hashtbl.replace t.rule_moves label
+              (1 + Option.value ~default:0 (Hashtbl.find_opt t.rule_moves label));
+            clear_pending t p;
+            List.map (fun e -> (p, e)) events)
+          updates
+      in
+      t.steps <- t.steps + 1;
+      refresh_round t (enabled_pids t);
+      Some events
+
+let stats t =
+  {
+    steps = t.steps;
+    rounds = t.rounds;
+    moves = t.moves;
+    moves_by_rule =
+      List.sort compare (List.of_seq (Hashtbl.to_seq t.rule_moves));
+  }
+
+let run ?(max_steps = 1_000_000) ?stop ?before_step ?on_events t daemon =
+  let stop_now () = match stop with Some f -> f t | None -> false in
+  let rec loop remaining =
+    if remaining = 0 then `Max_steps
+    else if stop_now () then `Stopped
+    else begin
+      Option.iter (fun f -> f t) before_step;
+      match step t daemon with
+      | None -> `Terminal
+      | Some events ->
+          Option.iter (fun f -> f ~step:(t.steps - 1) events) on_events;
+          loop (remaining - 1)
+    end
+  in
+  loop max_steps

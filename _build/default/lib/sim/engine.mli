@@ -1,0 +1,107 @@
+(** Execution engine for the locally shared memory state model (§2.1).
+
+    A protocol is a set of guarded actions per processor; a configuration is
+    the vector of all processor states. One step is composite-atomic: the
+    daemon chooses a non-empty subset of the enabled processors, every
+    chosen processor executes one of its enabled actions, and all actions
+    read the *pre-step* configuration while writing only their own
+    processor's state — the writes commit simultaneously.
+
+    The engine also implements the round measure of Dolev–Israeli–Moran as
+    modified by Bui et al.: a round ends once every processor that was
+    enabled at the round's start has either executed an action or been
+    neutralized (became disabled without executing). *)
+
+type 's net = private {
+  graph : Topology.Graph.t;
+  states : 's array;  (** [states.(p)] is the local state of processor [p]. *)
+}
+(** A configuration. Read-only views of it are passed to guards. *)
+
+type ('s, 'a, 'e) protocol = {
+  proto_name : string;
+  enabled : 's net -> int -> 'a list;
+      (** [enabled net p] lists the actions of [p] whose guards hold in
+          [net], ordered by decreasing priority. The head is what a
+          priority-respecting daemon executes. *)
+  apply : 's net -> int -> 'a -> 's * 'e list;
+      (** [apply net p a] returns [p]'s next state and the observable
+          events the action emits. It must not mutate [net]. *)
+  action_label : 'a -> string;
+      (** Stable name of the rule an action instantiates (e.g. ["R3"]),
+          used for per-rule move counts and scripted daemons. *)
+}
+
+type 'a candidate = { cand_pid : int; cand_actions : 'a list }
+(** An enabled processor offered to the daemon, with its enabled actions in
+    priority order (never empty). *)
+
+type 'a daemon = step:int -> 'a candidate list -> (int * 'a) list
+(** A daemon maps the enabled candidates of a step to the chosen
+    [(processor, action)] pairs. It must return a non-empty selection of
+    distinct processors, each with one of its offered actions (checked by
+    the engine). *)
+
+exception Invalid_selection of string
+(** Raised when a daemon violates the rules above. *)
+
+type ('s, 'a, 'e) t
+(** A running system: protocol + current configuration + counters. *)
+
+type stats = {
+  steps : int;  (** daemon steps executed so far *)
+  rounds : int;  (** completed rounds *)
+  moves : int;  (** total actions executed *)
+  moves_by_rule : (string * int) list;  (** per-rule move counts, sorted *)
+}
+
+val synthetic : graph:Topology.Graph.t -> states:'s array -> 's net
+(** Build a configuration value outside a running engine — used by the
+    model checker (to evaluate guards over enumerated configurations), the
+    message-passing port (to evaluate guards over mirrored neighbor
+    states) and tests. The array is aliased, not copied.
+    @raise Invalid_argument if the array length differs from the graph's
+    vertex count. *)
+
+val make : graph:Topology.Graph.t -> protocol:('s, 'a, 'e) protocol -> init:(int -> 's) -> ('s, 'a, 'e) t
+(** Build a system in the initial configuration [init]. Snap-stabilization
+    means [init] is arbitrary; nothing is assumed about it. *)
+
+val net : ('s, 'a, 'e) t -> 's net
+(** Current configuration. The returned states array must not be mutated. *)
+
+val graph : ('s, 'a, 'e) t -> Topology.Graph.t
+
+val state : ('s, 'a, 'e) t -> int -> 's
+(** [state t p] is processor [p]'s current local state. *)
+
+val set_state : ('s, 'a, 'e) t -> int -> 's -> unit
+(** [set_state t p s] overwrites [p]'s state *outside* protocol execution.
+    This models the higher layer's writes to its Input/Output shared
+    variables (e.g. raising [request_p]) and the fault injector. *)
+
+val candidates : ('s, 'a, 'e) t -> 'a candidate list
+(** Enabled processors in the current configuration (ascending pid). *)
+
+val is_terminal : ('s, 'a, 'e) t -> bool
+(** No processor is enabled. *)
+
+val step : ('s, 'a, 'e) t -> 'a daemon -> (int * 'e) list option
+(** Execute one step under the daemon. [None] if the configuration is
+    terminal; otherwise the list of [(pid, event)] emissions of the step.
+    @raise Invalid_selection if the daemon misbehaves. *)
+
+val stats : ('s, 'a, 'e) t -> stats
+
+val run :
+  ?max_steps:int ->
+  ?stop:(('s, 'a, 'e) t -> bool) ->
+  ?before_step:(('s, 'a, 'e) t -> unit) ->
+  ?on_events:(step:int -> (int * 'e) list -> unit) ->
+  ('s, 'a, 'e) t ->
+  'a daemon ->
+  [ `Terminal | `Stopped | `Max_steps ]
+(** Drive the system until it is terminal, [stop] holds (checked before
+    each step), or [max_steps] (default 1_000_000) steps have run.
+    [before_step] runs before each step — the hook where the higher layer
+    raises request flags. *)

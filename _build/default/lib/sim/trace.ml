@@ -1,0 +1,50 @@
+type move = { pid : int; rule : string }
+
+type 'snapshot entry = { step : int; moves : move list; after : 'snapshot }
+
+type 'snapshot t = {
+  mutable recorded : 'snapshot entry list; (* reverse order *)
+  mutable pending : (int * move list) option;
+      (* moves of the last step whose post-configuration has not been
+         snapshotted yet *)
+}
+
+let create () = { recorded = []; pending = None }
+
+let record t ~step ~moves ~after =
+  t.recorded <- { step; moves; after } :: t.recorded
+
+let entries t = List.rev t.recorded
+
+let length t = List.length t.recorded
+
+let settle t ~snapshot =
+  match t.pending with
+  | None -> ()
+  | Some (step, moves) ->
+      record t ~step ~moves ~after:(snapshot ());
+      t.pending <- None
+
+let wrap_daemon t ~snapshot ~label daemon ~step cands =
+  (* The daemon runs before the engine commits the step's writes, so the
+     previous step's post-configuration is exactly the current one. *)
+  settle t ~snapshot;
+  let selection = daemon ~step cands in
+  let moves = List.map (fun (pid, a) -> { pid; rule = label a }) selection in
+  t.pending <- Some (step, moves);
+  selection
+
+let flush t ~snapshot = settle t ~snapshot
+
+let pp ~pp_snapshot fmt t =
+  let entry e =
+    let moves =
+      String.concat ", "
+        (List.map (fun m -> Printf.sprintf "p%d:%s" m.pid m.rule) e.moves)
+    in
+    Format.fprintf fmt "@[<v 2>step %d [%s]:@,%a@]@," e.step moves pp_snapshot
+      e.after
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter entry (entries t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** Execution traces.
+
+    A trace records, per step, the moves the daemon chose and an optional
+    rendering of the configuration after the step. Traces are how the
+    repository regenerates the paper's Figure 3 (a 13-configuration
+    execution) and how failing property-based tests are reported. *)
+
+type move = { pid : int; rule : string }
+
+type 'snapshot entry = {
+  step : int;
+  moves : move list;
+  after : 'snapshot;  (** configuration rendered after the step *)
+}
+
+type 'snapshot t
+
+val create : unit -> 'snapshot t
+
+val record : 'snapshot t -> step:int -> moves:move list -> after:'snapshot -> unit
+
+val entries : 'snapshot t -> 'snapshot entry list
+(** In execution order. *)
+
+val length : 'snapshot t -> int
+
+val wrap_daemon :
+  'snapshot t ->
+  snapshot:(unit -> 'snapshot) ->
+  label:('a -> string) ->
+  'a Engine.daemon ->
+  'a Engine.daemon
+(** [wrap_daemon t ~snapshot ~label d] behaves as [d] and records every
+    selection. [snapshot] is called *after* the engine commits, which the
+    engine guarantees by invoking daemons before applying actions; the
+    snapshot is therefore taken lazily at the next call or via {!flush}. *)
+
+val flush : 'snapshot t -> snapshot:(unit -> 'snapshot) -> unit
+(** Record the pending (last) step's snapshot, if any. Call once after the
+    run completes. *)
+
+val pp :
+  pp_snapshot:(Format.formatter -> 'snapshot -> unit) ->
+  Format.formatter ->
+  'snapshot t ->
+  unit

@@ -1,0 +1,1 @@
+lib/topology/builders.ml: Graph Hashtbl List Prng Seq

@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Buffer Char Graph List Printf String

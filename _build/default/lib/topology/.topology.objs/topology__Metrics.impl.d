@@ -1,0 +1,1 @@
+lib/topology/metrics.ml: Array Graph Hashtbl List Option Queue

@@ -1,0 +1,171 @@
+let ring n =
+  if n < 3 then invalid_arg "Builders.ring: n < 3";
+  Graph.create ~n ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  if n < 1 then invalid_arg "Builders.path: n < 1";
+  Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 2 then invalid_arg "Builders.star: n < 2";
+  Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  if n < 1 then invalid_arg "Builders.complete: n < 1";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let binary_tree n =
+  if n < 1 then invalid_arg "Builders.binary_tree: n < 1";
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := (i, (i - 1) / 2) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let full_k_ary_tree ~k ~depth =
+  if k < 1 || depth < 0 then invalid_arg "Builders.full_k_ary_tree";
+  (* Number vertices level by level; vertex 0 is the root. *)
+  let count_at_depth =
+    let rec sizes d acc total =
+      if d > depth then (List.rev acc, total)
+      else
+        let sz = if k = 1 then 1 else int_of_float (float_of_int k ** float_of_int d +. 0.5) in
+        sizes (d + 1) (sz :: acc) (total + sz)
+    in
+    sizes 0 [] 0
+  in
+  let _, n = count_at_depth in
+  let edges = ref [] in
+  (* parent of vertex v > 0 in level order of a full k-ary tree *)
+  for v = 1 to n - 1 do
+    edges := (v, (v - 1) / k) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) ~edges:!edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Builders.torus: needs rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) ~edges:!edges
+
+let hypercube d =
+  if d < 1 then invalid_arg "Builders.hypercube: d < 1";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let u = v lxor (1 lsl bit) in
+      if u > v then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let caterpillar_tree ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Builders.caterpillar_tree";
+  let n = spine * (1 + legs) in
+  let edges = ref [] in
+  for s = 1 to spine - 1 do
+    edges := (s - 1, s) :: !edges
+  done;
+  let leaf = ref spine in
+  for s = 0 to spine - 1 do
+    for _ = 1 to legs do
+      edges := (s, !leaf) :: !edges;
+      incr leaf
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let lollipop ~clique ~tail =
+  if clique < 1 || tail < 0 then invalid_arg "Builders.lollipop";
+  let n = clique + tail in
+  let edges = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then 0 else clique + i - 1 in
+    edges := (prev, clique + i) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let random_tree rng ~n =
+  if n < 1 then invalid_arg "Builders.random_tree: n < 1";
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, Prng.Splitmix.int rng v) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let random_connected rng ~n ~extra_edges =
+  if n < 1 then invalid_arg "Builders.random_connected: n < 1";
+  let tree = random_tree rng ~n in
+  let have = Hashtbl.create 64 in
+  let norm u v = if u < v then (u, v) else (v, u) in
+  List.iter (fun e -> Hashtbl.replace have e ()) (Graph.edges tree);
+  let max_extra = (n * (n - 1) / 2) - (n - 1) in
+  let wanted = min extra_edges max_extra in
+  let added = ref 0 in
+  while !added < wanted do
+    let u = Prng.Splitmix.int rng n and v = Prng.Splitmix.int rng n in
+    if u <> v && not (Hashtbl.mem have (norm u v)) then begin
+      Hashtbl.replace have (norm u v) ();
+      incr added
+    end
+  done;
+  Graph.create ~n ~edges:(List.of_seq (Seq.map fst (Hashtbl.to_seq have)))
+
+let random_regularish rng ~n ~degree =
+  if n < 3 then invalid_arg "Builders.random_regularish: n < 3";
+  if degree < 2 then invalid_arg "Builders.random_regularish: degree < 2";
+  let have = Hashtbl.create 64 in
+  let norm u v = if u < v then (u, v) else (v, u) in
+  List.iter
+    (fun i -> Hashtbl.replace have (norm i ((i + 1) mod n)) ())
+    (List.init n (fun i -> i));
+  let target = n * degree / 2 in
+  let max_edges = n * (n - 1) / 2 in
+  let target = min target max_edges in
+  let attempts = ref 0 in
+  while Hashtbl.length have < target && !attempts < 100 * target do
+    incr attempts;
+    let u = Prng.Splitmix.int rng n and v = Prng.Splitmix.int rng n in
+    if u <> v then Hashtbl.replace have (norm u v) ()
+  done;
+  Graph.create ~n ~edges:(List.of_seq (Seq.map fst (Hashtbl.to_seq have)))
+
+(* The paper's figures are drawings we reconstruct from the text: Figure 1
+   needs a 5-processor network routed by a tree per destination; Figures 2-3
+   need a 4-processor network with Δ = 3 in which a and c are mutually
+   reachable by two paths (the corrupted tables of Figure 3 form a cycle on
+   the buffers of a and c). Vertices are lettered a=0, b=1, c=2, d=3, e=4. *)
+let paper_figure1 =
+  Graph.create ~n:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (0, 2) ]
+
+let paper_figure2 = Graph.create ~n:4 ~edges:[ (0, 1); (0, 2); (1, 2); (0, 3) ]

@@ -1,0 +1,67 @@
+(** Standard network families used by the experiments.
+
+    Every builder returns a connected graph; the families are chosen to
+    sweep the parameters that drive the paper's complexity bounds — the
+    diameter [D] (rings, paths), the maximal degree [Δ] (stars, complete
+    graphs), and both at once (trees, grids, hypercubes, random graphs). *)
+
+val ring : int -> Graph.t
+(** Cycle on [n >= 3] vertices: Δ = 2, D = ⌊n/2⌋. *)
+
+val path : int -> Graph.t
+(** Line on [n >= 1] vertices: D = n - 1. *)
+
+val star : int -> Graph.t
+(** Vertex 0 joined to all others ([n >= 2]): Δ = n - 1, D = 2. *)
+
+val complete : int -> Graph.t
+(** Clique on [n >= 1] vertices: D = 1. *)
+
+val binary_tree : int -> Graph.t
+(** Complete-shape binary tree on [n >= 1] vertices (heap numbering:
+    children of [i] are [2i+1], [2i+2]). *)
+
+val full_k_ary_tree : k:int -> depth:int -> Graph.t
+(** Full [k]-ary tree of the given [depth] ([depth >= 0], [k >= 1]); depth 0
+    is a single vertex. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** [rows × cols] mesh ([rows, cols >= 1]); vertex [(r, c)] is numbered
+    [r * cols + c]. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** Wrap-around mesh; needs [rows, cols >= 3] to stay a simple graph
+    (single vertices/rows degenerate to multi-edges otherwise). *)
+
+val hypercube : int -> Graph.t
+(** [d]-dimensional hypercube, [2^d] vertices ([d >= 1]): Δ = D = d. *)
+
+val caterpillar_tree : spine:int -> legs:int -> Graph.t
+(** Path of [spine >= 1] vertices, each with [legs >= 0] pendant leaves —
+    high-Δ, high-D trees for stress tests. *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** Clique of size [clique >= 1] with a pendant path of [tail >= 0]
+    vertices attached to vertex 0. *)
+
+val random_connected : Prng.Splitmix.t -> n:int -> extra_edges:int -> Graph.t
+(** Uniform random spanning tree (random Prüfer-like attachment) plus
+    [extra_edges] distinct random chords. Always connected. *)
+
+val random_tree : Prng.Splitmix.t -> n:int -> Graph.t
+(** Random tree: each vertex [i > 0] attaches to a uniform earlier vertex. *)
+
+val random_regularish : Prng.Splitmix.t -> n:int -> degree:int -> Graph.t
+(** Connected graph whose degrees approach [degree]: a ring plus random
+    chords until the average degree reaches [degree] (or saturation). *)
+
+val paper_figure1 : Graph.t
+(** The 5-processor network of the paper's Figure 1 (a path a–b–c–d–e with
+    the chord a–c): used to regenerate the destination-based buffer graph. *)
+
+val paper_figure2 : Graph.t
+(** The 4-processor network of Figures 2 and 3, reconstructed from the
+    execution narrative: vertices a=0, b=1, c=2, d=3 with edges a–b, a–c,
+    b–c, a–d (so Δ = 3, [b ∈ N_c] — required for color 0 to be forbidden
+    at [c] in configuration (2) — and [a, c] adjacent, carrying the
+    corrupted-table cycle). *)

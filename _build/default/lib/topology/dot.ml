@@ -1,0 +1,40 @@
+let default_letter i =
+  if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+  else Printf.sprintf "p%d" i
+
+let escape s =
+  String.concat "" (List.map (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let of_graph ?(name = "network") ?labels g =
+  let label v =
+    match labels with Some f -> f v | None -> string_of_int v
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Graph.iter_vertices
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape (label v))))
+    g;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_digraph ?(name = "bg") ~nodes ~edges () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun (id, label) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\"];\n" (escape id) (escape label)))
+    nodes;
+  List.iter
+    (fun (src, dst) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (escape src) (escape dst)))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

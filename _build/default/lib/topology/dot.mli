@@ -1,0 +1,18 @@
+(** Graphviz DOT export, used to regenerate the paper's figures as
+    machine-readable artifacts (network drawings and buffer graphs). *)
+
+val of_graph : ?name:string -> ?labels:(int -> string) -> Graph.t -> string
+(** Undirected DOT source for a network. [labels] overrides the default
+    numeric vertex labels (the paper letters its processors a, b, c, ...). *)
+
+val of_digraph :
+  ?name:string ->
+  nodes:(string * string) list ->
+  edges:(string * string) list ->
+  unit ->
+  string
+(** Directed DOT source from explicit node (id, label) and edge lists; used
+    for buffer graphs, whose vertices are buffers rather than processors. *)
+
+val default_letter : int -> string
+(** [default_letter 0 = "a"], ... — the paper's vertex naming. *)

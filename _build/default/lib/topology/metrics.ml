@@ -1,0 +1,75 @@
+let bfs_distances g src =
+  let n = Graph.n g in
+  if not (Graph.mem_vertex g src) then invalid_arg "Metrics.bfs_distances";
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let relax v =
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    in
+    List.iter relax (Graph.neighbors g u)
+  done;
+  dist
+
+let dist g u v = (bfs_distances g u).(v)
+
+let all_pairs_distances g = Array.init (Graph.n g) (fun u -> bfs_distances g u)
+
+let eccentricity g v =
+  Array.fold_left max 0 (bfs_distances g v)
+
+let diameter g =
+  Graph.fold_vertices (fun v acc -> max acc (eccentricity g v)) g 0
+
+let radius g =
+  Graph.fold_vertices (fun v acc -> min acc (eccentricity g v)) g max_int
+
+let average_distance g =
+  let n = Graph.n g in
+  if n <= 1 then 0.
+  else begin
+    let total = ref 0 in
+    Graph.iter_vertices
+      (fun u ->
+        let d = bfs_distances g u in
+        Array.iter (fun x -> total := !total + x) d)
+      g;
+    float_of_int !total /. float_of_int (n * (n - 1))
+  end
+
+(* Canonical next hop from p towards d: the smallest-id neighbor strictly
+   closer to d. This is the same tie-break as the self-stabilizing routing
+   protocol, so oracle tables and stabilized tables agree exactly. *)
+let shortest_path_tree g d =
+  let dist_to_d = bfs_distances g d in
+  let next p =
+    if p = d then d
+    else
+      let closer q = dist_to_d.(q) = dist_to_d.(p) - 1 in
+      match List.filter closer (Graph.neighbors g p) with
+      | [] -> invalid_arg "Metrics.shortest_path_tree: disconnected graph"
+      | q :: _ -> q (* neighbors are sorted, head is the smallest id *)
+  in
+  Array.init (Graph.n g) next
+
+let shortest_path g u v =
+  let tree = shortest_path_tree g v in
+  let rec walk p acc =
+    if p = v then List.rev (v :: acc) else walk tree.(p) (p :: acc)
+  in
+  walk u []
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  Graph.iter_vertices
+    (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    g;
+  List.sort compare (List.of_seq (Hashtbl.to_seq tbl))

@@ -1,0 +1,41 @@
+(** Distance metrics on networks.
+
+    The paper's bounds are phrased in terms of [n], [Δ] (max degree) and
+    [D] (diameter); every experiment reports these alongside its
+    measurements, so they are computed here once per topology. *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable vertices (impossible on connected graphs) get [max_int]. *)
+
+val dist : Graph.t -> int -> int -> int
+(** [dist g u v] is the length of a shortest path, per the paper's
+    [dist(p, q)]. *)
+
+val all_pairs_distances : Graph.t -> int array array
+(** [all_pairs_distances g] runs one BFS per vertex; [(res.(u)).(v)] is
+    [dist g u v]. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Maximum distance from the vertex to any other. *)
+
+val diameter : Graph.t -> int
+(** [D], the maximum eccentricity. *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity. *)
+
+val average_distance : Graph.t -> float
+(** Mean of [dist u v] over ordered pairs [u <> v]; [0.] when [n = 1]. *)
+
+val shortest_path : Graph.t -> int -> int -> int list
+(** [shortest_path g u v] is one shortest path [u; ...; v] (smallest-id
+    tie-break, matching the canonical routing trees). *)
+
+val shortest_path_tree : Graph.t -> int -> int array
+(** [shortest_path_tree g d] is the canonical tree [T_d] oriented towards
+    [d]: entry [p] is the next hop from [p] to [d] (the smallest-id
+    neighbor strictly closer to [d]), and entry [d] is [d] itself. *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, how many vertices)] pairs, sorted by degree. *)

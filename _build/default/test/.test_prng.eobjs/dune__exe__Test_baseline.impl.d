@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Harness List Printf Prng QCheck QCheck_alcotest Ssmfp Topology

@@ -1,0 +1,1 @@
+test/test_buffer_graph.ml: Alcotest Array List Prng QCheck QCheck_alcotest Routing Ssmfp Test_util Topology

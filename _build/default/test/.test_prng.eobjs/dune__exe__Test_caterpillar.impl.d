@@ -1,0 +1,1 @@
+test/test_caterpillar.ml: Alcotest Array Harness List Prng QCheck QCheck_alcotest Sim Ssmfp Test_util Topology

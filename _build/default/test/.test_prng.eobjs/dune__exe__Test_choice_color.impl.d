@@ -1,0 +1,1 @@
+test/test_choice_color.ml: Alcotest List QCheck QCheck_alcotest Ssmfp Topology

@@ -1,0 +1,1 @@
+test/test_end_to_end.ml: Alcotest Array Gen Harness List Printf Prng QCheck QCheck_alcotest Routing Sim Ssmfp String Test_util Topology

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array List Prng QCheck QCheck_alcotest Sim Topology

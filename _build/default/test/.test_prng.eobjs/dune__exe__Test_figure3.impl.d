@@ -1,0 +1,1 @@
+test/test_figure3.ml: Alcotest Array Format Lazy List Sim Ssmfp Test_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Printf Prng QCheck QCheck_alcotest Test_util Topology

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Float Format Harness List Printf Prng Result Ssmfp String Test_util Topology

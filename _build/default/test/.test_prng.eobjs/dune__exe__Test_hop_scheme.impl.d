@@ -1,0 +1,1 @@
+test/test_hop_scheme.ml: Alcotest Array Baseline Harness List Prng QCheck QCheck_alcotest Routing Ssmfp Topology

@@ -1,0 +1,1 @@
+test/test_hop_scheme.mli:

@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Format Harness List Prng QCheck QCheck_alcotest Sim Ssmfp Test_util Topology

@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Harness Mp Prng QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_pif.ml: Alcotest Array Fun List Mc Pif Printf Prng QCheck QCheck_alcotest Sim String Topology

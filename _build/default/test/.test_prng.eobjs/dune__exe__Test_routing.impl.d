@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Harness List Printf Prng QCheck QCheck_alcotest Routing Sim Ssmfp Topology

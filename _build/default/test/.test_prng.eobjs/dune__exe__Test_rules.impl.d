@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array List Routing Sim Ssmfp Test_util Topology

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Format List Sim String Test_util Topology

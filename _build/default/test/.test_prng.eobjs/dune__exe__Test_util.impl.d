@@ -1,0 +1,1 @@
+test/test_util.ml: Array List Sim Ssmfp String Topology

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Harness List Ssmfp String Test_util Topology

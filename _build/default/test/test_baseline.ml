@@ -1,0 +1,120 @@
+(* Tests for the fault-free destination-based baseline. *)
+
+let deliver_all g sends =
+  let t = Baseline.Forwarding.create g in
+  List.iter (fun (src, dest, info) -> Baseline.Forwarding.send t ~src ~dest info) sends;
+  match Baseline.Forwarding.run_to_quiescence t with
+  | `Quiescent -> Baseline.Forwarding.stats t
+  | `Max_rounds -> Alcotest.fail "baseline did not quiesce"
+
+let test_single_message () =
+  let g = Topology.Builders.path 4 in
+  let s = deliver_all g [ (0, 3, "hello") ] in
+  Alcotest.(check int) "one delivery" 1 (List.length s.Baseline.Forwarding.delivered);
+  let round, m = List.hd s.Baseline.Forwarding.delivered in
+  Alcotest.(check string) "payload" "hello" m.Baseline.Forwarding.info;
+  (* distance 3: generation + 3 forwards + consumption, receiver-driven
+     synchronous rounds *)
+  Alcotest.(check bool) "took >= distance rounds" true (round >= 3)
+
+let test_all_delivered_exactly_once () =
+  let g = Topology.Builders.ring 6 in
+  let sends =
+    List.concat_map
+      (fun src -> List.map (fun dest -> (src, dest, Printf.sprintf "%d>%d" src dest))
+          (List.filter (fun d -> d <> src) [ 0; 2; 4 ]))
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let s = deliver_all g sends in
+  Alcotest.(check int) "count" (List.length sends)
+    (List.length s.Baseline.Forwarding.delivered);
+  let gids =
+    List.map
+      (fun (_, m) -> m.Baseline.Forwarding.ghost.Ssmfp.Message.gid)
+      s.Baseline.Forwarding.delivered
+  in
+  Alcotest.(check int) "no duplicates" (List.length gids)
+    (List.length (List.sort_uniq compare gids))
+
+let test_identical_payloads_not_merged () =
+  let g = Topology.Builders.path 3 in
+  let s = deliver_all g [ (0, 2, "same"); (0, 2, "same"); (0, 2, "same") ] in
+  Alcotest.(check int) "three deliveries despite equal payloads" 3
+    (List.length s.Baseline.Forwarding.delivered);
+  (* sequence numbers distinguish them *)
+  let seqs =
+    List.sort compare
+      (List.map (fun (_, m) -> m.Baseline.Forwarding.seq) s.Baseline.Forwarding.delivered)
+  in
+  Alcotest.(check (list int)) "seqs" [ 0; 1; 2 ] seqs
+
+let test_fifo_per_source_destination () =
+  let g = Topology.Builders.path 3 in
+  let s = deliver_all g [ (0, 2, "first"); (0, 2, "second") ] in
+  let infos = List.map (fun (_, m) -> m.Baseline.Forwarding.info)
+      s.Baseline.Forwarding.delivered in
+  Alcotest.(check (list string)) "in order" [ "first"; "second" ] infos
+
+let test_contention_fairness () =
+  (* all leaves of a star flood the hub; the rotating queue serves all *)
+  let g = Topology.Builders.star 5 in
+  let sends =
+    List.concat_map (fun src -> List.init 4 (fun i -> (src, 0, Printf.sprintf "%d-%d" src i)))
+      [ 1; 2; 3; 4 ]
+  in
+  let s = deliver_all g sends in
+  Alcotest.(check int) "all delivered" 16 (List.length s.Baseline.Forwarding.delivered)
+
+let test_quiescence_flag () =
+  let g = Topology.Builders.path 2 in
+  let t = Baseline.Forwarding.create g in
+  Alcotest.(check bool) "initially quiescent" true (Baseline.Forwarding.is_quiescent t);
+  Baseline.Forwarding.send t ~src:0 ~dest:1 "x";
+  Alcotest.(check bool) "pending message" false (Baseline.Forwarding.is_quiescent t);
+  ignore (Baseline.Forwarding.run_to_quiescence t);
+  Alcotest.(check bool) "drained" true (Baseline.Forwarding.is_quiescent t);
+  Alcotest.(check bool) "buffer empty" true
+    (Baseline.Forwarding.buffer t ~p:1 ~d:1 = None)
+
+let prop_baseline_delivers_everything =
+  QCheck.Test.make ~name:"baseline delivers every message exactly once"
+    ~count:60
+    QCheck.(pair (int_range 2 12) (int_range 0 30_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:3 in
+      let wl = Harness.Workload.uniform_random rng ~n ~per_processor:3 in
+      let s = Harness.Runner.run_baseline g wl in
+      List.length s.Baseline.Forwarding.delivered = Harness.Workload.total wl)
+
+let prop_latency_bounded_by_diameter_factor =
+  QCheck.Test.make ~name:"baseline latency is O(load + D)" ~count:40
+    QCheck.(pair (int_range 3 10) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.ring n in
+      let wl = Harness.Workload.uniform_random rng ~n ~per_processor:2 in
+      let s = Harness.Runner.run_baseline g wl in
+      (* loose sanity bound: total rounds below messages * (D + 2) + D *)
+      let d = Topology.Metrics.diameter g in
+      s.Baseline.Forwarding.rounds
+      <= (Harness.Workload.total wl * (d + 2)) + d + 2)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "forwarding",
+        [
+          Alcotest.test_case "single message" `Quick test_single_message;
+          Alcotest.test_case "exactly once" `Quick test_all_delivered_exactly_once;
+          Alcotest.test_case "identical payloads" `Quick
+            test_identical_payloads_not_merged;
+          Alcotest.test_case "per-flow FIFO" `Quick test_fifo_per_source_destination;
+          Alcotest.test_case "contention fairness" `Quick test_contention_fairness;
+          Alcotest.test_case "quiescence" `Quick test_quiescence_flag;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_baseline_delivers_everything; prop_latency_bounded_by_diameter_factor ]
+      );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for buffer-graph construction, acyclicity and DOT export. *)
+
+open Ssmfp.Buffer_graph
+
+let next_hop_of tables ~p ~d = Routing.Selfstab.next_hop tables.(p) ~d
+
+let test_destination_based_counts () =
+  let g = Topology.Builders.paper_figure1 in
+  let tables = Routing.Table.correct_all g in
+  let bg = destination_based g ~next_hop:(next_hop_of tables) in
+  let n = Topology.Graph.n g in
+  Alcotest.(check int) "n^2 buffers" (n * n) (List.length bg.nodes);
+  (* each component is a tree towards d: n-1 arcs per destination *)
+  Alcotest.(check int) "n(n-1) arcs" (n * (n - 1)) (List.length bg.arcs);
+  Alcotest.(check bool) "acyclic" true (is_acyclic bg)
+
+let test_ssmfp_counts () =
+  let g = Topology.Builders.paper_figure2 in
+  let tables = Routing.Table.correct_all g in
+  let bg = ssmfp g ~next_hop:(next_hop_of tables) in
+  let n = Topology.Graph.n g in
+  Alcotest.(check int) "2n^2 buffers" (2 * n * n) (List.length bg.nodes);
+  (* per destination: n internal arcs + (n-1) forwarding arcs *)
+  Alcotest.(check int) "arcs" (n * (n + (n - 1))) (List.length bg.arcs);
+  Alcotest.(check bool) "acyclic" true (is_acyclic bg)
+
+let test_component_isolation () =
+  let g = Topology.Builders.ring 5 in
+  let tables = Routing.Table.correct_all g in
+  let bg = ssmfp g ~next_hop:(next_hop_of tables) in
+  let comp = component bg ~dest:3 in
+  Alcotest.(check bool) "only dest-3 nodes" true
+    (List.for_all (fun node -> node.dest = 3) comp.nodes);
+  Alcotest.(check int) "10 buffers" 10 (List.length comp.nodes)
+
+let test_corrupted_cycle_detected () =
+  let g = Topology.Builders.paper_figure2 in
+  let tables = Routing.Table.correct_all g in
+  tables.(0) <- Array.copy tables.(0);
+  tables.(2) <- Array.copy tables.(2);
+  tables.(0).(1) <- { Routing.Selfstab.dist = 0; via = 2 };
+  tables.(2).(1) <- { Routing.Selfstab.dist = 1; via = 0 };
+  let bg = component (ssmfp g ~next_hop:(next_hop_of tables)) ~dest:1 in
+  Alcotest.(check bool) "cyclic" false (is_acyclic bg);
+  match cycles bg with
+  | cycle :: _ ->
+      (* the a <-> c cycle alternates the four buffers of a and c *)
+      let owners = List.sort_uniq compare (List.map (fun n -> n.owner) cycle) in
+      Alcotest.(check (list int)) "involves a and c" [ 0; 2 ] owners
+  | [] -> Alcotest.fail "no cycle found"
+
+let test_next_hop_outside_neighbors_dropped () =
+  (* corrupted next hops that are not neighbors produce no arc *)
+  let g = Topology.Builders.path 3 in
+  let next_hop ~p ~d =
+    ignore d;
+    if p = 0 then 2 (* not a neighbor of 0 *) else p - 1
+  in
+  let bg = component (ssmfp g ~next_hop) ~dest:0 in
+  (* 3 internal arcs + forwarding arcs from 1 and 2 only *)
+  Alcotest.(check int) "arcs" 5 (List.length bg.arcs)
+
+let test_node_names_and_dot () =
+  let g = Topology.Builders.path 2 in
+  let tables = Routing.Table.correct_all g in
+  let bg = component (ssmfp g ~next_hop:(next_hop_of tables)) ~dest:1 in
+  let dot = to_dot ~letters:true bg in
+  Alcotest.(check bool) "digraph" true (Test_util.contains dot "digraph");
+  Alcotest.(check bool) "R buffer of a" true (Test_util.contains dot "R_a(b)");
+  Alcotest.(check bool) "internal arc" true
+    (Test_util.contains dot "\"bufR0(d1)\" -> \"bufE0(d1)\"")
+
+let prop_acyclic_on_correct_tables =
+  QCheck.Test.make ~name:"both schemes acyclic under correct tables" ~count:60
+    QCheck.(pair (int_range 2 15) (int_range 0 10))
+    (fun (n, extra) ->
+      let rng = Prng.Splitmix.of_int (n + (extra * 1000)) in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:extra in
+      let tables = Routing.Table.correct_all g in
+      let nh = next_hop_of tables in
+      is_acyclic (destination_based g ~next_hop:nh)
+      && is_acyclic (ssmfp g ~next_hop:nh))
+
+let () =
+  Alcotest.run "buffer_graph"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "destination-based counts" `Quick
+            test_destination_based_counts;
+          Alcotest.test_case "ssmfp counts" `Quick test_ssmfp_counts;
+          Alcotest.test_case "component isolation" `Quick test_component_isolation;
+          Alcotest.test_case "corrupted cycle detected" `Quick
+            test_corrupted_cycle_detected;
+          Alcotest.test_case "bad next hops dropped" `Quick
+            test_next_hop_outside_neighbors_dropped;
+          Alcotest.test_case "names & dot" `Quick test_node_names_and_dot;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_acyclic_on_correct_tables ] );
+    ]

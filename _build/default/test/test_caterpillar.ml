@@ -1,0 +1,143 @@
+(* Tests for the caterpillar classifier (Definition 3 / Figure 4). *)
+
+open Ssmfp.Caterpillar
+
+let path3 = Topology.Builders.path 3
+
+let msg ?(info = "m") ~last ~color at =
+  Some (Ssmfp.Message.fresh_invalid ~at ~last ~color info)
+
+let classify states p d which =
+  classify_buffer path3 (Test_util.net_of path3 states) ~p ~d which
+
+let test_type1_fresh () =
+  (* freshly generated: last = p *)
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 1 2 `R (msg ~last:1 ~color:0 1);
+  match classify states 1 2 `R with
+  | Some c ->
+      Alcotest.(check string) "type" "type 1" (kind_name c.kind);
+      Alcotest.(check int) "head" 1 c.head;
+      Alcotest.(check int) "single buffer" 1 (List.length c.buffers)
+  | None -> Alcotest.fail "expected a caterpillar"
+
+let test_type1_even_with_matching_buf_e () =
+  (* Definition 3's q = p clause: generated-here messages are type 1 even
+     when bufE_p coincidentally matches *)
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 1 2 `R (msg ~last:1 ~color:0 1);
+  Test_util.set_buf states 1 2 `E (msg ~last:1 ~color:0 1);
+  match classify states 1 2 `R with
+  | Some c -> Alcotest.(check string) "type" "type 1" (kind_name c.kind)
+  | None -> Alcotest.fail "expected type 1"
+
+let test_type1_upstream_gone () =
+  (* copied from 0 but upstream's bufE no longer matches *)
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 1 2 `R (msg ~last:0 ~color:2 1);
+  match classify states 1 2 `R with
+  | Some c -> Alcotest.(check string) "type" "type 1" (kind_name c.kind)
+  | None -> Alcotest.fail "expected type 1"
+
+let test_tail_not_reported_separately () =
+  (* upstream still holds the copy: the bufR occurrence is the tail of the
+     upstream type-3 caterpillar, not its own head *)
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 1 2 `R (msg ~last:0 ~color:2 1);
+  Test_util.set_buf states 0 2 `E (msg ~last:0 ~color:2 0);
+  Alcotest.(check bool) "tail yields None" true (classify states 1 2 `R = None);
+  match classify states 0 2 `E with
+  | Some c ->
+      Alcotest.(check string) "upstream is type 3" "type 3" (kind_name c.kind);
+      Alcotest.(check int) "two buffers" 2 (List.length c.buffers)
+  | None -> Alcotest.fail "expected type 3"
+
+let test_type2 () =
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 1 2 `E (msg ~last:1 ~color:1 1);
+  match classify states 1 2 `E with
+  | Some c -> Alcotest.(check string) "type" "type 2" (kind_name c.kind)
+  | None -> Alcotest.fail "expected type 2"
+
+let test_type3_multiple_tails () =
+  (* the paper notes an emission buffer can belong to several type-3
+     caterpillars; here both neighbors of the star center hold copies *)
+  let g = Topology.Builders.star 4 in
+  let states = Test_util.config g [] in
+  let dest = 3 in
+  Test_util.set_buf states 0 dest `E (msg ~last:0 ~color:1 0);
+  Test_util.set_buf states 1 dest `R (msg ~last:0 ~color:1 1);
+  Test_util.set_buf states 2 dest `R (msg ~last:0 ~color:1 2);
+  let net = Test_util.net_of g states in
+  match classify_buffer g net ~p:0 ~d:dest `E with
+  | Some c ->
+      Alcotest.(check string) "type" "type 3" (kind_name c.kind);
+      Alcotest.(check int) "head + two tails" 3 (List.length c.buffers)
+  | None -> Alcotest.fail "expected type 3"
+
+let test_empty_buffer_none () =
+  let states = Test_util.config path3 [] in
+  Alcotest.(check bool) "no caterpillar" true (classify states 1 2 `R = None);
+  Alcotest.(check bool) "no caterpillar E" true (classify states 1 2 `E = None)
+
+let test_classify_dest_counts () =
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 0 2 `E (msg ~last:0 ~color:1 0);
+  Test_util.set_buf states 1 2 `R (msg ~last:0 ~color:1 1);
+  Test_util.set_buf states 2 2 `R (msg ~info:"other" ~last:2 ~color:0 2);
+  let net = Test_util.net_of path3 states in
+  let cats = classify_dest path3 net ~d:2 in
+  (* one type 3 (bufE_0 + bufR_1) and one type 1 (bufR_2) *)
+  Alcotest.(check int) "two caterpillars" 2 (List.length cats);
+  Alcotest.(check bool) "coverage" true (covers_all_occupied path3 net)
+
+(* Property: along any run from any corrupted configuration, every
+   occupied buffer always belongs to a caterpillar. *)
+let prop_coverage_invariant =
+  QCheck.Test.make ~name:"caterpillar coverage is invariant" ~count:40
+    QCheck.(pair (int_range 0 5_000) (int_range 3 8))
+    (fun (seed, n) ->
+      let g = Topology.Builders.ring n in
+      let rng = Prng.Splitmix.of_int seed in
+      let wl = Harness.Workload.uniform_random rng ~n ~per_processor:1 in
+      let spec = Harness.Fault.random_spec rng in
+      let proto = Ssmfp.Protocol.make g in
+      let states =
+        Array.init n (fun p -> Harness.Fault.initial_states ~rng spec g ~workload:wl p)
+      in
+      let t = Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p -> states.(p)) in
+      let daemon = Sim.Daemon.distributed_random rng in
+      let ok = ref (Ssmfp.Caterpillar.covers_all_occupied g (Sim.Engine.net t)) in
+      (try
+         for _ = 1 to 60 do
+           match Sim.Engine.step t daemon with
+           | None -> raise Exit
+           | Some _ ->
+               if not (Ssmfp.Caterpillar.covers_all_occupied g (Sim.Engine.net t))
+               then begin
+                 ok := false;
+                 raise Exit
+               end
+         done
+       with Exit -> ());
+      !ok)
+
+let () =
+  Alcotest.run "caterpillar"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "type 1 fresh" `Quick test_type1_fresh;
+          Alcotest.test_case "type 1 (q=p clause)" `Quick
+            test_type1_even_with_matching_buf_e;
+          Alcotest.test_case "type 1 upstream gone" `Quick test_type1_upstream_gone;
+          Alcotest.test_case "tails not double-counted" `Quick
+            test_tail_not_reported_separately;
+          Alcotest.test_case "type 2" `Quick test_type2;
+          Alcotest.test_case "type 3 multi-tail" `Quick test_type3_multiple_tails;
+          Alcotest.test_case "empty buffers" `Quick test_empty_buffer_none;
+          Alcotest.test_case "classify_dest" `Quick test_classify_dest_counts;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_coverage_invariant ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the generic protocol-composition combinators, using two toy
+   layers over a shared record state: layer A spreads the maximum over
+   the [a] field, layer B over the [b] field. *)
+
+type cell = { a : int; b : int }
+
+let g = Topology.Builders.path 4
+
+let max_proto field_get field_set name =
+  {
+    Sim.Engine.proto_name = name;
+    enabled =
+      (fun net p ->
+        let mine = field_get net.Sim.Engine.states.(p) in
+        if
+          List.exists
+            (fun q -> field_get net.Sim.Engine.states.(q) > mine)
+            (Topology.Graph.neighbors g p)
+        then [ `Adopt ]
+        else []);
+    apply =
+      (fun net p `Adopt ->
+        let v =
+          List.fold_left
+            (fun acc q -> max acc (field_get net.Sim.Engine.states.(q)))
+            (field_get net.Sim.Engine.states.(p))
+            (Topology.Graph.neighbors g p)
+        in
+        (field_set net.Sim.Engine.states.(p) v, [ (name, v) ]));
+    action_label = (fun `Adopt -> name);
+  }
+
+let proto_a = max_proto (fun c -> c.a) (fun c v -> { c with a = v }) "A"
+let proto_b = max_proto (fun c -> c.b) (fun c v -> { c with b = v }) "B"
+
+let init p = { a = p; b = 10 - p }
+
+let run proto =
+  let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+  let status = Sim.Engine.run t (Sim.Daemon.round_robin ()) in
+  Alcotest.(check bool) "terminal" true (status = `Terminal);
+  t
+
+let test_priority_converges_both () =
+  let t = run (Sim.Compose.priority ~high:proto_a ~low:proto_b) in
+  for p = 0 to 3 do
+    Alcotest.(check int) "a = max" 3 (Sim.Engine.state t p).a;
+    Alcotest.(check int) "b = max" 10 (Sim.Engine.state t p).b
+  done
+
+let test_priority_masks_low () =
+  (* wherever A is enabled, only A's actions are offered *)
+  let proto = Sim.Compose.priority ~high:proto_a ~low:proto_b in
+  let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+  List.iter
+    (fun c ->
+      let p = c.Sim.Engine.cand_pid in
+      let a_enabled = proto_a.Sim.Engine.enabled (Sim.Engine.net t) p <> [] in
+      if a_enabled then
+        List.iter
+          (fun act ->
+            Alcotest.(check bool) "only A offered" true (Either.is_left act))
+          c.Sim.Engine.cand_actions)
+    (Sim.Engine.candidates t)
+
+let test_interleave_offers_both () =
+  let proto = Sim.Compose.interleave ~first:proto_a ~second:proto_b in
+  let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+  (* processor 0: a=0 < neighbor 1, b=10 > neighbor 9: A enabled, B not;
+     processor 1: both enabled *)
+  let cand =
+    List.find
+      (fun c -> c.Sim.Engine.cand_pid = 1)
+      (Sim.Engine.candidates t)
+  in
+  Alcotest.(check int) "both layers offered" 2
+    (List.length cand.Sim.Engine.cand_actions);
+  let t = run proto in
+  for p = 0 to 3 do
+    Alcotest.(check int) "a = max" 3 (Sim.Engine.state t p).a;
+    Alcotest.(check int) "b = max" 10 (Sim.Engine.state t p).b
+  done
+
+let test_lift () =
+  (* the plain-int max protocol from the engine tests, lifted over .a *)
+  let inner =
+    {
+      Sim.Engine.proto_name = "max";
+      enabled =
+        (fun net p ->
+          let mine = net.Sim.Engine.states.(p) in
+          if
+            List.exists
+              (fun q -> net.Sim.Engine.states.(q) > mine)
+              (Topology.Graph.neighbors g p)
+          then [ `Adopt ]
+          else []);
+      apply =
+        (fun net p `Adopt ->
+          ( List.fold_left
+              (fun acc q -> max acc net.Sim.Engine.states.(q))
+              net.Sim.Engine.states.(p)
+              (Topology.Graph.neighbors g p),
+            [] ));
+      action_label = (fun `Adopt -> "adopt");
+    }
+  in
+  let lens =
+    { Sim.Compose.get = (fun c -> c.a); set = (fun c v -> { c with a = v }) }
+  in
+  let lifted = Sim.Compose.lift ~graph:g ~lens inner in
+  let t = run lifted in
+  for p = 0 to 3 do
+    Alcotest.(check int) "a = max" 3 (Sim.Engine.state t p).a;
+    Alcotest.(check int) "b untouched" (10 - p) (Sim.Engine.state t p).b
+  done
+
+let test_labels () =
+  let proto = Sim.Compose.priority ~high:proto_a ~low:proto_b in
+  Alcotest.(check string) "name" "A>B" proto.Sim.Engine.proto_name;
+  Alcotest.(check string) "left label" "A"
+    (proto.Sim.Engine.action_label (Either.Left `Adopt));
+  Alcotest.(check string) "right label" "B"
+    (proto.Sim.Engine.action_label (Either.Right `Adopt))
+
+let () =
+  Alcotest.run "compose"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "priority converges" `Quick test_priority_converges_both;
+          Alcotest.test_case "priority masks" `Quick test_priority_masks_low;
+          Alcotest.test_case "interleave" `Quick test_interleave_offers_both;
+          Alcotest.test_case "lift" `Quick test_lift;
+          Alcotest.test_case "labels" `Quick test_labels;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* End-to-end verification of the specification SP: random topologies x
+   corruption x daemons x workloads, plus targeted regression scenarios.
+   These are the randomized counterparts of the exhaustive model check. *)
+
+let sp_holds ?(daemon = Harness.Runner.Distributed_random) ?(spec = Harness.Fault.pristine)
+    ?(per_processor = 2) ?(seed = 1) ?variant g =
+  let n = Topology.Graph.n g in
+  let rng = Prng.Splitmix.of_int (seed + 77) in
+  let wl =
+    Harness.Workload.uniform_random rng ~n ~per_processor
+      ~distinct_payloads:false
+  in
+  let cfg = Harness.Runner.config ~spec ~daemon ~seed ?variant g wl in
+  let r = Harness.Runner.run cfg in
+  (r, r.Harness.Runner.outcome = `Quiescent && r.Harness.Runner.verdict.Harness.Oracle.ok)
+
+let check_sp name g spec daemon seed =
+  let r, ok = sp_holds ~spec ~daemon ~seed g in
+  if not ok then
+    Alcotest.failf "%s: %s" name
+      (String.concat "; " r.Harness.Runner.verdict.Harness.Oracle.violations)
+
+let test_pristine_matrix () =
+  List.iter
+    (fun daemon ->
+      check_sp "ring6" (Topology.Builders.ring 6) Harness.Fault.pristine daemon 1;
+      check_sp "star5" (Topology.Builders.star 5) Harness.Fault.pristine daemon 2)
+    [
+      Harness.Runner.Synchronous;
+      Harness.Runner.Central_random;
+      Harness.Runner.Distributed_random;
+      Harness.Runner.Round_robin;
+      Harness.Runner.Random_action;
+    ]
+
+let test_adversarial_matrix () =
+  List.iter
+    (fun daemon ->
+      check_sp "ring6" (Topology.Builders.ring 6) Harness.Fault.adversarial daemon 3;
+      check_sp "fig2" Topology.Builders.paper_figure2 Harness.Fault.adversarial
+        daemon 4)
+    [
+      Harness.Runner.Synchronous;
+      Harness.Runner.Distributed_random;
+      Harness.Runner.Round_robin;
+    ]
+
+let test_single_processor_network () =
+  (* n = 1: degenerate but legal; messages to self are delivered *)
+  let g = Topology.Builders.path 1 in
+  let wl = Harness.Workload.single ~n:1 ~src:0 ~dest:0 ~count:3 in
+  let cfg = Harness.Runner.config ~daemon:Harness.Runner.Synchronous g wl in
+  let r = Harness.Runner.run cfg in
+  Alcotest.(check bool) "quiescent" true (r.Harness.Runner.outcome = `Quiescent);
+  Alcotest.(check int) "3 delivered" 3
+    (Harness.Oracle.valid_delivered r.Harness.Runner.oracle)
+
+let test_two_processors () =
+  let g = Topology.Builders.path 2 in
+  let wl = Harness.Workload.single ~n:2 ~src:0 ~dest:1 ~count:5 in
+  let cfg =
+    Harness.Runner.config ~spec:Harness.Fault.adversarial
+      ~daemon:Harness.Runner.Round_robin g wl
+  in
+  let r = Harness.Runner.run cfg in
+  Alcotest.(check bool) "SP" true r.Harness.Runner.verdict.Harness.Oracle.ok;
+  Alcotest.(check int) "5 delivered" 5
+    (Harness.Oracle.valid_delivered r.Harness.Runner.oracle)
+
+let test_self_addressed_messages () =
+  (* messages whose destination is their source still go through the
+     bufR -> bufE -> deliver pipeline *)
+  let g = Topology.Builders.ring 4 in
+  let wl = Harness.Workload.single ~n:4 ~src:2 ~dest:2 ~count:2 in
+  let cfg = Harness.Runner.config ~daemon:Harness.Runner.Synchronous g wl in
+  let r = Harness.Runner.run cfg in
+  Alcotest.(check int) "delivered to self" 2
+    (Harness.Oracle.valid_delivered r.Harness.Runner.oracle);
+  Alcotest.(check bool) "exactly once" true r.Harness.Runner.verdict.Harness.Oracle.ok
+
+let test_invalid_bound_holds () =
+  (* Proposition 4 under full adversarial fill, every destination *)
+  let g = Topology.Builders.ring 6 in
+  let r, ok =
+    sp_holds ~spec:Harness.Fault.adversarial ~seed:11 ~per_processor:1 g
+  in
+  Alcotest.(check bool) "SP" true ok;
+  List.iter
+    (fun (_, count) ->
+      Alcotest.(check bool) "<= 2n per destination" true (count <= 12))
+    (Harness.Oracle.invalid_deliveries r.Harness.Runner.oracle)
+
+let test_r5_regression_no_loss () =
+  (* The model-checker scenario: generating a message visibly identical to
+     an invalid occupant of bufE_p must not lose it. *)
+  let g = Topology.Builders.path 2 in
+  let wl = Harness.Workload.single ~n:2 ~src:0 ~dest:1 ~count:1 in
+  wl.(0) <- [ (1, "v") ];
+  let prepare states =
+    Test_util.set_buf states 0 1 `E
+      (Some (Ssmfp.Message.fresh_invalid ~at:0 ~last:0 ~color:0 "v"));
+    Test_util.set_buf states 1 1 `R
+      (Some (Ssmfp.Message.fresh_invalid ~at:1 ~last:0 ~color:1 "v"))
+  in
+  let cfg =
+    Harness.Runner.config ~daemon:Harness.Runner.Round_robin ~prepare g wl
+  in
+  let r = Harness.Runner.run cfg in
+  Alcotest.(check bool) "quiescent" true (r.Harness.Runner.outcome = `Quiescent);
+  Alcotest.(check (list int)) "no valid message lost" []
+    (Harness.Oracle.lost_ghosts r.Harness.Runner.oracle);
+  Alcotest.(check int) "delivered once" 1
+    (Harness.Oracle.valid_delivered r.Harness.Runner.oracle)
+
+let test_alternate_tie_break () =
+  (* SSMFP composed with an A producing the *other* family of trees T_d:
+     the protocol must not depend on the canonical tree choice. *)
+  let g = Topology.Builders.ring 6 in
+  let rng = Prng.Splitmix.of_int 55 in
+  let wl = Harness.Workload.uniform_random rng ~n:6 ~per_processor:2 in
+  let proto =
+    Ssmfp.Protocol.make ~tie:Routing.Selfstab.Largest_id g
+  in
+  let spec = { Harness.Fault.adversarial with Harness.Fault.buffer_fill = 0.5 } in
+  let t =
+    Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+        Harness.Fault.initial_states ~rng spec g ~workload:wl p)
+  in
+  let oracle = Harness.Oracle.create () in
+  let raise_requests t =
+    Topology.Graph.iter_vertices
+      (fun p ->
+        let st = Sim.Engine.state t p in
+        if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+          Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+      g
+  in
+  let on_events ~step:_ events =
+    List.iter
+      (fun (pid, ev) -> Harness.Oracle.observe oracle ~round:0 ~pid ev)
+      events
+  in
+  let status =
+    Sim.Engine.run ~max_steps:200_000 ~before_step:raise_requests ~on_events t
+      (Sim.Daemon.round_robin ())
+  in
+  Alcotest.(check bool) "terminal" true (status = `Terminal);
+  (* tables stabilized to the largest-id fixpoint *)
+  let states = (Sim.Engine.net t).Sim.Engine.states in
+  Alcotest.(check bool) "largest-id tables" true
+    (Routing.Selfstab.is_correct ~tie:Routing.Selfstab.Largest_id g (fun p ->
+         states.(p).Ssmfp.State.routing));
+  let v = Harness.Oracle.check_sp oracle ~expected_valid:12 ~n:6 ~at_quiescence:true in
+  Alcotest.(check (list string)) "SP" [] v.Harness.Oracle.violations
+
+let test_stats_consistency () =
+  let g = Topology.Builders.ring 6 in
+  let r, _ = sp_holds ~spec:Harness.Fault.adversarial ~seed:21 g in
+  let s = r.Harness.Runner.stats in
+  let by_rule = List.fold_left (fun acc (_, k) -> acc + k) 0 s.Sim.Engine.moves_by_rule in
+  Alcotest.(check int) "per-rule counts sum to moves" s.Sim.Engine.moves by_rule;
+  Alcotest.(check bool) "rounds <= steps" true
+    (s.Sim.Engine.rounds <= s.Sim.Engine.steps);
+  Alcotest.(check bool) "moves >= steps" true (s.Sim.Engine.moves >= s.Sim.Engine.steps)
+
+let test_no_activity_after_quiescence () =
+  let g = Topology.Builders.ring 5 in
+  let r, ok = sp_holds ~seed:31 g in
+  Alcotest.(check bool) "ok" true ok;
+  (* terminal configuration: buffers empty, requests down *)
+  Array.iter
+    (fun st ->
+      Alcotest.(check bool) "drained" true
+        (Ssmfp.State.occupied_buffers st = [] && st.Ssmfp.State.outbox = []))
+    r.Harness.Runner.final_net.Sim.Engine.states
+
+(* The main property: SP over the whole corruption space. *)
+let prop_sp_random =
+  QCheck.Test.make ~name:"SP holds from arbitrary configurations" ~count:60
+    QCheck.(
+      make
+        ~print:(fun (n, extra, seed, d) ->
+          Printf.sprintf "n=%d extra=%d seed=%d daemon=%d" n extra seed d)
+        Gen.(
+          quad (int_range 2 10) (int_range 0 8) (int_range 0 100_000)
+            (int_range 0 2)))
+    (fun (n, extra, seed, d) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:extra in
+      let spec = Harness.Fault.random_spec rng in
+      let daemon =
+        List.nth
+          [
+            Harness.Runner.Synchronous;
+            Harness.Runner.Distributed_random;
+            Harness.Runner.Round_robin;
+          ]
+          d
+      in
+      let _, ok = sp_holds ~spec ~daemon ~seed ~per_processor:2 g in
+      ok)
+
+let prop_deliveries_never_exceed_generations =
+  QCheck.Test.make ~name:"valid deliveries = generations at quiescence"
+    ~count:40
+    QCheck.(pair (int_range 3 9) (int_range 0 50_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:2 in
+      let r, _ = sp_holds ~spec:Harness.Fault.adversarial ~seed g in
+      Harness.Oracle.valid_delivered r.Harness.Runner.oracle
+      = Harness.Oracle.valid_generated r.Harness.Runner.oracle)
+
+let () =
+  Alcotest.run "end-to-end"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "pristine x daemons" `Quick test_pristine_matrix;
+          Alcotest.test_case "adversarial x daemons" `Quick test_adversarial_matrix;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "single processor" `Quick test_single_processor_network;
+          Alcotest.test_case "two processors" `Quick test_two_processors;
+          Alcotest.test_case "self-addressed" `Quick test_self_addressed_messages;
+          Alcotest.test_case "invalid bound" `Quick test_invalid_bound_holds;
+          Alcotest.test_case "R5 regression (no loss)" `Quick
+            test_r5_regression_no_loss;
+          Alcotest.test_case "alternate T_d tie-break" `Quick
+            test_alternate_tie_break;
+          Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+          Alcotest.test_case "terminal configuration drained" `Quick
+            test_no_activity_after_quiescence;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sp_random; prop_deliveries_never_exceed_generations ] );
+    ]

@@ -1,0 +1,83 @@
+(* The experiment tables themselves are test subjects: each must report
+   the shape the paper's propositions predict (outcome.ok), and each
+   figure must regenerate with its landmark content. *)
+
+let check_outcome name (o : Experiments.Tables.outcome) =
+  if not o.Experiments.Tables.ok then
+    Alcotest.failf "%s: %s" name
+      (String.concat " | " o.Experiments.Tables.notes)
+
+let table_test name f () = check_outcome name (f ())
+
+let test_figure1 () =
+  let s = Experiments.Figures.f1_destination_based_buffer_graph () in
+  Alcotest.(check bool) "acyclic verdict" true
+    (Test_util.contains s "acyclic: true");
+  Alcotest.(check bool) "per-destination components" true
+    (Test_util.contains s "component of destination b: 5 buffers")
+
+let test_figure2 () =
+  let s = Experiments.Figures.f2_ssmfp_buffer_graph () in
+  Alcotest.(check bool) "correct tables acyclic" true
+    (Test_util.contains s "correct tables: acyclic = true");
+  Alcotest.(check bool) "corrupted cycle found" true
+    (Test_util.contains s "acyclic = false");
+  Alcotest.(check bool) "cycle shown" true (Test_util.contains s "cycle: ")
+
+let test_figure3 () =
+  let s = Experiments.Figures.f3_execution () in
+  Alcotest.(check bool) "colors narrative" true
+    (Test_util.contains s "colors assigned to valid messages: 1, 2, 1, 0, 0")
+
+let test_figure4 () =
+  let s = Experiments.Figures.f4_caterpillars () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Test_util.contains s needle))
+    [ "type 1"; "type 2"; "type 3" ]
+
+let test_all_listing () =
+  let all = Experiments.Tables.all () in
+  Alcotest.(check int) "twelve tables" 12 (List.length all);
+  let figs = Experiments.Figures.all () in
+  Alcotest.(check int) "four figures" 4 (List.length figs)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "tables (paper-predicted shapes)",
+        [
+          Alcotest.test_case "E1 invalid deliveries" `Slow
+            (table_test "E1" Experiments.Tables.e1_invalid_deliveries);
+          Alcotest.test_case "E2 worst-case latency" `Slow
+            (table_test "E2" Experiments.Tables.e2_worst_case_latency);
+          Alcotest.test_case "E3 delay & waiting" `Slow
+            (table_test "E3" Experiments.Tables.e3_delay_and_waiting);
+          Alcotest.test_case "E4 amortized" `Slow
+            (table_test "E4" Experiments.Tables.e4_amortized);
+          Alcotest.test_case "E5 routing stabilization" `Slow
+            (table_test "E5" Experiments.Tables.e5_routing_stabilization);
+          Alcotest.test_case "E6 over-cost" `Slow
+            (table_test "E6" Experiments.Tables.e6_overhead_vs_baseline);
+          Alcotest.test_case "E7 snap matrix + mc" `Slow
+            (table_test "E7" Experiments.Tables.e7_snap_stabilization);
+          Alcotest.test_case "E8 ablations" `Slow
+            (table_test "E8" Experiments.Tables.e8_ablations);
+          Alcotest.test_case "E9 message passing" `Slow
+            (table_test "E9" Experiments.Tables.e9_message_passing);
+          Alcotest.test_case "E10 buffer economics" `Slow
+            (table_test "E10" Experiments.Tables.e10_buffer_economics);
+          Alcotest.test_case "E11 daemon sensitivity" `Slow
+            (table_test "E11" Experiments.Tables.e11_daemon_sensitivity);
+          Alcotest.test_case "E12 choice fairness" `Slow
+            (table_test "E12" Experiments.Tables.e12_choice_fairness);
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1;
+          Alcotest.test_case "figure 2" `Quick test_figure2;
+          Alcotest.test_case "figure 3" `Quick test_figure3;
+          Alcotest.test_case "figure 4" `Quick test_figure4;
+          Alcotest.test_case "listings" `Quick test_all_listing;
+        ] );
+    ]

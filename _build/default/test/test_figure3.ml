@@ -1,0 +1,102 @@
+(* Golden test: the scripted Figure 3 execution must match the paper's
+   narrative exactly. *)
+
+let run = lazy (Ssmfp.Figure3.run ())
+
+let test_colors () =
+  let r = Lazy.force run in
+  (* m recolored 1 (0 forbidden by the invalid m'), the second message
+     recolored 2 (0 and 1 visible), then 1 and 0, 0 at the tail *)
+  Alcotest.(check (list int)) "colors" [ 1; 2; 1; 0; 0 ]
+    r.Ssmfp.Figure3.colors_assigned
+
+let test_delivery_order () =
+  let r = Lazy.force run in
+  let infos =
+    List.map
+      (fun d -> d.Ssmfp.Figure3.message.Ssmfp.Message.info)
+      r.Ssmfp.Figure3.deliveries
+  in
+  Alcotest.(check (list string)) "delivery order" [ "m'"; "m"; "m'" ] infos
+
+let test_validity_of_deliveries () =
+  let r = Lazy.force run in
+  let validity =
+    List.map
+      (fun d -> Ssmfp.Message.is_valid d.Ssmfp.Figure3.message)
+      r.Ssmfp.Figure3.deliveries
+  in
+  (* the invalid m' is delivered first, then the two valid messages *)
+  Alcotest.(check (list bool)) "validity" [ false; true; true ] validity
+
+let test_exactly_three_deliveries () =
+  let r = Lazy.force run in
+  Alcotest.(check int) "three" 3 (List.length r.Ssmfp.Figure3.deliveries)
+
+let test_final_configuration_empty () =
+  let r = Lazy.force run in
+  Array.iter
+    (fun st ->
+      Alcotest.(check (list string)) "no residual messages" []
+        (List.map
+           (fun (_, _, m) -> Ssmfp.Message.to_string m)
+           (Ssmfp.State.occupied_buffers st)))
+    r.Ssmfp.Figure3.final_net.Sim.Engine.states
+
+let test_trace_shape () =
+  let r = Lazy.force run in
+  (* initial configuration + 16 steps *)
+  Alcotest.(check int) "17 configurations" 17
+    (Sim.Trace.length r.Ssmfp.Figure3.trace);
+  let entries = Sim.Trace.entries r.Ssmfp.Figure3.trace in
+  let step3 = List.nth entries 3 in
+  Alcotest.(check int) "two simultaneous moves at step 3" 2
+    (List.length step3.Sim.Trace.moves)
+
+let test_moves_accounting () =
+  let r = Lazy.force run in
+  let s = r.Ssmfp.Figure3.stats in
+  (* 16 scripted steps, 17 moves (step 3 is simultaneous) *)
+  Alcotest.(check int) "steps" 16 s.Sim.Engine.steps;
+  Alcotest.(check int) "moves" 17 s.Sim.Engine.moves;
+  Alcotest.(check (option int)) "three R6 moves" (Some 3)
+    (List.assoc_opt "R6" s.Sim.Engine.moves_by_rule)
+
+let test_no_merge () =
+  (* the two m' occurrences keep distinct ghosts end to end *)
+  let r = Lazy.force run in
+  let gids =
+    List.filter_map
+      (fun d ->
+        if d.Ssmfp.Figure3.message.Ssmfp.Message.info = "m'" then
+          Some d.Ssmfp.Figure3.message.Ssmfp.Message.ghost.Ssmfp.Message.gid
+        else None)
+      r.Ssmfp.Figure3.deliveries
+  in
+  Alcotest.(check int) "two distinct m' ghosts" 2
+    (List.length (List.sort_uniq compare gids))
+
+let test_print_renders () =
+  let r = Lazy.force run in
+  let s = Format.asprintf "%a" Ssmfp.Figure3.print r in
+  Alcotest.(check bool) "mentions cycle" true
+    (Test_util.contains s "nextHop_a(b)=c");
+  Alcotest.(check bool) "16 steps shown" true (Test_util.contains s "(16)")
+
+let () =
+  Alcotest.run "figure3"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "colors 1,2,1,0,0" `Quick test_colors;
+          Alcotest.test_case "delivery order" `Quick test_delivery_order;
+          Alcotest.test_case "delivery validity" `Quick test_validity_of_deliveries;
+          Alcotest.test_case "three deliveries" `Quick test_exactly_three_deliveries;
+          Alcotest.test_case "final config empty" `Quick
+            test_final_configuration_empty;
+          Alcotest.test_case "trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "move accounting" `Quick test_moves_accounting;
+          Alcotest.test_case "no merge of m' ghosts" `Quick test_no_merge;
+          Alcotest.test_case "printing" `Quick test_print_renders;
+        ] );
+    ]

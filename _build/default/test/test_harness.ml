@@ -1,0 +1,332 @@
+(* Tests for the harness: statistics, reporting, workloads, fault
+   injection, and the oracle's bookkeeping. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ---------------- stats ---------------- *)
+
+let test_stats_basics () =
+  let xs = [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  feq "mean" 5.0 (Harness.Stats.mean xs);
+  feq "stddev" 2.0 (Harness.Stats.stddev xs);
+  feq "min" 2.0 (Harness.Stats.minimum xs);
+  feq "max" 9.0 (Harness.Stats.maximum xs);
+  Alcotest.(check int) "count" 8 (Harness.Stats.count xs)
+
+let test_stats_empty () =
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Harness.Stats.mean []));
+  Alcotest.(check bool) "p50 nan" true
+    (Float.is_nan (Harness.Stats.percentile 50. []));
+  Alcotest.(check int) "count 0" 0 (Harness.Stats.count [])
+
+let test_percentiles () =
+  let xs = Harness.Stats.of_ints (List.init 100 (fun i -> i + 1)) in
+  feq "p50" 50. (Harness.Stats.percentile 50. xs);
+  feq "p90" 90. (Harness.Stats.percentile 90. xs);
+  feq "p99" 99. (Harness.Stats.percentile 99. xs);
+  feq "p100 = max" 100. (Harness.Stats.percentile 100. xs)
+
+let test_summary () =
+  let s = Harness.Stats.summarize [ 1.; 2.; 3. ] in
+  feq "mean" 2. s.Harness.Stats.mean;
+  Alcotest.(check int) "count" 3 s.Harness.Stats.count;
+  let str = Format.asprintf "%a" Harness.Stats.pp_summary s in
+  Alcotest.(check bool) "renders" true (Test_util.contains str "mean=2.00")
+
+let test_histogram () =
+  let h = Harness.Stats.histogram ~buckets:2 [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check int) "two buckets" 2 (List.length h);
+  let counts = List.map (fun (_, _, c) -> c) h in
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] counts;
+  Alcotest.(check (list (triple (float 1e-9) (float 1e-9) int))) "empty" []
+    (Harness.Stats.histogram ~buckets:3 [])
+
+(* ---------------- report ---------------- *)
+
+let test_report_table () =
+  let t = Harness.Report.table ~headers:[ "a"; "b" ] in
+  Harness.Report.add_row t [ "x"; "1" ];
+  Harness.Report.add_int_row t "y" [ 22 ];
+  let s = Harness.Report.render t in
+  Alcotest.(check bool) "aligned header" true (Test_util.contains s "a | b");
+  Alcotest.(check bool) "row" true (Test_util.contains s "y | 22");
+  Alcotest.check_raises "arity" (Invalid_argument "Report.add_row: arity mismatch")
+    (fun () -> Harness.Report.add_row t [ "only one" ])
+
+let test_report_csv () =
+  let t = Harness.Report.table ~headers:[ "name"; "value" ] in
+  Harness.Report.add_row t [ "with,comma"; "with\"quote" ];
+  let csv = Harness.Report.to_csv t in
+  Alcotest.(check bool) "escaped comma" true
+    (Test_util.contains csv "\"with,comma\"");
+  Alcotest.(check bool) "escaped quote" true
+    (Test_util.contains csv "\"with\"\"quote\"")
+
+let test_bar_chart () =
+  let s = Harness.Report.bar_chart ~width:10 ~title:"t" [ ("a", 10.); ("b", 5.) ] in
+  Alcotest.(check bool) "full bar" true (Test_util.contains s "##########");
+  Alcotest.(check bool) "half bar" true (Test_util.contains s "##### 5.00")
+
+(* ---------------- workloads ---------------- *)
+
+let test_workload_single () =
+  let wl = Harness.Workload.single ~n:5 ~src:2 ~dest:4 ~count:3 in
+  Alcotest.(check int) "total" 3 (Harness.Workload.total wl);
+  Alcotest.(check int) "all at src" 3 (List.length wl.(2));
+  List.iter (fun (d, _) -> Alcotest.(check int) "dest" 4 d) wl.(2)
+
+let test_workload_uniform () =
+  let rng = Prng.Splitmix.of_int 5 in
+  let wl = Harness.Workload.uniform_random rng ~n:6 ~per_processor:4 in
+  Alcotest.(check int) "total" 24 (Harness.Workload.total wl);
+  Array.iteri
+    (fun src msgs ->
+      List.iter
+        (fun (dest, _) ->
+          Alcotest.(check bool) "valid dest" true
+            (dest >= 0 && dest < 6 && dest <> src))
+        msgs)
+    wl
+
+let test_workload_all_to_one () =
+  let wl = Harness.Workload.all_to_one ~n:4 ~dest:1 ~per_processor:2 () in
+  Alcotest.(check int) "total" 6 (Harness.Workload.total wl);
+  Alcotest.(check (list (pair int string))) "dest silent" [] wl.(1)
+
+let test_workload_one_to_all () =
+  let wl = Harness.Workload.one_to_all ~n:4 ~src:0 ~rounds:2 in
+  Alcotest.(check int) "total" 6 (Harness.Workload.total wl)
+
+let test_workload_permutation () =
+  let rng = Prng.Splitmix.of_int 6 in
+  let wl = Harness.Workload.permutation rng ~n:6 ~per_processor:1 in
+  Alcotest.(check int) "total" 6 (Harness.Workload.total wl);
+  Array.iteri
+    (fun src -> function
+      | [ (dest, _) ] -> Alcotest.(check bool) "derangement" true (dest <> src)
+      | _ -> Alcotest.fail "one message per processor")
+    wl
+
+let test_workload_neighbors () =
+  let g = Topology.Builders.star 4 in
+  let wl = Harness.Workload.neighbors_only g ~per_processor:1 in
+  Alcotest.(check int) "center sends 3" 3 (List.length wl.(0));
+  Alcotest.(check int) "leaf sends 1" 1 (List.length wl.(1))
+
+(* ---------------- fault injection ---------------- *)
+
+let test_fault_pristine () =
+  let g = Topology.Builders.ring 5 in
+  let wl = Harness.Workload.empty ~n:5 in
+  let st = Harness.Fault.initial_states Harness.Fault.pristine g ~workload:wl 2 in
+  Alcotest.(check bool) "no messages" true (Ssmfp.State.occupied_buffers st = []);
+  Alcotest.(check bool) "no request" false st.Ssmfp.State.request
+
+let test_fault_adversarial_domains () =
+  let g = Topology.Builders.ring 5 in
+  let delta = Topology.Graph.max_degree g in
+  let rng = Prng.Splitmix.of_int 9 in
+  let wl = Harness.Workload.empty ~n:5 in
+  for p = 0 to 4 do
+    let st =
+      Harness.Fault.initial_states ~rng Harness.Fault.adversarial g ~workload:wl p
+    in
+    List.iter
+      (fun (_, _, m) ->
+        Alcotest.(check bool) "color in domain" true
+          (m.Ssmfp.Message.color >= 0 && m.Ssmfp.Message.color <= delta);
+        Alcotest.(check bool) "last in N_p u {p}" true
+          (m.Ssmfp.Message.last = p
+          || Topology.Graph.is_edge g p m.Ssmfp.Message.last);
+        Alcotest.(check bool) "invalid ghost" false (Ssmfp.Message.is_valid m))
+      (Ssmfp.State.occupied_buffers st);
+    (* all 2n buffers filled under buffer_fill = 1.0 *)
+    Alcotest.(check int) "full" 10 (List.length (Ssmfp.State.occupied_buffers st))
+  done
+
+let test_fault_needs_rng () =
+  let g = Topology.Builders.ring 5 in
+  let wl = Harness.Workload.empty ~n:5 in
+  Alcotest.check_raises "rng required"
+    (Invalid_argument "Fault.initial_states: spec needs a rng") (fun () ->
+      ignore
+        (Harness.Fault.initial_states Harness.Fault.adversarial g ~workload:wl 0))
+
+let test_fill_component () =
+  let g = Topology.Builders.ring 5 in
+  let states = Array.init 5 (fun p -> Ssmfp.State.clean g p) in
+  let planted = Harness.Fault.fill_component g ~dest:3 states in
+  Alcotest.(check int) "2n planted" 10 planted;
+  Alcotest.(check int) "counted" 10 (Harness.Fault.invalid_count states);
+  (* only destination 3's buffers were touched *)
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun (d, _, _) -> Alcotest.(check int) "dest 3 only" 3 d)
+        (Ssmfp.State.occupied_buffers st))
+    states
+
+(* ---------------- oracle ---------------- *)
+
+let test_oracle_exactly_once () =
+  let o = Harness.Oracle.create () in
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  Harness.Oracle.observe_request_raised o ~round:1 ~pid:0;
+  Harness.Oracle.observe o ~round:3 ~pid:0 (Ssmfp.Protocol.Generated (m, 2));
+  Harness.Oracle.observe o ~round:9 ~pid:2 (Ssmfp.Protocol.Delivered m);
+  Alcotest.(check int) "generated" 1 (Harness.Oracle.valid_generated o);
+  Alcotest.(check int) "delivered" 1 (Harness.Oracle.valid_delivered o);
+  Alcotest.(check (list (pair int int))) "no dup" []
+    (Harness.Oracle.duplicated_ghosts o);
+  Alcotest.(check (list int)) "no loss" [] (Harness.Oracle.lost_ghosts o);
+  Alcotest.(check (list (float 1e-9))) "latency 6" [ 6. ]
+    (Harness.Oracle.latencies o);
+  Alcotest.(check (list (float 1e-9))) "delay 2" [ 2. ] (Harness.Oracle.delays o);
+  let v = Harness.Oracle.check_sp o ~expected_valid:1 ~n:4 ~at_quiescence:true in
+  Alcotest.(check bool) "verdict ok" true v.Harness.Oracle.ok
+
+let test_oracle_detects_duplicate () =
+  let o = Harness.Oracle.create () in
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  Harness.Oracle.observe o ~round:1 ~pid:0 (Ssmfp.Protocol.Generated (m, 1));
+  Harness.Oracle.observe o ~round:2 ~pid:1 (Ssmfp.Protocol.Delivered m);
+  Harness.Oracle.observe o ~round:3 ~pid:1 (Ssmfp.Protocol.Delivered m);
+  Alcotest.(check int) "dup listed" 1
+    (List.length (Harness.Oracle.duplicated_ghosts o));
+  let v = Harness.Oracle.check_sp o ~expected_valid:1 ~n:4 ~at_quiescence:true in
+  Alcotest.(check bool) "verdict fails" false v.Harness.Oracle.ok
+
+let test_oracle_detects_loss () =
+  let o = Harness.Oracle.create () in
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  Harness.Oracle.observe o ~round:1 ~pid:0 (Ssmfp.Protocol.Generated (m, 1));
+  Alcotest.(check int) "lost listed" 1 (List.length (Harness.Oracle.lost_ghosts o));
+  let v = Harness.Oracle.check_sp o ~expected_valid:1 ~n:4 ~at_quiescence:true in
+  Alcotest.(check bool) "fails at quiescence" false v.Harness.Oracle.ok;
+  let v' = Harness.Oracle.check_sp o ~expected_valid:1 ~n:4 ~at_quiescence:false in
+  Alcotest.(check bool) "in-flight is fine mid-run" true v'.Harness.Oracle.ok
+
+let test_oracle_invalid_bound () =
+  let o = Harness.Oracle.create () in
+  let inv () = Ssmfp.Message.fresh_invalid ~at:0 ~last:0 ~color:0 "x" in
+  for _ = 1 to 5 do
+    Harness.Oracle.observe o ~round:1 ~pid:3 (Ssmfp.Protocol.Delivered (inv ()))
+  done;
+  Alcotest.(check int) "counted" 5 (Harness.Oracle.invalid_delivered_total o);
+  (* with n = 2 the bound 2n = 4 is violated *)
+  let v = Harness.Oracle.check_sp o ~expected_valid:0 ~n:2 ~at_quiescence:true in
+  Alcotest.(check bool) "bound violation flagged" false v.Harness.Oracle.ok;
+  let v' = Harness.Oracle.check_sp o ~expected_valid:0 ~n:3 ~at_quiescence:true in
+  Alcotest.(check bool) "within 2n ok" true v'.Harness.Oracle.ok
+
+let test_responder_round_trip () =
+  (* request/response over SSMFP: replies count towards SP *)
+  let g = Topology.Builders.ring 5 in
+  let wl = Harness.Workload.empty ~n:5 in
+  wl.(2) <- [ (0, "ping") ];
+  wl.(3) <- [ (0, "ping") ];
+  let responder pid info =
+    if pid = 0 && info = "ping" then [ (2, "pong") ] else []
+  in
+  let cfg =
+    Harness.Runner.config ~daemon:Harness.Runner.Round_robin ~seed:4 ~responder
+      g wl
+  in
+  let r = Harness.Runner.run cfg in
+  Alcotest.(check int) "2 pings + 2 pongs" 4 r.Harness.Runner.submitted;
+  Alcotest.(check int) "all delivered" 4
+    (Harness.Oracle.valid_delivered r.Harness.Runner.oracle);
+  Alcotest.(check bool) "SP over replies too" true
+    r.Harness.Runner.verdict.Harness.Oracle.ok
+
+let test_responder_chain_terminates () =
+  (* a bounded responder chain: ttl counts down in the payload *)
+  let g = Topology.Builders.path 3 in
+  let wl = Harness.Workload.empty ~n:3 in
+  wl.(0) <- [ (2, "hop:3") ];
+  let responder _pid info =
+    match String.split_on_char ':' info with
+    | [ "hop"; ttl ] ->
+        let ttl = int_of_string ttl in
+        if ttl > 0 then
+          let next = if ttl mod 2 = 0 then 2 else 0 in
+          [ (next, Printf.sprintf "hop:%d" (ttl - 1)) ]
+        else []
+    | _ -> []
+  in
+  let cfg =
+    Harness.Runner.config ~daemon:Harness.Runner.Synchronous ~seed:5 ~responder
+      g wl
+  in
+  let r = Harness.Runner.run cfg in
+  Alcotest.(check bool) "quiescent" true (r.Harness.Runner.outcome = `Quiescent);
+  Alcotest.(check int) "chain of 4" 4 r.Harness.Runner.submitted;
+  Alcotest.(check bool) "SP" true r.Harness.Runner.verdict.Harness.Oracle.ok
+
+let test_oracle_deliveries_by_round () =
+  let o = Harness.Oracle.create () in
+  let inv () = Ssmfp.Message.fresh_invalid ~at:0 ~last:0 ~color:0 "x" in
+  Harness.Oracle.observe o ~round:2 ~pid:1 (Ssmfp.Protocol.Delivered (inv ()));
+  Harness.Oracle.observe o ~round:5 ~pid:1 (Ssmfp.Protocol.Delivered (inv ()));
+  Alcotest.(check (list (pair int int))) "cumulative" [ (2, 1); (5, 2) ]
+    (Harness.Oracle.deliveries_by_round o)
+
+let test_daemon_kind_strings () =
+  List.iter
+    (fun k ->
+      match
+        Harness.Runner.daemon_kind_of_string (Harness.Runner.daemon_kind_to_string k)
+      with
+      | Ok k' -> Alcotest.(check bool) "roundtrip" true (k = k')
+      | Error e -> Alcotest.fail e)
+    Harness.Runner.all_daemon_kinds;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Harness.Runner.daemon_kind_of_string "bogus"))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_table;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "single" `Quick test_workload_single;
+          Alcotest.test_case "uniform" `Quick test_workload_uniform;
+          Alcotest.test_case "all-to-one" `Quick test_workload_all_to_one;
+          Alcotest.test_case "one-to-all" `Quick test_workload_one_to_all;
+          Alcotest.test_case "permutation" `Quick test_workload_permutation;
+          Alcotest.test_case "neighbors" `Quick test_workload_neighbors;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "pristine" `Quick test_fault_pristine;
+          Alcotest.test_case "adversarial domains" `Quick
+            test_fault_adversarial_domains;
+          Alcotest.test_case "needs rng" `Quick test_fault_needs_rng;
+          Alcotest.test_case "fill component" `Quick test_fill_component;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "exactly once" `Quick test_oracle_exactly_once;
+          Alcotest.test_case "detects duplicate" `Quick test_oracle_detects_duplicate;
+          Alcotest.test_case "detects loss" `Quick test_oracle_detects_loss;
+          Alcotest.test_case "invalid bound" `Quick test_oracle_invalid_bound;
+          Alcotest.test_case "daemon strings" `Quick test_daemon_kind_strings;
+          Alcotest.test_case "responder round trip" `Quick test_responder_round_trip;
+          Alcotest.test_case "responder chain" `Quick test_responder_chain_terminates;
+          Alcotest.test_case "deliveries by round" `Quick
+            test_oracle_deliveries_by_round;
+        ] );
+    ]

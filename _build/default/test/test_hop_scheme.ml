@@ -1,0 +1,118 @@
+(* Tests for the hop-count buffer scheme (E10's comparator). *)
+
+let fill t wl =
+  Array.iteri
+    (fun src msgs ->
+      List.iter (fun (dest, info) -> Baseline.Hop_scheme.send t ~src ~dest info) msgs)
+    wl
+
+let test_buffer_count () =
+  let g = Topology.Builders.ring 8 in
+  let t = Baseline.Hop_scheme.create g in
+  Alcotest.(check int) "D + 1 classes" 5 (Baseline.Hop_scheme.buffers_per_processor t)
+
+let test_single_delivery () =
+  let g = Topology.Builders.path 5 in
+  let t = Baseline.Hop_scheme.create g in
+  Baseline.Hop_scheme.send t ~src:0 ~dest:4 "m";
+  (match Baseline.Hop_scheme.run_to_quiescence t with
+  | `Quiescent -> ()
+  | `Max_rounds -> Alcotest.fail "no quiescence");
+  let s = Baseline.Hop_scheme.stats t in
+  Alcotest.(check int) "delivered" 1 (List.length s.Baseline.Hop_scheme.delivered);
+  Alcotest.(check int) "nothing dropped" 0 s.Baseline.Hop_scheme.dropped;
+  let _, m = List.hd s.Baseline.Hop_scheme.delivered in
+  Alcotest.(check int) "travelled the distance" 4 m.Baseline.Hop_scheme.hops
+
+let test_self_addressed () =
+  let g = Topology.Builders.ring 4 in
+  let t = Baseline.Hop_scheme.create g in
+  Baseline.Hop_scheme.send t ~src:1 ~dest:1 "self";
+  ignore (Baseline.Hop_scheme.run_to_quiescence t);
+  let s = Baseline.Hop_scheme.stats t in
+  Alcotest.(check int) "delivered" 1 (List.length s.Baseline.Hop_scheme.delivered)
+
+let test_workload_exactly_once () =
+  let g = Topology.Builders.grid ~rows:3 ~cols:3 in
+  let rng = Prng.Splitmix.of_int 3 in
+  let wl = Harness.Workload.uniform_random rng ~n:9 ~per_processor:3 in
+  let t = Baseline.Hop_scheme.create g in
+  fill t wl;
+  ignore (Baseline.Hop_scheme.run_to_quiescence t);
+  let s = Baseline.Hop_scheme.stats t in
+  Alcotest.(check int) "all delivered" (Harness.Workload.total wl)
+    (List.length s.Baseline.Hop_scheme.delivered);
+  let gids =
+    List.map
+      (fun (_, m) -> m.Baseline.Hop_scheme.ghost.Ssmfp.Message.gid)
+      s.Baseline.Hop_scheme.delivered
+  in
+  Alcotest.(check int) "distinct ghosts" (List.length gids)
+    (List.length (List.sort_uniq compare gids));
+  Alcotest.(check int) "no drops under correct tables" 0
+    s.Baseline.Hop_scheme.dropped
+
+let test_corrupted_tables_drop () =
+  let g = Topology.Builders.ring 6 in
+  let t = Baseline.Hop_scheme.create ~tables:(Routing.Table.worst_all g) g in
+  for src = 0 to 5 do
+    Baseline.Hop_scheme.send t ~src ~dest:((src + 2) mod 6) "x"
+  done;
+  ignore (Baseline.Hop_scheme.run_to_quiescence t);
+  let s = Baseline.Hop_scheme.stats t in
+  Alcotest.(check bool) "drops under corruption" true
+    (s.Baseline.Hop_scheme.dropped > 0);
+  Alcotest.(check int) "conservation: delivered + dropped = sent" 6
+    (List.length s.Baseline.Hop_scheme.delivered + s.Baseline.Hop_scheme.dropped)
+
+let prop_hop_scheme_exactly_once =
+  QCheck.Test.make ~name:"hop scheme delivers exactly once (correct tables)"
+    ~count:50
+    QCheck.(pair (int_range 2 10) (int_range 0 20_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:3 in
+      let wl = Harness.Workload.uniform_random rng ~n ~per_processor:2 in
+      let t = Baseline.Hop_scheme.create g in
+      fill t wl;
+      match Baseline.Hop_scheme.run_to_quiescence t with
+      | `Max_rounds -> false
+      | `Quiescent ->
+          let s = Baseline.Hop_scheme.stats t in
+          List.length s.Baseline.Hop_scheme.delivered = Harness.Workload.total wl
+          && s.Baseline.Hop_scheme.dropped = 0)
+
+let prop_hops_bounded_by_distance =
+  QCheck.Test.make ~name:"hop count equals the shortest-path distance"
+    ~count:40
+    QCheck.(pair (int_range 2 10) (int_range 0 20_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:2 in
+      let src = Prng.Splitmix.int rng n in
+      let dest = Prng.Splitmix.int rng n in
+      let t = Baseline.Hop_scheme.create g in
+      Baseline.Hop_scheme.send t ~src ~dest "m";
+      ignore (Baseline.Hop_scheme.run_to_quiescence t);
+      match (Baseline.Hop_scheme.stats t).Baseline.Hop_scheme.delivered with
+      | [ (_, m) ] ->
+          m.Baseline.Hop_scheme.hops = Topology.Metrics.dist g src dest
+      | _ -> false)
+
+let () =
+  Alcotest.run "hop_scheme"
+    [
+      ( "hop scheme",
+        [
+          Alcotest.test_case "buffer count" `Quick test_buffer_count;
+          Alcotest.test_case "single delivery" `Quick test_single_delivery;
+          Alcotest.test_case "self-addressed" `Quick test_self_addressed;
+          Alcotest.test_case "workload exactly once" `Quick
+            test_workload_exactly_once;
+          Alcotest.test_case "drops under corruption" `Quick
+            test_corrupted_tables_drop;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_hop_scheme_exactly_once; prop_hops_bounded_by_distance ] );
+    ]

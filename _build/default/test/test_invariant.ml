@@ -1,0 +1,130 @@
+(* Tests for the structural invariant checker, plus the key property:
+   invariants hold along arbitrary executions from arbitrary (injector-
+   produced) configurations. *)
+
+let path3 = Topology.Builders.path 3
+
+let msg ?(info = "m") ?(valid = false) ~last ~color at =
+  if valid then
+    Some
+      (Ssmfp.Message.with_recolor
+         (Ssmfp.Message.fresh_valid ~src:last info)
+         ~last ~color)
+  else Some (Ssmfp.Message.fresh_invalid ~at ~last ~color info)
+
+let test_clean_config_ok () =
+  let states = Test_util.config path3 [] in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> Format.asprintf "%a" Ssmfp.Invariant.pp_violation v)
+       (Ssmfp.Invariant.all path3 (Test_util.net_of path3 states)))
+
+let test_domain_violation_detected () =
+  let states = Test_util.config path3 [] in
+  (* a message whose last is not a neighbor of its holder *)
+  Test_util.set_buf states 0 2 `R (msg ~last:2 ~color:0 0);
+  let vs = Ssmfp.Invariant.domains path3 (Test_util.net_of path3 states) in
+  Alcotest.(check int) "flagged" 1 (List.length vs);
+  Alcotest.(check bool) "names the buffer" true
+    (Test_util.contains
+       (Format.asprintf "%a" Ssmfp.Invariant.pp_violation (List.hd vs))
+       "bufR_0")
+
+let test_color_violation_detected () =
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 1 2 `E (msg ~last:1 ~color:9 1);
+  let vs = Ssmfp.Invariant.domains path3 (Test_util.net_of path3 states) in
+  Alcotest.(check int) "flagged" 1 (List.length vs)
+
+let test_ghost_shape_violation () =
+  (* the same valid ghost in two reception buffers with inconsistent
+     last fields: impossible in reachable configurations *)
+  let states = Test_util.config path3 [] in
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  Test_util.set_buf states 0 2 `E (Some (Ssmfp.Message.with_recolor m ~last:0 ~color:1));
+  Test_util.set_buf states 1 2 `R (Some (Ssmfp.Message.with_hop m ~last:2));
+  let vs = Ssmfp.Invariant.ghost_shape path3 (Test_util.net_of path3 states) in
+  Alcotest.(check int) "flagged" 1 (List.length vs)
+
+let test_ghost_shape_legal_star () =
+  (* one emission buffer + a copy stamped with the holder: legal *)
+  let states = Test_util.config path3 [] in
+  let m = Ssmfp.Message.fresh_valid ~src:1 "m" in
+  let at_e = Ssmfp.Message.with_recolor m ~last:1 ~color:1 in
+  Test_util.set_buf states 1 2 `E (Some at_e);
+  Test_util.set_buf states 2 2 `R (Some (Ssmfp.Message.with_hop at_e ~last:1));
+  Alcotest.(check (list string)) "legal" []
+    (List.map
+       (fun v -> v.Ssmfp.Invariant.check)
+       (Ssmfp.Invariant.ghost_shape path3 (Test_util.net_of path3 states)))
+
+let test_check_exn () =
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 0 2 `R (msg ~last:2 ~color:0 0);
+  Alcotest.(check bool) "raises" true
+    (try
+       Ssmfp.Invariant.check_exn path3 (Test_util.net_of path3 states);
+       false
+     with Failure _ -> true)
+
+(* The property: run SSMFP from injector-produced corruption and check
+   every invariant after every step. *)
+let prop_invariants_along_runs =
+  QCheck.Test.make ~name:"invariants hold along arbitrary executions"
+    ~count:30
+    QCheck.(pair (int_range 3 7) (int_range 0 20_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let g = Topology.Builders.random_connected rng ~n ~extra_edges:2 in
+      let wl =
+        Harness.Workload.uniform_random rng ~n ~per_processor:1
+          ~distinct_payloads:false
+      in
+      let spec = Harness.Fault.random_spec rng in
+      let proto = Ssmfp.Protocol.make g in
+      let t =
+        Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+            Harness.Fault.initial_states ~rng spec g ~workload:wl p)
+      in
+      let daemon = Sim.Daemon.distributed_random rng in
+      let raise_requests () =
+        Topology.Graph.iter_vertices
+          (fun p ->
+            let st = Sim.Engine.state t p in
+            if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+              Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+          g
+      in
+      let ok = ref true in
+      (try
+         for _ = 1 to 80 do
+           raise_requests ();
+           match Sim.Engine.step t daemon with
+           | None -> raise Exit
+           | Some _ ->
+               (* Domain and ghost-shape invariants are unconditional;
+                  caterpillar coverage and erasure exclusion too. *)
+               if Ssmfp.Invariant.all g (Sim.Engine.net t) <> [] then begin
+                 ok := false;
+                 raise Exit
+               end
+         done
+       with Exit -> ());
+      !ok)
+
+let () =
+  Alcotest.run "invariant"
+    [
+      ( "checks",
+        [
+          Alcotest.test_case "clean ok" `Quick test_clean_config_ok;
+          Alcotest.test_case "domain violation" `Quick test_domain_violation_detected;
+          Alcotest.test_case "color violation" `Quick test_color_violation_detected;
+          Alcotest.test_case "ghost shape violation" `Quick
+            test_ghost_shape_violation;
+          Alcotest.test_case "ghost shape legal" `Quick test_ghost_shape_legal_star;
+          Alcotest.test_case "check_exn" `Quick test_check_exn;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_invariants_along_runs ] );
+    ]

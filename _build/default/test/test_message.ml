@@ -1,0 +1,80 @@
+(* Tests for messages, flags and ghost identities. *)
+
+let test_fresh_valid () =
+  Ssmfp.Message.reset_ghost_counter ();
+  let m = Ssmfp.Message.fresh_valid ~src:3 "hello" in
+  Alcotest.(check string) "info" "hello" m.Ssmfp.Message.info;
+  Alcotest.(check int) "last = src" 3 m.Ssmfp.Message.last;
+  Alcotest.(check int) "color 0 (rule R1)" 0 m.Ssmfp.Message.color;
+  Alcotest.(check bool) "valid" true (Ssmfp.Message.is_valid m)
+
+let test_fresh_invalid () =
+  let m = Ssmfp.Message.fresh_invalid ~at:1 ~last:2 ~color:3 "x" in
+  Alcotest.(check bool) "invalid" false (Ssmfp.Message.is_valid m);
+  Alcotest.(check int) "color kept" 3 m.Ssmfp.Message.color;
+  Alcotest.(check int) "born at" 1 m.Ssmfp.Message.ghost.Ssmfp.Message.born_src
+
+let test_ghost_ids_unique () =
+  Ssmfp.Message.reset_ghost_counter ();
+  let ms = List.init 100 (fun i -> Ssmfp.Message.fresh_valid ~src:0 (string_of_int i)) in
+  let gids = List.map (fun m -> m.Ssmfp.Message.ghost.Ssmfp.Message.gid) ms in
+  Alcotest.(check int) "all distinct" 100 (List.length (List.sort_uniq compare gids))
+
+let test_same_visible () =
+  let a = Ssmfp.Message.fresh_valid ~src:1 "m" in
+  let b = Ssmfp.Message.fresh_valid ~src:1 "m" in
+  (* distinct ghosts, identical visible triple *)
+  Alcotest.(check bool) "visibly equal" true (Ssmfp.Message.same_visible a b);
+  Alcotest.(check bool) "ghosts differ" true
+    (a.Ssmfp.Message.ghost.Ssmfp.Message.gid
+    <> b.Ssmfp.Message.ghost.Ssmfp.Message.gid);
+  let c = Ssmfp.Message.with_hop a ~last:2 in
+  Alcotest.(check bool) "last matters" false (Ssmfp.Message.same_visible a c)
+
+let test_matches_info_color () =
+  let m = Ssmfp.Message.fresh_invalid ~at:0 ~last:1 ~color:2 "m" in
+  Alcotest.(check bool) "matches (any last)" true
+    (Ssmfp.Message.matches_info_color m ~info:"m" ~color:2);
+  Alcotest.(check bool) "wrong color" false
+    (Ssmfp.Message.matches_info_color m ~info:"m" ~color:1);
+  Alcotest.(check bool) "wrong info" false
+    (Ssmfp.Message.matches_info_color m ~info:"n" ~color:2)
+
+let test_with_hop_preserves_ghost () =
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  let m' = Ssmfp.Message.with_hop m ~last:5 in
+  Alcotest.(check int) "ghost preserved"
+    m.Ssmfp.Message.ghost.Ssmfp.Message.gid
+    m'.Ssmfp.Message.ghost.Ssmfp.Message.gid;
+  Alcotest.(check int) "last changed" 5 m'.Ssmfp.Message.last;
+  Alcotest.(check int) "color kept" m.Ssmfp.Message.color m'.Ssmfp.Message.color
+
+let test_with_recolor () =
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  let m' = Ssmfp.Message.with_recolor m ~last:1 ~color:3 in
+  Alcotest.(check int) "color" 3 m'.Ssmfp.Message.color;
+  Alcotest.(check int) "last" 1 m'.Ssmfp.Message.last;
+  Alcotest.(check string) "info kept" "m" m'.Ssmfp.Message.info
+
+let test_printing () =
+  let v = Ssmfp.Message.fresh_valid ~src:2 "m" in
+  Alcotest.(check string) "valid rendering" "(m,2,0)" (Ssmfp.Message.to_string v);
+  let i = Ssmfp.Message.fresh_invalid ~at:0 ~last:1 ~color:3 "x" in
+  Alcotest.(check string) "invalid rendering" "!(x,1,3)"
+    (Ssmfp.Message.to_string i)
+
+let () =
+  Alcotest.run "message"
+    [
+      ( "messages",
+        [
+          Alcotest.test_case "fresh valid" `Quick test_fresh_valid;
+          Alcotest.test_case "fresh invalid" `Quick test_fresh_invalid;
+          Alcotest.test_case "ghost uniqueness" `Quick test_ghost_ids_unique;
+          Alcotest.test_case "same_visible" `Quick test_same_visible;
+          Alcotest.test_case "matches_info_color" `Quick test_matches_info_color;
+          Alcotest.test_case "with_hop" `Quick test_with_hop_preserves_ghost;
+          Alcotest.test_case "with_recolor" `Quick test_with_recolor;
+          Alcotest.test_case "printing" `Quick test_printing;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the asynchronous message-passing substrate and the SSMFP
+   port. *)
+
+let path3 = Topology.Builders.path 3
+
+(* A trivial echo protocol to test the network mechanics: integers hop to
+   the right, each process counts what it saw. *)
+let counter_net () =
+  Mp.Network.create
+    ~init:(fun _ -> 0)
+    ~handler:(fun ~self ~from:_ count msg ->
+      let sends = if self < 2 && msg > 0 then [ (self + 1, msg - 1) ] else [] in
+      (count + 1, sends))
+    path3
+
+let test_network_fifo () =
+  let net =
+    Mp.Network.create
+      ~init:(fun _ -> [])
+      ~handler:(fun ~self:_ ~from:_ seen msg -> (msg :: seen, []))
+      path3
+  in
+  Mp.Network.inject net ~from:0 ~into:1 "a";
+  Mp.Network.inject net ~from:0 ~into:1 "b";
+  Mp.Network.inject net ~from:0 ~into:1 "c";
+  let rng = Prng.Splitmix.of_int 1 in
+  ignore (Mp.Network.run net rng);
+  Alcotest.(check (list string)) "FIFO order" [ "c"; "b"; "a" ]
+    (Mp.Network.state net 1)
+
+let test_network_relay () =
+  let net = counter_net () in
+  Mp.Network.inject net ~from:0 ~into:1 2;
+  let rng = Prng.Splitmix.of_int 2 in
+  let status = Mp.Network.run net rng in
+  Alcotest.(check bool) "drains" true (status = `Idle);
+  Alcotest.(check int) "two deliveries" 2 (Mp.Network.deliveries net);
+  Alcotest.(check int) "p1 saw one" 1 (Mp.Network.state net 1);
+  Alcotest.(check int) "p2 saw one" 1 (Mp.Network.state net 2)
+
+let test_network_rejects_non_edge () =
+  let net = counter_net () in
+  Alcotest.check_raises "non-edge" (Invalid_argument "Network: not an edge")
+    (fun () -> Mp.Network.inject net ~from:0 ~into:2 5)
+
+let test_network_in_flight () =
+  let net = counter_net () in
+  Alcotest.(check int) "empty" 0 (Mp.Network.in_flight net);
+  Mp.Network.send_all net ~from:1 7;
+  Alcotest.(check int) "two channels" 2 (Mp.Network.in_flight net)
+
+let test_network_budget () =
+  let net =
+    (* ping-pong forever *)
+    Mp.Network.create
+      ~init:(fun _ -> ())
+      ~handler:(fun ~self ~from:_ () () -> ((), [ (1 - self, ()) ]))
+      (Topology.Builders.path 2)
+  in
+  Mp.Network.inject net ~from:0 ~into:1 ();
+  let rng = Prng.Splitmix.of_int 3 in
+  Alcotest.(check bool) "budget stops" true
+    (Mp.Network.run ~max_deliveries:50 net rng = `Max_deliveries);
+  Alcotest.(check int) "counted" 50 (Mp.Network.deliveries net)
+
+(* ---------------- the SSMFP port ---------------- *)
+
+let port_ok ?(spec = Harness.Fault.pristine) ?(garbage = 0) ?(loss = 0.) ~seed g
+    per_processor =
+  let n = Topology.Graph.n g in
+  let rng = Prng.Splitmix.of_int (seed + 13) in
+  let wl = Harness.Workload.uniform_random rng ~n ~per_processor in
+  let t = Mp.Ssmfp_mp.create ~spec ~channel_garbage:garbage ~loss ~seed g wl in
+  let r = Mp.Ssmfp_mp.run t in
+  (r, r.Mp.Ssmfp_mp.outcome = `All_done && r.Mp.Ssmfp_mp.verdict.Harness.Oracle.ok)
+
+let test_port_pristine () =
+  let r, ok = port_ok ~seed:1 (Topology.Builders.ring 5) 2 in
+  Alcotest.(check bool) "SP" true ok;
+  Alcotest.(check int) "all delivered" 10
+    (Harness.Oracle.valid_delivered r.Mp.Ssmfp_mp.oracle)
+
+let test_port_adversarial () =
+  let _, ok =
+    port_ok ~spec:Harness.Fault.adversarial ~seed:2 (Topology.Builders.ring 5) 2
+  in
+  Alcotest.(check bool) "SP from corrupted processes" true ok
+
+let test_port_channel_garbage () =
+  let _, ok =
+    port_ok ~spec:Harness.Fault.adversarial ~garbage:40 ~seed:3
+      Topology.Builders.paper_figure2 2
+  in
+  Alcotest.(check bool) "SP with garbage in flight" true ok
+
+let test_network_loss_and_timeout () =
+  (* a lossy relay with timeout-driven resend: the message still gets
+     through *)
+  let arrived = ref false in
+  let net =
+    Mp.Network.create ~loss:0.5
+      ~timeout:(fun ~self s ->
+        (* processor 0 keeps retransmitting until delivery is confirmed
+           locally (s = true means it sent at least the original) *)
+        if self = 0 && s then (s, [ (1, "payload") ]) else (s, []))
+      ~init:(fun p -> p = 0)
+      ~handler:(fun ~self ~from:_ s msg ->
+        if self = 1 && msg = "payload" then arrived := true;
+        (s, []))
+      (Topology.Builders.path 2)
+  in
+  Mp.Network.inject net ~from:0 ~into:1 "payload";
+  let rng = Prng.Splitmix.of_int 9 in
+  ignore
+    (Mp.Network.run ~max_deliveries:500 ~stop:(fun _ -> !arrived) net rng);
+  Alcotest.(check bool) "arrived despite loss" true !arrived
+
+let test_port_lossy_channels () =
+  let _, ok =
+    port_ok ~spec:Harness.Fault.adversarial ~garbage:10 ~loss:0.25 ~seed:6
+      (Topology.Builders.ring 5) 2
+  in
+  Alcotest.(check bool) "SP with 25%% snapshot loss" true ok
+
+let test_port_pulses_advance () =
+  let r, _ = port_ok ~seed:4 (Topology.Builders.path 3) 1 in
+  Alcotest.(check bool) "pulses advanced" true (r.Mp.Ssmfp_mp.max_pulse > 0)
+
+let prop_port_sp =
+  QCheck.Test.make ~name:"MP port satisfies SP from random corruption"
+    ~count:15
+    QCheck.(pair (int_range 3 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let g = Topology.Builders.ring n in
+      let rng = Prng.Splitmix.of_int seed in
+      let spec = Harness.Fault.random_spec rng in
+      let _, ok = port_ok ~spec ~garbage:(seed mod 15) ~seed g 1 in
+      ok)
+
+let () =
+  Alcotest.run "mp"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "fifo" `Quick test_network_fifo;
+          Alcotest.test_case "relay" `Quick test_network_relay;
+          Alcotest.test_case "rejects non-edge" `Quick test_network_rejects_non_edge;
+          Alcotest.test_case "in flight" `Quick test_network_in_flight;
+          Alcotest.test_case "delivery budget" `Quick test_network_budget;
+          Alcotest.test_case "loss + timeout" `Quick test_network_loss_and_timeout;
+        ] );
+      ( "ssmfp port",
+        [
+          Alcotest.test_case "pristine" `Quick test_port_pristine;
+          Alcotest.test_case "adversarial" `Quick test_port_adversarial;
+          Alcotest.test_case "channel garbage" `Quick test_port_channel_garbage;
+          Alcotest.test_case "lossy channels" `Quick test_port_lossy_channels;
+          Alcotest.test_case "pulses advance" `Quick test_port_pulses_advance;
+          QCheck_alcotest.to_alcotest prop_port_sp;
+        ] );
+    ]

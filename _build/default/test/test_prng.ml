@@ -1,0 +1,184 @@
+(* Unit and property tests for the SplitMix64 PRNG. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+
+let test_determinism () =
+  let a = Prng.Splitmix.of_int 42 and b = Prng.Splitmix.of_int 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.Splitmix.next_int64 a)
+      (Prng.Splitmix.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.Splitmix.of_int 1 and b = Prng.Splitmix.of_int 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Splitmix.next_int64 a = Prng.Splitmix.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_is_independent () =
+  let a = Prng.Splitmix.of_int 7 in
+  ignore (Prng.Splitmix.next_int64 a);
+  let b = Prng.Splitmix.copy a in
+  let xa = Prng.Splitmix.next_int64 a in
+  (* advancing a does not disturb b's next draw *)
+  let xb = Prng.Splitmix.next_int64 b in
+  check Alcotest.int64 "copy replays" xa xb
+
+let test_split_diverges () =
+  let a = Prng.Splitmix.of_int 7 in
+  let b = Prng.Splitmix.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Splitmix.next_int64 a = Prng.Splitmix.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Prng.Splitmix.of_int 3 in
+  for bound = 1 to 50 do
+    for _ = 1 to 50 do
+      let x = Prng.Splitmix.int rng bound in
+      Alcotest.(check bool) "in range" true (x >= 0 && x < bound)
+    done
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Prng.Splitmix.of_int 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Splitmix.int: bound <= 0")
+    (fun () -> ignore (Prng.Splitmix.int rng 0))
+
+let test_int_in () =
+  let rng = Prng.Splitmix.of_int 4 in
+  for _ = 1 to 200 do
+    let x = Prng.Splitmix.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Prng.Splitmix.of_int 5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.Splitmix.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Prng.Splitmix.of_int 6 in
+  for _ = 1 to 500 do
+    let x = Prng.Splitmix.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Prng.Splitmix.of_int 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 false" false (Prng.Splitmix.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 true" true (Prng.Splitmix.bernoulli rng 1.)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.Splitmix.of_int 8 in
+  let hits = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Prng.Splitmix.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_choose () =
+  let rng = Prng.Splitmix.of_int 9 in
+  for _ = 1 to 100 do
+    let x = Prng.Splitmix.choose rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Splitmix.choose: empty list")
+    (fun () -> ignore (Prng.Splitmix.choose rng []))
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.Splitmix.of_int 10 in
+  let xs = List.init 20 Fun.id in
+  for _ = 1 to 20 do
+    let ys = Prng.Splitmix.shuffle rng xs in
+    check
+      Alcotest.(list int_t)
+      "same multiset" xs
+      (List.sort compare ys)
+  done
+
+let test_sample_without_replacement () =
+  let rng = Prng.Splitmix.of_int 11 in
+  for _ = 1 to 50 do
+    let s = Prng.Splitmix.sample_without_replacement rng 5 10 in
+    check int_t "size" 5 (List.length s);
+    check int_t "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter
+      (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 10))
+      s
+  done
+
+let test_nonempty_subset () =
+  let rng = Prng.Splitmix.of_int 12 in
+  for _ = 1 to 100 do
+    let s = Prng.Splitmix.nonempty_subset rng [ 1; 2; 3; 4 ] in
+    Alcotest.(check bool) "non-empty" true (s <> []);
+    Alcotest.(check bool) "subset" true
+      (List.for_all (fun x -> List.mem x [ 1; 2; 3; 4 ]) s)
+  done
+
+(* Property-based *)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let x = Prng.Splitmix.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Prng.Splitmix.of_int seed in
+      List.sort compare (Prng.Splitmix.shuffle rng xs) = List.sort compare xs)
+
+let prop_subset_preserves_order =
+  QCheck.Test.make ~name:"subset preserves relative order" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let xs = List.mapi (fun i x -> (i, x)) xs in
+      let ys = Prng.Splitmix.subset rng ~p:0.5 xs in
+      List.sort compare ys = ys)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_copy_is_independent;
+          Alcotest.test_case "split divergence" `Quick test_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "int coverage" `Quick test_int_covers_all_values;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "nonempty subset" `Quick test_nonempty_subset;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_range; prop_shuffle_permutation; prop_subset_preserves_order ]
+      );
+    ]

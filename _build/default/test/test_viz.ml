@@ -1,0 +1,67 @@
+(* Tests for the textual configuration renderer. *)
+
+let path3 = Topology.Builders.path 3
+
+let test_component_rendering () =
+  let states = Test_util.config path3 [] in
+  Test_util.set_buf states 0 2 `E
+    (Some (Ssmfp.Message.fresh_invalid ~at:0 ~last:0 ~color:1 "m"));
+  states.(1) <- { (states.(1)) with Ssmfp.State.request = true };
+  let s = Harness.Viz.component path3 (Test_util.net_of path3 states) ~dest:2 in
+  Alcotest.(check bool) "shows the message" true
+    (Test_util.contains s "E[!(m,0,1)]");
+  Alcotest.(check bool) "shows next hop" true (Test_util.contains s "p0: nextHop=p1");
+  Alcotest.(check bool) "shows request" true (Test_util.contains s "req");
+  Alcotest.(check int) "one line per processor" 3
+    (List.length (String.split_on_char '\n' s))
+
+let test_component_letters () =
+  let states = Test_util.config path3 [] in
+  let s =
+    Harness.Viz.component ~letters:true path3 (Test_util.net_of path3 states)
+      ~dest:2
+  in
+  Alcotest.(check bool) "letters" true (Test_util.contains s "a: nextHop=b")
+
+let test_digest () =
+  let states = Test_util.config path3 [] in
+  states.(2) <- Ssmfp.State.push_outbox states.(2) ~dest:0 "x";
+  let s = Harness.Viz.digest path3 (Test_util.net_of path3 states) in
+  Alcotest.(check bool) "outbox count" true
+    (Test_util.contains s "outbox=1");
+  Alcotest.(check int) "three lines" 3
+    (List.length (String.split_on_char '\n' s))
+
+let test_caterpillars_view () =
+  let states = Test_util.config path3 [] in
+  let s =
+    Harness.Viz.caterpillars path3 (Test_util.net_of path3 states) ~dest:2
+  in
+  Alcotest.(check string) "empty component" "(no message in this component)" s;
+  Test_util.set_buf states 1 2 `R
+    (Some (Ssmfp.Message.fresh_invalid ~at:1 ~last:1 ~color:0 "m"));
+  let s =
+    Harness.Viz.caterpillars path3 (Test_util.net_of path3 states) ~dest:2
+  in
+  Alcotest.(check bool) "classifies" true (Test_util.contains s "type 1")
+
+let test_frame () =
+  let states = Test_util.config path3 [] in
+  let s =
+    Harness.Viz.frame path3 (Test_util.net_of path3 states) ~dest:2 ~step:7
+      ~moves:[ "p1:R2" ]
+  in
+  Alcotest.(check bool) "header" true (Test_util.contains s "-- step 7: p1:R2 --")
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "rendering",
+        [
+          Alcotest.test_case "component" `Quick test_component_rendering;
+          Alcotest.test_case "letters" `Quick test_component_letters;
+          Alcotest.test_case "digest" `Quick test_digest;
+          Alcotest.test_case "caterpillars" `Quick test_caterpillars_view;
+          Alcotest.test_case "frame" `Quick test_frame;
+        ] );
+    ]
