@@ -3,13 +3,26 @@
    paths. `dune exec bench/main.exe` runs everything; pass experiment ids
    (e.g. `e1 e7 figures micro`) to run a subset. *)
 
+(* One timed experiment outcome, accumulated into BENCH.json so the
+   perf trajectory of the suite finally survives across runs. *)
+type timing = {
+  id : string;
+  title : string;
+  seconds : float;
+  ok : bool;
+  notes : string list;
+}
+
 let run_tables filter =
-  List.iter
-    (fun (name, outcome) ->
+  List.filter_map
+    (fun (name, experiment) ->
       let id =
         String.lowercase_ascii (List.hd (String.split_on_char ' ' name))
       in
       if filter = [] || List.mem id filter then begin
+        let t0 = Unix.gettimeofday () in
+        let outcome = experiment () in
+        let seconds = Unix.gettimeofday () -. t0 in
         Harness.Report.section name;
         Harness.Report.print outcome.Experiments.Tables.table;
         if outcome.Experiments.Tables.ok then
@@ -19,9 +32,48 @@ let run_tables filter =
           List.iter
             (fun s -> Harness.Report.note ("  " ^ s))
             outcome.Experiments.Tables.notes
-        end
-      end)
-    (Experiments.Tables.all ())
+        end;
+        Harness.Report.note (Printf.sprintf "wall clock: %.3f s" seconds);
+        Some
+          {
+            id;
+            title = name;
+            seconds;
+            ok = outcome.Experiments.Tables.ok;
+            notes = outcome.Experiments.Tables.notes;
+          }
+      end
+      else None)
+    (Experiments.Tables.suite ())
+
+let write_bench_json path timings total_seconds =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("suite", String "ssmfp experiment tables");
+        ("total_seconds", Float total_seconds);
+        ( "experiments",
+          List
+            (List.map
+               (fun t ->
+                 Obj
+                   [
+                     ("id", String t.id);
+                     ("title", String t.title);
+                     ("seconds", Float t.seconds);
+                     ("ok", Bool t.ok);
+                     ("notes", List (List.map (fun s -> String s) t.notes));
+                   ])
+               timings) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d experiments, %.1f s total)\n" path
+    (List.length timings) total_seconds
 
 (* Write every table as CSV and every figure as text/DOT under a
    directory (default "artifacts"). *)
@@ -282,8 +334,11 @@ let () =
     in
     List.filter is_id args
   in
-  if table_filter <> [] || args = [] || List.mem "tables" args then
-    run_tables table_filter;
+  if table_filter <> [] || args = [] || List.mem "tables" args then begin
+    let t0 = Unix.gettimeofday () in
+    let timings = run_tables table_filter in
+    write_bench_json "BENCH.json" timings (Unix.gettimeofday () -. t0)
+  end;
   if want "figures" then run_figures ();
   if want "charts" then begin
     run_charts ();

@@ -89,6 +89,72 @@ let daemon_conv =
   Arg.conv (parse, fun fmt k ->
       Format.pp_print_string fmt (Harness.Runner.daemon_kind_to_string k))
 
+(* The machine-readable twin of the `run` command's printed report. *)
+let run_summary_json ~topology ~n ~graph ~corruption ~daemon ~seed
+    ~journal_file (r : Harness.Runner.result) =
+  let open Obs.Json in
+  let oracle = r.Harness.Runner.oracle in
+  let stats = r.Harness.Runner.stats in
+  Obj
+    [
+      ( "topology",
+        Obj
+          [
+            ("name", String topology);
+            ("n", Int n);
+            ("max_degree", Int (Topology.Graph.max_degree graph));
+            ("diameter", Int (Topology.Metrics.diameter graph));
+          ] );
+      ("corruption", String corruption);
+      ("daemon", String (Harness.Runner.daemon_kind_to_string daemon));
+      ("seed", Int seed);
+      ( "outcome",
+        String
+          (match r.Harness.Runner.outcome with
+          | `Quiescent -> "quiescent"
+          | `Max_steps -> "max_steps") );
+      ( "stats",
+        Obj
+          [
+            ("steps", Int stats.Sim.Engine.steps);
+            ("rounds", Int stats.Sim.Engine.rounds);
+            ("moves", Int stats.Sim.Engine.moves);
+            ( "moves_by_rule",
+              Obj
+                (List.map
+                   (fun (rule, k) -> (rule, Int k))
+                   stats.Sim.Engine.moves_by_rule) );
+          ] );
+      ("routing_settled_round", Int r.Harness.Runner.routing_settled_round);
+      ("invalid_planted", Int r.Harness.Runner.invalid_planted);
+      ("submitted", Int r.Harness.Runner.submitted);
+      ( "oracle",
+        Obj
+          [
+            ("valid_generated", Int (Harness.Oracle.valid_generated oracle));
+            ("valid_delivered", Int (Harness.Oracle.valid_delivered oracle));
+            ( "invalid_delivered",
+              Int (Harness.Oracle.invalid_delivered_total oracle) );
+            ( "duplicated_ghosts",
+              Int (List.length (Harness.Oracle.duplicated_ghosts oracle)) );
+            ("lost_ghosts", Int (List.length (Harness.Oracle.lost_ghosts oracle)));
+            ("invalid_bound", Int (2 * n));
+          ] );
+      ( "verdict",
+        Obj
+          [
+            ("ok", Bool r.Harness.Runner.verdict.Harness.Oracle.ok);
+            ( "violations",
+              List
+                (List.map
+                   (fun s -> String s)
+                   r.Harness.Runner.verdict.Harness.Oracle.violations) );
+          ] );
+      ("metrics", Obs.Metrics.snapshot_to_json r.Harness.Runner.metrics);
+      ( "journal",
+        match journal_file with None -> Null | Some f -> String f );
+    ]
+
 let run_cmd =
   let corruption =
     Arg.(
@@ -136,8 +202,26 @@ let run_cmd =
       value & opt int 2_000_000
       & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget.")
   in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable run summary (outcome, engine stats, \
+             oracle verdict, metrics snapshot) to $(docv).")
+  in
+  let journal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event journal to $(docv) as JSONL (one \
+             protocol event per line with step, round, pid and ghost id).")
+  in
   let run (name, graph) (spec_name, spec) daemon seed messages max_steps
-      workload_kind =
+      workload_kind json_file journal_file =
     let n = Topology.Graph.n graph in
     let rng = Prng.Splitmix.of_int (seed + 7919) in
     let workload =
@@ -154,7 +238,12 @@ let run_cmd =
     let cfg =
       Harness.Runner.config ~spec ~daemon ~seed ~max_steps graph workload
     in
-    let r = Harness.Runner.run cfg in
+    let obs =
+      if json_file <> None || journal_file <> None then
+        Some (Obs.Sink.create ~with_journal:(journal_file <> None) ())
+      else None
+    in
+    let r = Harness.Runner.run ?obs cfg in
     Printf.printf "topology    : %s (n=%d, Δ=%d, D=%d)\n" name n
       (Topology.Graph.max_degree graph)
       (Topology.Metrics.diameter graph);
@@ -185,12 +274,34 @@ let run_cmd =
     Printf.printf "SP verdict  : %s\n"
       (if r.verdict.Harness.Oracle.ok then "satisfied (exactly-once)"
        else "VIOLATED — " ^ String.concat "; " r.verdict.Harness.Oracle.violations);
-    if r.verdict.Harness.Oracle.ok then 0 else 1
+    try
+      (match (journal_file, Option.map Obs.Sink.journal obs) with
+      | Some path, Some (Some j) ->
+          Obs.Journal.write_jsonl path j;
+          Printf.printf "journal     : %d events -> %s\n" (Obs.Journal.length j)
+            path
+      | _ -> ());
+      (match json_file with
+      | None -> ()
+      | Some path ->
+          let summary =
+            run_summary_json ~topology:name ~n ~graph ~corruption:spec_name
+              ~daemon ~seed ~journal_file r
+          in
+          let oc = open_out path in
+          output_string oc (Obs.Json.to_string summary);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "summary     : %s\n" path);
+      if r.verdict.Harness.Oracle.ok then 0 else 1
+    with Sys_error msg ->
+      Printf.eprintf "ssmfp_cli: cannot write artifact: %s\n" msg;
+      2
   in
   let term =
     Term.(
       const run $ topology_arg $ corruption $ daemon $ seed $ messages
-      $ max_steps $ workload_kind)
+      $ max_steps $ workload_kind $ json_file $ journal_file)
   in
   Cmd.v
     (Cmd.info "run"

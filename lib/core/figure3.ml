@@ -109,7 +109,7 @@ let script : ((engine -> unit) option * (int * string) list) list =
     (None, [ (b, "R6") ]); (* the valid m' delivered *)
   ]
 
-let run () =
+let run ?on_event () =
   Message.reset_ghost_counter ();
   let protocol = Protocol.make ~run_routing:false graph in
   let t = Sim.Engine.make ~graph ~protocol ~init in
@@ -124,8 +124,12 @@ let run () =
     (match Sim.Engine.step t daemon with
     | None -> failwith "figure3: configuration unexpectedly terminal"
     | Some events ->
+        let round = (Sim.Engine.stats t).Sim.Engine.rounds in
         List.iter
-          (fun (_, ev) ->
+          (fun (pid, ev) ->
+            (match on_event with
+            | Some f -> f ~step:i ~round ~pid ev
+            | None -> ());
             match ev with
             | Protocol.Delivered m ->
                 deliveries := { at_step = i; message = m } :: !deliveries

@@ -43,8 +43,15 @@ val graph : Topology.Graph.t
 val destination : int
 (** b = 1. *)
 
-val run : unit -> result
-(** Execute the scripted schedule. Deterministic. *)
+val run :
+  ?on_event:(step:int -> round:int -> pid:int -> Protocol.event -> unit) ->
+  unit ->
+  result
+(** Execute the scripted schedule. Deterministic (the ghost counter is
+    reset first, so ghost ids are stable run to run). [on_event] sees
+    every protocol event with the engine's step and round counters —
+    the hook the observability layer's journal subscribes to (the
+    golden-journal test relies on the determinism). *)
 
 val expected_deliveries : string list
 (** The useful informations in expected delivery order:

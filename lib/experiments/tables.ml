@@ -948,18 +948,20 @@ let e12_choice_fairness () =
   case "ring8" (Topology.Builders.ring 8) 175;
   result table
 
-let all () =
+let suite () =
   [
-    ("E1 (Prop 4: invalid deliveries <= 2n)", e1_invalid_deliveries ());
-    ("E2 (Prop 5: worst-case latency)", e2_worst_case_latency ());
-    ("E3 (Prop 6: delay & waiting time)", e3_delay_and_waiting ());
-    ("E4 (Prop 7: amortized rounds/delivery)", e4_amortized ());
-    ("E5 (substrate: measured R_A)", e5_routing_stabilization ());
-    ("E6 (over-cost vs fault-free baseline)", e6_overhead_vs_baseline ());
-    ("E7 (snap-stabilization matrix + model check)", e7_snap_stabilization ());
-    ("E8 (ablations)", e8_ablations ());
-    ("E9 (message-passing port)", e9_message_passing ());
-    ("E10 (buffer economics of deadlock-free schemes)", e10_buffer_economics ());
-    ("E11 (daemon sensitivity)", e11_daemon_sensitivity ());
-    ("E12 (choice fairness: passes per hop <= Δ)", e12_choice_fairness ());
+    ("E1 (Prop 4: invalid deliveries <= 2n)", e1_invalid_deliveries);
+    ("E2 (Prop 5: worst-case latency)", e2_worst_case_latency);
+    ("E3 (Prop 6: delay & waiting time)", e3_delay_and_waiting);
+    ("E4 (Prop 7: amortized rounds/delivery)", e4_amortized);
+    ("E5 (substrate: measured R_A)", e5_routing_stabilization);
+    ("E6 (over-cost vs fault-free baseline)", e6_overhead_vs_baseline);
+    ("E7 (snap-stabilization matrix + model check)", e7_snap_stabilization);
+    ("E8 (ablations)", e8_ablations);
+    ("E9 (message-passing port)", e9_message_passing);
+    ("E10 (buffer economics of deadlock-free schemes)", e10_buffer_economics);
+    ("E11 (daemon sensitivity)", e11_daemon_sensitivity);
+    ("E12 (choice fairness: passes per hop <= \xce\x94)", e12_choice_fairness);
   ]
+
+let all () = List.map (fun (name, f) -> (name, f ())) (suite ())

@@ -72,5 +72,9 @@ val e12_choice_fairness : unit -> outcome
     times before being served (the rotating queue's guarantee; the [Δ^D]
     worst case compounds exactly this per-hop bound). *)
 
+val suite : unit -> (string * (unit -> outcome)) list
+(** Every experiment, keyed by its display name, *unevaluated* — so
+    callers (the bench) can time and report each one individually. *)
+
 val all : unit -> (string * outcome) list
-(** Every table, keyed by experiment id, in order. *)
+(** Every table, keyed by experiment id, in order ({!suite}, forced). *)

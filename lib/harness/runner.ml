@@ -76,6 +76,7 @@ type result = {
          higher layer over the whole run *)
   routing_settled_round : int;
   final_net : Ssmfp.State.t Sim.Engine.net;
+  metrics : Obs.Metrics.snapshot;
 }
 
 let make_daemon kind rng =
@@ -87,7 +88,13 @@ let make_daemon kind rng =
   | Adversarial_lowest -> Sim.Daemon.adversarial_lowest ()
   | Random_action -> Sim.Daemon.random_action rng
 
-let run cfg =
+let run ?obs cfg =
+  let sink = match obs with Some s -> s | None -> Obs.Sink.create () in
+  let metrics = Obs.Sink.metrics sink in
+  let journal = Obs.Sink.journal sink in
+  (* Deep probes rescan the configuration every step; only pay for them
+     when a caller attached a sink and therefore wants the telemetry. *)
+  let deep = obs <> None in
   let master = Prng.Splitmix.of_int cfg.seed in
   let fault_rng = Prng.Splitmix.split master in
   let daemon_rng = Prng.Splitmix.split master in
@@ -136,7 +143,7 @@ let run cfg =
               (Ssmfp.State.push_outbox st ~dest info))
           (f pid m.Ssmfp.Message.info)
   in
-  let on_events ~step:_ events =
+  let on_events ~step events =
     let round = (Sim.Engine.stats engine).Sim.Engine.rounds in
     List.iter
       (fun (pid, ev) ->
@@ -145,12 +152,34 @@ let run cfg =
         | Ssmfp.Protocol.Delivered m when Ssmfp.Message.is_valid m ->
             respond pid m
         | _ -> ());
+        (match journal with
+        | Some j -> Obs.Journal.record j ~step ~round ~pid ev
+        | None -> ());
         Oracle.observe oracle ~round ~pid ev)
       events
   in
+  let probe =
+    {
+      Sim.Engine.on_move =
+        (fun ~pid:_ ~rule -> Obs.Metrics.incr metrics ("moves." ^ rule));
+      on_step =
+        (fun ~step:_ ~frontier ~moves ->
+          Obs.Metrics.observe metrics "engine.frontier_size"
+            (float_of_int frontier);
+          Obs.Metrics.observe metrics "engine.moves_per_step"
+            (float_of_int moves);
+          if deep then
+            Obs.Metrics.observe metrics "engine.buffer_occupancy"
+              (float_of_int
+                 (Ssmfp.Protocol.message_count (Sim.Engine.net engine))));
+      on_round =
+        (fun ~round:_ ~moves ->
+          Obs.Metrics.observe metrics "engine.round_moves" (float_of_int moves));
+    }
+  in
   let status =
     Sim.Engine.run ~max_steps:cfg.max_steps ~before_step:raise_requests
-      ~on_events engine daemon
+      ~on_events ~probe engine daemon
   in
   let outcome =
     match status with
@@ -163,15 +192,37 @@ let run cfg =
       ~n:(Topology.Graph.n cfg.graph)
       ~at_quiescence:(outcome = `Quiescent)
   in
+  let stats = Sim.Engine.stats engine in
+  (* Final aggregates: engine totals as gauges, oracle tallies as
+     counters, and the oracle's per-message timing samples as
+     histograms, so a snapshot alone tells the run's story. *)
+  Obs.Metrics.set_gauge metrics "engine.steps" (float_of_int stats.Sim.Engine.steps);
+  Obs.Metrics.set_gauge metrics "engine.rounds" (float_of_int stats.Sim.Engine.rounds);
+  Obs.Metrics.set_gauge metrics "engine.moves" (float_of_int stats.Sim.Engine.moves);
+  Obs.Metrics.incr metrics ~by:(Oracle.valid_generated oracle)
+    "oracle.valid_generated";
+  Obs.Metrics.incr metrics ~by:(Oracle.valid_delivered oracle)
+    "oracle.valid_delivered";
+  Obs.Metrics.incr metrics ~by:(Oracle.invalid_delivered_total oracle)
+    "oracle.invalid_delivered";
+  Obs.Metrics.incr metrics ~by:invalid_planted "oracle.invalid_planted";
+  Obs.Metrics.incr metrics ~by:!submitted "oracle.submitted";
+  List.iter
+    (fun l -> Obs.Metrics.observe metrics "oracle.latency_rounds" l)
+    (Oracle.latencies oracle);
+  List.iter
+    (fun d -> Obs.Metrics.observe metrics "oracle.delay_rounds" d)
+    (Oracle.delays oracle);
   {
     outcome;
-    stats = Sim.Engine.stats engine;
+    stats;
     oracle;
     verdict;
     invalid_planted;
     submitted = !submitted;
     routing_settled_round = !routing_settled;
     final_net = Sim.Engine.net engine;
+    metrics = Obs.Metrics.snapshot metrics;
   }
 
 let run_baseline graph workload =

@@ -67,10 +67,20 @@ type result = {
       (** round of the last routing-table write (measured [R_A]; 0 when
           tables start correct or [A] is frozen) *)
   final_net : Ssmfp.State.t Sim.Engine.net;
+  metrics : Obs.Metrics.snapshot;
+      (** telemetry of the run: [moves.*] counters per rule, [engine.*]
+          step/round/frontier series, [oracle.*] tallies and latency /
+          delay histograms (see README "Observability") *)
 }
 
-val run : config -> result
-(** Execute to quiescence (engine terminal) or [max_steps]. *)
+val run : ?obs:Obs.Sink.t -> config -> result
+(** Execute to quiescence (engine terminal) or [max_steps].
+
+    [obs], when given, receives the full telemetry of the run: every
+    protocol event lands in the sink's journal (if it has one) and
+    deep per-step probes (buffer-occupancy sampling) are switched on.
+    Without it the runner still meters the cheap series and returns the
+    snapshot in [metrics]. *)
 
 val run_baseline :
   Topology.Graph.t -> Workload.t -> Baseline.Forwarding.stats

@@ -25,26 +25,28 @@ let stddev = function
 let minimum = function [] -> nan | xs -> List.fold_left min infinity xs
 let maximum = function [] -> nan | xs -> List.fold_left max neg_infinity xs
 
-let percentile p = function
-  | [] -> nan
-  | xs ->
-      let sorted = List.sort compare xs in
-      let n = List.length sorted in
-      let rank =
-        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
-      in
-      List.nth sorted (max 0 (min (n - 1) rank))
+(* Nearest-rank percentile over an already sorted sample, so [summarize]
+   sorts once and shares the result across p50/p90/p99 (and min/max). *)
+let percentile_sorted p sorted n =
+  if n = 0 then nan
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    List.nth sorted (max 0 (min (n - 1) rank))
+
+let percentile p xs = percentile_sorted p (List.sort compare xs) (List.length xs)
 
 let summarize xs =
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
   {
-    count = count xs;
+    count = n;
     mean = mean xs;
     stddev = stddev xs;
-    min = minimum xs;
-    max = maximum xs;
-    p50 = percentile 50. xs;
-    p90 = percentile 90. xs;
-    p99 = percentile 99. xs;
+    min = (match sorted with [] -> nan | x :: _ -> x);
+    max = (match sorted with [] -> nan | _ -> List.nth sorted (n - 1));
+    p50 = percentile_sorted 50. sorted n;
+    p90 = percentile_sorted 90. sorted n;
+    p99 = percentile_sorted 99. sorted n;
   }
 
 let of_ints = List.map float_of_int

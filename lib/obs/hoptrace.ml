@@ -1,0 +1,142 @@
+type hop = { at : int; round : int; kind : Journal.kind }
+
+type trace = {
+  gid : int;
+  valid : bool;
+  info : string;
+  dest : int;
+  generated : (int * int) option;
+  hops : hop list;
+  path : int list;
+  deliveries : (int * int) list;
+}
+
+type anomaly = Duplicate_delivery of int * int | Lost_ghost of int
+
+let anomaly_to_string = function
+  | Duplicate_delivery (gid, k) ->
+      Printf.sprintf "ghost %d delivered %d times" gid k
+  | Lost_ghost gid -> Printf.sprintf "valid ghost %d generated but never delivered" gid
+
+type partial = {
+  mutable p_valid : bool;
+  mutable p_info : string;
+  mutable p_dest : int;
+  mutable p_generated : (int * int) option;
+  mutable p_rev_hops : hop list;
+  mutable p_rev_copies : int list;
+  mutable p_rev_deliveries : (int * int) list;
+}
+
+let of_entries entries =
+  let ghosts : (int, partial) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let partial_of gid =
+    match Hashtbl.find_opt ghosts gid with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            p_valid = false;
+            p_info = "";
+            p_dest = -1;
+            p_generated = None;
+            p_rev_hops = [];
+            p_rev_copies = [];
+            p_rev_deliveries = [];
+          }
+        in
+        Hashtbl.replace ghosts gid p;
+        order := gid :: !order;
+        p
+  in
+  List.iter
+    (fun (e : Journal.entry) ->
+      match e.Journal.gid with
+      | None -> ()
+      | Some gid ->
+          let p = partial_of gid in
+          p.p_valid <- e.Journal.valid;
+          p.p_info <- e.Journal.info;
+          p.p_dest <- e.Journal.dest;
+          p.p_rev_hops <-
+            { at = e.Journal.pid; round = e.Journal.round; kind = e.Journal.kind }
+            :: p.p_rev_hops;
+          (match e.Journal.kind with
+          | Journal.Generated ->
+              if p.p_generated = None then
+                p.p_generated <- Some (e.Journal.pid, e.Journal.round)
+          | Journal.Copied -> p.p_rev_copies <- e.Journal.pid :: p.p_rev_copies
+          | Journal.Delivered ->
+              p.p_rev_deliveries <-
+                (e.Journal.pid, e.Journal.round) :: p.p_rev_deliveries
+          | _ -> ()))
+    entries;
+  List.rev_map
+    (fun gid ->
+      let p = Hashtbl.find ghosts gid in
+      let path =
+        match p.p_generated with
+        | None -> []
+        | Some (src, _) -> src :: List.rev p.p_rev_copies
+      in
+      {
+        gid;
+        valid = p.p_valid;
+        info = p.p_info;
+        dest = p.p_dest;
+        generated = p.p_generated;
+        hops = List.rev p.p_rev_hops;
+        path;
+        deliveries = List.rev p.p_rev_deliveries;
+      })
+    !order
+  |> List.sort (fun a b -> compare a.gid b.gid)
+
+let find traces ~gid = List.find_opt (fun t -> t.gid = gid) traces
+
+let anomalies ?(at_quiescence = true) traces =
+  List.concat_map
+    (fun t ->
+      if not t.valid then []
+      else
+        match List.length t.deliveries with
+        | k when k >= 2 -> [ Duplicate_delivery (t.gid, k) ]
+        | 0 when at_quiescence && t.generated <> None -> [ Lost_ghost t.gid ]
+        | _ -> [])
+    traces
+
+let invalid_sightings traces =
+  List.length (List.filter (fun t -> not t.valid) traces)
+
+let to_json t =
+  Json.Obj
+    [
+      ("gid", Json.Int t.gid);
+      ("valid", Json.Bool t.valid);
+      ("info", Json.String t.info);
+      ("dest", Json.Int t.dest);
+      ( "generated",
+        match t.generated with
+        | None -> Json.Null
+        | Some (pid, round) ->
+            Json.Obj [ ("pid", Json.Int pid); ("round", Json.Int round) ] );
+      ("path", Json.List (List.map (fun p -> Json.Int p) t.path));
+      ( "hops",
+        Json.List
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [
+                   ("at", Json.Int h.at);
+                   ("round", Json.Int h.round);
+                   ("kind", Json.String (Journal.kind_to_string h.kind));
+                 ])
+             t.hops) );
+      ( "deliveries",
+        Json.List
+          (List.map
+             (fun (pid, round) ->
+               Json.Obj [ ("pid", Json.Int pid); ("round", Json.Int round) ])
+             t.deliveries) );
+    ]

@@ -1,0 +1,60 @@
+(** Per-message hop tracing: reconstruct each ghost's journey from a
+    journal and flag trajectory anomalies.
+
+    A valid message's life under SSMFP is generation by R1 at its source
+    (into [bufR]), an R2 internal forward into [bufE], then alternating
+    R3 copies (buffer-to-buffer hops towards the destination) and R2
+    internal forwards, ending in an R6 delivery. The {!path} of a trace
+    is therefore the generation processor followed by the processors
+    that executed R3 — exactly the chain of [nextHop] pointers the
+    routing tables prescribed while the message travelled. The oracle
+    already *counts* losses and duplications; a trace *explains* them:
+    which hops happened, in which rounds, and where the journey
+    stopped. *)
+
+type hop = { at : int;  (** processor *) round : int; kind : Journal.kind }
+
+type trace = {
+  gid : int;
+  valid : bool;
+  info : string;
+  dest : int;  (** destination component the ghost travelled in *)
+  generated : (int * int) option;
+      (** (processor, round) of the R1 generation; [None] for invalid
+          ghosts (planted, never generated) *)
+  hops : hop list;  (** every journal event of this ghost, in order *)
+  path : int list;
+      (** generation processor followed by the R3 copy processors — the
+          buffer-to-buffer route; [[]] when the ghost was never
+          generated *)
+  deliveries : (int * int) list;  (** (processor, round), in order *)
+}
+
+type anomaly =
+  | Duplicate_delivery of int * int
+      (** ghost delivered [k ≥ 2] times — forbidden for valid ghosts
+          (Lemma 5) *)
+  | Lost_ghost of int
+      (** valid ghost generated but never delivered — forbidden at
+          quiescence (Lemma 4) *)
+
+val anomaly_to_string : anomaly -> string
+
+val of_entries : Journal.entry list -> trace list
+(** One trace per ghost seen in the journal ([routing_update] lines
+    ignored), sorted by ghost id. *)
+
+val find : trace list -> gid:int -> trace option
+
+val anomalies : ?at_quiescence:bool -> trace list -> anomaly list
+(** Duplicate deliveries of valid ghosts, plus — when [at_quiescence]
+    (default [true]) — valid ghosts generated but not delivered.
+    Invalid ghosts never anomalize: the protocol may deliver or erase
+    them freely (within Proposition 4's bound, which the oracle
+    checks). *)
+
+val invalid_sightings : trace list -> int
+(** Number of distinct invalid ghosts observed anywhere in the journal
+    — the fault-injection debris the run had to digest. *)
+
+val to_json : trace -> Json.t

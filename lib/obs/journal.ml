@@ -1,0 +1,175 @@
+type kind =
+  | Generated
+  | Internal_forward
+  | Copied
+  | Delivered
+  | Erased_after_forward
+  | Erased_duplicate
+  | Routing_update
+
+let kind_to_string = function
+  | Generated -> "generated"
+  | Internal_forward -> "internal_forward"
+  | Copied -> "copied"
+  | Delivered -> "delivered"
+  | Erased_after_forward -> "erased_after_forward"
+  | Erased_duplicate -> "erased_duplicate"
+  | Routing_update -> "routing_update"
+
+let all_kinds =
+  [
+    Generated; Internal_forward; Copied; Delivered; Erased_after_forward;
+    Erased_duplicate; Routing_update;
+  ]
+
+let kind_of_string s =
+  match List.find_opt (fun k -> kind_to_string k = s) all_kinds with
+  | Some k -> Ok k
+  | None -> Error (Printf.sprintf "unknown event kind %S" s)
+
+type entry = {
+  step : int;
+  round : int;
+  pid : int;
+  kind : kind;
+  dest : int;
+  gid : int option;
+  valid : bool;
+  info : string;
+  last : int option;
+  color : int option;
+  src : int option;
+}
+
+let of_protocol_event ~step ~round ~pid ev =
+  let base kind dest (m : Ssmfp.Message.t option) src =
+    let gid, valid, info, last, color =
+      match m with
+      | None -> (None, false, "", None, None)
+      | Some m ->
+          ( Some m.Ssmfp.Message.ghost.Ssmfp.Message.gid,
+            Ssmfp.Message.is_valid m,
+            m.Ssmfp.Message.info,
+            Some m.Ssmfp.Message.last,
+            Some m.Ssmfp.Message.color )
+    in
+    { step; round; pid; kind; dest; gid; valid; info; last; color; src }
+  in
+  match ev with
+  | Ssmfp.Protocol.Generated (m, d) -> base Generated d (Some m) None
+  | Ssmfp.Protocol.Delivered m -> base Delivered pid (Some m) None
+  | Ssmfp.Protocol.Internal_forward (m, d) ->
+      base Internal_forward d (Some m) None
+  | Ssmfp.Protocol.Copied (m, s, d) -> base Copied d (Some m) (Some s)
+  | Ssmfp.Protocol.Erased_after_forward (m, d) ->
+      base Erased_after_forward d (Some m) None
+  | Ssmfp.Protocol.Erased_duplicate (m, d) ->
+      base Erased_duplicate d (Some m) None
+  | Ssmfp.Protocol.Routing_update d -> base Routing_update d None None
+
+type t = { mutable rev_entries : entry list; mutable n : int }
+
+let create () = { rev_entries = []; n = 0 }
+
+let record t ~step ~round ~pid ev =
+  t.rev_entries <- of_protocol_event ~step ~round ~pid ev :: t.rev_entries;
+  t.n <- t.n + 1
+
+let length t = t.n
+let entries t = List.rev t.rev_entries
+
+(* ---------------- JSONL ---------------- *)
+
+let entry_to_json e =
+  let fixed =
+    [
+      ("step", Json.Int e.step);
+      ("round", Json.Int e.round);
+      ("pid", Json.Int e.pid);
+      ("kind", Json.String (kind_to_string e.kind));
+      ("dest", Json.Int e.dest);
+    ]
+  in
+  let message =
+    match e.gid with
+    | None -> []
+    | Some gid ->
+        [
+          ("gid", Json.Int gid);
+          ("valid", Json.Bool e.valid);
+          ("info", Json.String e.info);
+          ("last", Json.Int (Option.value ~default:(-1) e.last));
+          ("color", Json.Int (Option.value ~default:(-1) e.color));
+        ]
+  in
+  let src =
+    match e.src with None -> [] | Some s -> [ ("src", Json.Int s) ]
+  in
+  Json.Obj (fixed @ message @ src)
+
+let entry_of_json j =
+  let ( let* ) = Result.bind in
+  let req name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "journal entry: missing or bad %S" name)
+  in
+  let opt name conv = Option.bind (Json.member name j) conv in
+  let* step = req "step" Json.to_int in
+  let* round = req "round" Json.to_int in
+  let* pid = req "pid" Json.to_int in
+  let* kind_s = req "kind" Json.string_value in
+  let* kind = kind_of_string kind_s in
+  let* dest = req "dest" Json.to_int in
+  Ok
+    {
+      step;
+      round;
+      pid;
+      kind;
+      dest;
+      gid = opt "gid" Json.to_int;
+      valid = Option.value ~default:false (opt "valid" Json.to_bool);
+      info = Option.value ~default:"" (opt "info" Json.string_value);
+      last = opt "last" Json.to_int;
+      color = opt "color" Json.to_int;
+      src = opt "src" Json.to_int;
+    }
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer buf (entry_to_json e);
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+let write_jsonl path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl t))
+
+let load_jsonl path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line -> loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  in
+  let rec parse lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest when String.trim line = "" -> parse (lineno + 1) acc rest
+    | line :: rest -> (
+        match Result.bind (Json.of_string line) entry_of_json with
+        | Ok e -> parse (lineno + 1) (e :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  parse 1 [] lines

@@ -1,0 +1,74 @@
+(** Structured event journal: every [Protocol] event with its step,
+    round, processor and ghost identity, writable as JSONL.
+
+    The paper's claims are trajectory properties — single delivery (SP),
+    the [2n] invalid-delivery bound (Proposition 4), the latency
+    envelopes (Propositions 5–7). The journal is the machine-readable
+    record of one trajectory: feed it from [Sim.Engine.run ~on_events]
+    (the runner wires this when given an {!Sink.t}), then dump it, grep
+    it, diff it, or replay it through {!Hoptrace}.
+
+    JSONL schema (one object per line, fields in this order):
+    {v
+    {"step":4,"round":2,"pid":0,"kind":"copied","dest":1,
+     "gid":1,"valid":true,"info":"m","last":2,"color":1,"src":2}
+    v}
+    [gid], [valid], [info], [last] and [color] are omitted on
+    [routing_update] lines (no message involved); [src] — the processor
+    R3 copied from — appears only on [copied] lines. *)
+
+type kind =
+  | Generated
+  | Internal_forward
+  | Copied
+  | Delivered
+  | Erased_after_forward
+  | Erased_duplicate
+  | Routing_update
+
+val kind_to_string : kind -> string
+(** Lower-snake names, e.g. ["internal_forward"]. *)
+
+val kind_of_string : string -> (kind, string) result
+
+type entry = {
+  step : int;  (** engine step the event was emitted at *)
+  round : int;  (** engine round counter at emission *)
+  pid : int;  (** processor that executed the rule *)
+  kind : kind;
+  dest : int;  (** destination component ([pid] itself for deliveries) *)
+  gid : int option;  (** ghost id; [None] for routing updates *)
+  valid : bool;  (** ghost validity; [false] for routing updates *)
+  info : string;  (** useful information [m]; [""] for routing updates *)
+  last : int option;  (** visible [last] field at event time *)
+  color : int option;  (** visible color at event time *)
+  src : int option;  (** R3's source processor, [Copied] only *)
+}
+
+val of_protocol_event :
+  step:int -> round:int -> pid:int -> Ssmfp.Protocol.event -> entry
+
+type t
+
+val create : unit -> t
+val record : t -> step:int -> round:int -> pid:int -> Ssmfp.Protocol.event -> unit
+val length : t -> int
+
+val entries : t -> entry list
+(** Chronological. *)
+
+(** {2 JSONL} *)
+
+val entry_to_json : entry -> Json.t
+val entry_of_json : Json.t -> (entry, string) result
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, newline-terminated; [""] when
+    empty. *)
+
+val write_jsonl : string -> t -> unit
+(** Write {!to_jsonl} to a file path. *)
+
+val load_jsonl : string -> (entry list, string) result
+(** Parse a journal back from disk (blank lines skipped). The round
+    trip [write_jsonl; load_jsonl] is the identity on {!entries}. *)

@@ -1,0 +1,43 @@
+(** Dependency-free JSON values: build, emit, parse.
+
+    The telemetry layer writes run summaries ([--json]), event journals
+    ([--journal], one object per line) and [BENCH.json]; external tooling
+    ([jq], plotting scripts) consumes them. This module is deliberately
+    self-contained so [obs] pulls no third-party dependency into the
+    build.
+
+    Emission is deterministic: object fields are printed in the order
+    given, floats with [%.17g] (round-trippable), and non-finite floats
+    as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace tolerated). Numbers
+    without [.], [e] or [E] become [Int]; everything else [Float].
+    Errors carry a character offset. *)
+
+(** {2 Accessors} — shallow, total lookups for tests and tooling. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] on missing field or non-object). *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val string_value : t -> string option

@@ -1,0 +1,10 @@
+type t = { metrics : Metrics.t; journal : Journal.t option }
+
+let create ?(with_journal = false) () =
+  {
+    metrics = Metrics.create ();
+    journal = (if with_journal then Some (Journal.create ()) else None);
+  }
+
+let metrics t = t.metrics
+let journal t = t.journal

@@ -1,0 +1,19 @@
+(** The telemetry bundle a caller hands to [Harness.Runner.run ?obs]: a
+    metrics registry that is always live, plus an optional event
+    journal.
+
+    The journal is opt-in because it retains every protocol event in
+    memory — cheap for a CLI run, wasteful for the experiment sweeps
+    that execute hundreds of runs and only read aggregate verdicts.
+    Deep per-step probes (e.g. buffer-occupancy sampling, which rescans
+    the configuration) likewise run only when a sink was explicitly
+    attached. *)
+
+type t
+
+val create : ?with_journal:bool -> unit -> t
+(** Fresh registry; a journal too when [with_journal] (default
+    [false]). *)
+
+val metrics : t -> Metrics.t
+val journal : t -> Journal.t option

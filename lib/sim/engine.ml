@@ -20,6 +20,12 @@ type stats = {
   moves_by_rule : (string * int) list;
 }
 
+type probe = {
+  on_move : pid:int -> rule:string -> unit;
+  on_step : step:int -> frontier:int -> moves:int -> unit;
+  on_round : round:int -> moves:int -> unit;
+}
+
 type ('s, 'a, 'e) t = {
   protocol : ('s, 'a, 'e) protocol;
   network : 's net;
@@ -34,6 +40,15 @@ type ('s, 'a, 'e) t = {
   pending : bool array;
   mutable pending_count : int;
   mutable round_open : bool;
+  (* Enabled candidates of the *current* configuration, computed at most
+     once between state writes: the guard sweep done for a step's
+     [refresh_round] is the same sweep the next step (or [candidates] /
+     [is_terminal]) would redo. Invalidated by every state write. *)
+  mutable cands_cache : 'a candidate list option;
+  mutable probe : probe option;
+  (* Move counter at the start of the current round, for per-round move
+     counts reported through [probe.on_round]. *)
+  mutable round_move_mark : int;
 }
 
 let enabled_pids t =
@@ -49,6 +64,16 @@ let enabled_pids t =
       loop (p - 1) acc
   in
   loop (n - 1) []
+
+let current_cands t =
+  match t.cands_cache with
+  | Some cands -> cands
+  | None ->
+      let cands = enabled_pids t in
+      t.cands_cache <- Some cands;
+      cands
+
+let invalidate_cands t = t.cands_cache <- None
 
 let reset_round_frontier t cands =
   Array.fill t.pending 0 (Array.length t.pending) false;
@@ -78,9 +103,12 @@ let make ~graph ~protocol ~init =
       pending = Array.make n false;
       pending_count = 0;
       round_open = false;
+      cands_cache = None;
+      probe = None;
+      round_move_mark = 0;
     }
   in
-  reset_round_frontier t (enabled_pids t);
+  reset_round_frontier t (current_cands t);
   t.round_open <- t.pending_count > 0;
   t
 
@@ -104,20 +132,28 @@ let refresh_round t cands =
       if was_pending && not enabled_now.(p) then clear_pending t p)
     t.pending;
   if t.pending_count = 0 then begin
-    if t.round_open then t.rounds <- t.rounds + 1;
+    if t.round_open then begin
+      t.rounds <- t.rounds + 1;
+      (match t.probe with
+      | Some probe ->
+          probe.on_round ~round:t.rounds ~moves:(t.moves - t.round_move_mark)
+      | None -> ());
+      t.round_move_mark <- t.moves
+    end;
     reset_round_frontier t cands;
     t.round_open <- cands <> []
   end
 
 let set_state t p s =
   t.network.states.(p) <- s;
+  invalidate_cands t;
   (* External writes can enable or disable guards; keep the round frontier
      honest by re-checking neutralization. *)
-  refresh_round t (enabled_pids t)
+  refresh_round t (current_cands t)
 
-let candidates t = enabled_pids t
+let candidates t = current_cands t
 
-let is_terminal t = enabled_pids t = []
+let is_terminal t = current_cands t = []
 
 let check_selection cands selection =
   if selection = [] then
@@ -142,7 +178,7 @@ let check_selection cands selection =
   List.iter check selection
 
 let step t daemon =
-  match enabled_pids t with
+  match current_cands t with
   | [] -> None
   | cands ->
       let selection = daemon ~step:t.steps cands in
@@ -156,6 +192,7 @@ let step t daemon =
             (p, a, s', events))
           selection
       in
+      let moves_before = t.moves in
       let events =
         List.concat_map
           (fun (p, a, s', events) ->
@@ -164,12 +201,22 @@ let step t daemon =
             let label = t.protocol.action_label a in
             Hashtbl.replace t.rule_moves label
               (1 + Option.value ~default:0 (Hashtbl.find_opt t.rule_moves label));
+            (match t.probe with
+            | Some probe -> probe.on_move ~pid:p ~rule:label
+            | None -> ());
             clear_pending t p;
             List.map (fun e -> (p, e)) events)
           updates
       in
       t.steps <- t.steps + 1;
-      refresh_round t (enabled_pids t);
+      invalidate_cands t;
+      let post = current_cands t in
+      refresh_round t post;
+      (match t.probe with
+      | Some probe ->
+          probe.on_step ~step:(t.steps - 1) ~frontier:(List.length post)
+            ~moves:(t.moves - moves_before)
+      | None -> ());
       Some events
 
 let stats t =
@@ -181,7 +228,10 @@ let stats t =
       List.sort compare (List.of_seq (Hashtbl.to_seq t.rule_moves));
   }
 
-let run ?(max_steps = 1_000_000) ?stop ?before_step ?on_events t daemon =
+let set_probe t probe = t.probe <- probe
+
+let run ?(max_steps = 1_000_000) ?stop ?before_step ?on_events ?probe t daemon =
+  (match probe with Some _ -> t.probe <- probe | None -> ());
   let stop_now () = match stop with Some f -> f t | None -> false in
   let rec loop remaining =
     if remaining = 0 then `Max_steps

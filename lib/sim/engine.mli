@@ -55,6 +55,21 @@ type stats = {
   moves_by_rule : (string * int) list;  (** per-rule move counts, sorted *)
 }
 
+type probe = {
+  on_move : pid:int -> rule:string -> unit;
+      (** one call per executed action, as it commits *)
+  on_step : step:int -> frontier:int -> moves:int -> unit;
+      (** after each step: the step's index, the number of enabled
+          processors in the *post-step* configuration, and the number of
+          moves the step executed *)
+  on_round : round:int -> moves:int -> unit;
+      (** at each round completion: the new round count and the number
+          of moves the completed round took *)
+}
+(** Lightweight telemetry hooks. Probes observe only — they must not
+    write states. They feed the observability layer's metrics registry
+    without the engine depending on it. *)
+
 val synthetic : graph:Topology.Graph.t -> states:'s array -> 's net
 (** Build a configuration value outside a running engine — used by the
     model checker (to evaluate guards over enumerated configurations), the
@@ -81,10 +96,17 @@ val set_state : ('s, 'a, 'e) t -> int -> 's -> unit
     variables (e.g. raising [request_p]) and the fault injector. *)
 
 val candidates : ('s, 'a, 'e) t -> 'a candidate list
-(** Enabled processors in the current configuration (ascending pid). *)
+(** Enabled processors in the current configuration (ascending pid).
+    Cached between state writes: the guard sweep a step performs for its
+    round bookkeeping is reused here, by {!is_terminal} and by the next
+    step, instead of rescanned. *)
 
 val is_terminal : ('s, 'a, 'e) t -> bool
 (** No processor is enabled. *)
+
+val set_probe : ('s, 'a, 'e) t -> probe option -> unit
+(** Install (or remove) the telemetry probe. Also settable for one run
+    via {!run}'s [?probe]. *)
 
 val step : ('s, 'a, 'e) t -> 'a daemon -> (int * 'e) list option
 (** Execute one step under the daemon. [None] if the configuration is
@@ -98,10 +120,12 @@ val run :
   ?stop:(('s, 'a, 'e) t -> bool) ->
   ?before_step:(('s, 'a, 'e) t -> unit) ->
   ?on_events:(step:int -> (int * 'e) list -> unit) ->
+  ?probe:probe ->
   ('s, 'a, 'e) t ->
   'a daemon ->
   [ `Terminal | `Stopped | `Max_steps ]
 (** Drive the system until it is terminal, [stop] holds (checked before
     each step), or [max_steps] (default 1_000_000) steps have run.
     [before_step] runs before each step — the hook where the higher layer
-    raises request flags. *)
+    raises request flags. [probe], when given, is installed for the rest
+    of the engine's life (see {!set_probe}). *)

@@ -26,12 +26,39 @@ let test_percentiles () =
   feq "p99" 99. (Harness.Stats.percentile 99. xs);
   feq "p100 = max" 100. (Harness.Stats.percentile 100. xs)
 
+let test_percentiles_unsorted () =
+  (* nearest-rank must not depend on input order, and duplicates count
+     with their multiplicity *)
+  let xs = [ 9.; 1.; 5.; 5.; 5.; 2.; 7.; 1.; 3.; 8. ] in
+  feq "p50" 5. (Harness.Stats.percentile 50. xs);
+  feq "p90" 8. (Harness.Stats.percentile 90. xs);
+  feq "p99" 9. (Harness.Stats.percentile 99. xs);
+  feq "p0 = min" 1. (Harness.Stats.percentile 0. xs);
+  (* a single sample is every percentile *)
+  feq "singleton p50" 42. (Harness.Stats.percentile 50. [ 42. ]);
+  feq "singleton p99" 42. (Harness.Stats.percentile 99. [ 42. ])
+
 let test_summary () =
   let s = Harness.Stats.summarize [ 1.; 2.; 3. ] in
   feq "mean" 2. s.Harness.Stats.mean;
   Alcotest.(check int) "count" 3 s.Harness.Stats.count;
   let str = Format.asprintf "%a" Harness.Stats.pp_summary s in
   Alcotest.(check bool) "renders" true (Test_util.contains str "mean=2.00")
+
+let test_summary_percentiles_agree () =
+  (* summarize sorts once and reads all three percentiles off the same
+     sorted sample; pin them against the one-shot [percentile] on a
+     deliberately shuffled input *)
+  let xs = [ 30.; 10.; 90.; 50.; 70.; 20.; 100.; 40.; 80.; 60. ] in
+  let s = Harness.Stats.summarize xs in
+  feq "p50" (Harness.Stats.percentile 50. xs) s.Harness.Stats.p50;
+  feq "p90" (Harness.Stats.percentile 90. xs) s.Harness.Stats.p90;
+  feq "p99" (Harness.Stats.percentile 99. xs) s.Harness.Stats.p99;
+  feq "p50 value" 50. s.Harness.Stats.p50;
+  feq "p90 value" 90. s.Harness.Stats.p90;
+  feq "p99 value" 100. s.Harness.Stats.p99;
+  feq "min" 10. s.Harness.Stats.min;
+  feq "max" 100. s.Harness.Stats.max
 
 let test_histogram () =
   let h = Harness.Stats.histogram ~buckets:2 [ 0.; 1.; 2.; 3. ] in
@@ -291,7 +318,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentiles unsorted" `Quick
+            test_percentiles_unsorted;
           Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary percentiles agree" `Quick
+            test_summary_percentiles_agree;
           Alcotest.test_case "histogram" `Quick test_histogram;
         ] );
       ( "report",
