@@ -3,7 +3,7 @@
    paths. `dune exec bench/main.exe` runs everything; pass experiment ids
    (e.g. `e1 e7 figures micro`) to run a subset. *)
 
-(* One timed experiment outcome, accumulated into BENCH.json so the
+(* One timed experiment outcome, accumulated into BENCH_<n>.json so the
    perf trajectory of the suite finally survives across runs. *)
 type timing = {
   id : string;
@@ -12,6 +12,39 @@ type timing = {
   ok : bool;
   notes : string list;
 }
+
+let bench_schema = "ssmfp.bench/2"
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ | (exception _) -> "unknown")
+
+(* Each run gets the next free BENCH_<n>.json, so past results are never
+   clobbered and the sequence accumulates across PRs. *)
+let next_bench_path () =
+  let prefix = "BENCH_" and suffix = ".json" in
+  let plen = String.length prefix and slen = String.length suffix in
+  let files = try Sys.readdir "." with Sys_error _ -> [||] in
+  let best =
+    Array.fold_left
+      (fun acc f ->
+        if
+          String.length f > plen + slen
+          && String.sub f 0 plen = prefix
+          && Filename.check_suffix f suffix
+        then
+          match int_of_string_opt (String.sub f plen (String.length f - plen - slen)) with
+          | Some n -> max acc n
+          | None -> acc
+        else acc)
+      0 files
+  in
+  Printf.sprintf "BENCH_%d.json" (best + 1)
 
 let run_tables filter =
   List.filter_map
@@ -51,7 +84,10 @@ let write_bench_json path timings total_seconds =
   let doc =
     Obj
       [
+        ("schema", String bench_schema);
         ("suite", String "ssmfp experiment tables");
+        ("git_rev", String (git_rev ()));
+        ("created_unix", Int (int_of_float (Unix.time ())));
         ("total_seconds", Float total_seconds);
         ( "experiments",
           List
@@ -112,34 +148,61 @@ let export_artifacts dir =
     (Topology.Dot.of_graph ~labels:Topology.Dot.default_letter
        Topology.Builders.paper_figure2)
 
+(* Hand-rolled scenarios for the chart sweeps (the axes are not a
+   cartesian grid, so Campaign.Spec.expand does not apply). *)
+let chart_scenario ~index ~spelling ~corruption ~workload ~seed =
+  let open Campaign.Spec in
+  let topology = topology_exn spelling in
+  let daemon = Harness.Runner.Synchronous in
+  {
+    index;
+    id =
+      Printf.sprintf "%s/%s/%s/%s/s%d" topology.t_name
+        (corruption_to_string corruption)
+        (Harness.Runner.daemon_kind_to_string daemon)
+        (workload_to_string workload) seed;
+    topology;
+    corruption;
+    daemon;
+    workload;
+    seed;
+    max_steps = 500_000;
+  }
+
+let chart_value (o : Campaign.Pool.outcome) f =
+  match o.Campaign.Pool.status with
+  | Campaign.Pool.Done s -> f s
+  | Campaign.Pool.Crashed _ -> 0.
+
 (* ASCII chart: amortized rounds/delivery against the diameter (E4's
-   series in figure form). *)
+   series in figure form), executed through the campaign pool. *)
 let run_charts () =
   Harness.Report.section "Chart: amortized rounds/delivery vs diameter (E4)";
+  let points =
+    [
+      ("path:3", 41); ("path:5", 42); ("path:9", 43); ("path:13", 44);
+      ("path:17", 45); ("ring:8", 46); ("ring:16", 47); ("ring:24", 48);
+    ]
+  in
+  let scenarios =
+    List.mapi
+      (fun index (spelling, seed) ->
+        chart_scenario ~index ~spelling ~corruption:Campaign.Spec.Pristine
+          ~workload:(Campaign.Spec.Uniform 3) ~seed)
+      points
+  in
+  let outcomes =
+    Campaign.Pool.run ~workers:(Campaign.Pool.default_workers ()) scenarios
+  in
   let series =
     List.map
-      (fun (name, g, seed) ->
-        let n = Topology.Graph.n g in
-        let rng = Prng.Splitmix.of_int (seed + 3000) in
-        let wl = Harness.Workload.uniform_random rng ~n ~per_processor:3 in
-        let cfg =
-          Harness.Runner.config ~daemon:Harness.Runner.Synchronous ~seed g wl
-        in
-        let r = Harness.Runner.run cfg in
-        let delivered = Harness.Oracle.valid_delivered r.Harness.Runner.oracle in
-        ( Printf.sprintf "%-7s D=%-2d" name (Topology.Metrics.diameter g),
-          float_of_int r.Harness.Runner.stats.Sim.Engine.rounds
-          /. float_of_int (max 1 delivered) ))
-      [
-        ("path3", Topology.Builders.path 3, 41);
-        ("path5", Topology.Builders.path 5, 42);
-        ("path9", Topology.Builders.path 9, 43);
-        ("path13", Topology.Builders.path 13, 44);
-        ("path17", Topology.Builders.path 17, 45);
-        ("ring8", Topology.Builders.ring 8, 46);
-        ("ring16", Topology.Builders.ring 16, 47);
-        ("ring24", Topology.Builders.ring 24, 48);
-      ]
+      (fun (o : Campaign.Pool.outcome) ->
+        ( Printf.sprintf "%-7s D=%-2d" o.Campaign.Pool.scenario.Campaign.Spec.topology.Campaign.Spec.t_name
+            o.Campaign.Pool.diameter,
+          chart_value o (fun s ->
+              float_of_int s.Campaign.Pool.rounds
+              /. float_of_int (max 1 s.Campaign.Pool.valid_delivered)) ))
+      outcomes
   in
   print_string
     (Harness.Report.bar_chart ~width:50
@@ -150,22 +213,25 @@ let run_charts () =
 let run_scaling_chart () =
   Harness.Report.section
     "Chart: adversarial recovery cost vs network size (wall clock)";
+  let scenarios =
+    List.mapi
+      (fun index n ->
+        chart_scenario ~index ~spelling:(Printf.sprintf "ring:%d" n)
+          ~corruption:Campaign.Spec.Adversarial
+          ~workload:(Campaign.Spec.Uniform 2) ~seed:2)
+      [ 8; 12; 16; 24; 32; 40 ]
+  in
+  (* One worker on purpose: the y-axis is per-scenario wall clock, which
+     concurrent domains would contend over and distort. *)
+  let outcomes = Campaign.Pool.run ~workers:1 scenarios in
   let series =
     List.map
-      (fun n ->
-        let g = Topology.Builders.ring n in
-        let rng = Prng.Splitmix.of_int 1 in
-        let wl = Harness.Workload.uniform_random rng ~n ~per_processor:2 in
-        let cfg =
-          Harness.Runner.config ~spec:Harness.Fault.adversarial
-            ~daemon:Harness.Runner.Synchronous ~seed:2 g wl
-        in
-        let t0 = Unix.gettimeofday () in
-        let r = Harness.Runner.run cfg in
-        let dt = Unix.gettimeofday () -. t0 in
-        ( Printf.sprintf "ring%-3d (%d rounds)" n r.Harness.Runner.stats.Sim.Engine.rounds,
-          dt *. 1000. ))
-      [ 8; 12; 16; 24; 32; 40 ]
+      (fun (o : Campaign.Pool.outcome) ->
+        ( Printf.sprintf "%-8s (%.0f rounds)"
+            o.Campaign.Pool.scenario.Campaign.Spec.topology.Campaign.Spec.t_name
+            (chart_value o (fun s -> float_of_int s.Campaign.Pool.rounds)),
+          o.Campaign.Pool.seconds *. 1000. ))
+      outcomes
   in
   print_string
     (Harness.Report.bar_chart ~width:50
@@ -173,6 +239,33 @@ let run_scaling_chart () =
          "milliseconds to drain a fully adversarial configuration (2 msgs/proc)"
        series);
   print_newline ()
+
+(* Time the whole default campaign grid as one bench entry, so the
+   cross-PR BENCH sequence tracks the sweep's cost and health. *)
+let run_campaign_bench () =
+  Harness.Report.section "Campaign: default grid";
+  let scenarios = Campaign.Spec.expand (Campaign.Spec.default_grid ()) in
+  let workers = Campaign.Pool.default_workers () in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Campaign.Pool.run ~workers scenarios in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let doc = Campaign.Aggregate.to_json outcomes in
+  (match Campaign.Aggregate.render_summary doc with
+  | Ok s -> print_string s
+  | Error e -> Printf.printf "  (summary unavailable: %s)\n" e);
+  Printf.printf "  wall clock: %.3f s on %d workers\n" seconds workers;
+  let failed =
+    match Campaign.Aggregate.failed_scenarios doc with Ok l -> l | Error _ -> []
+  in
+  {
+    id = "campaign";
+    title =
+      Printf.sprintf "Campaign: default grid (%d scenarios)"
+        (List.length scenarios);
+    seconds;
+    ok = failed = [];
+    notes = failed;
+  }
 
 (* Drain curve: how the buffered-message population falls while the
    network digests a fully adversarial configuration. *)
@@ -334,11 +427,11 @@ let () =
     in
     List.filter is_id args
   in
-  if table_filter <> [] || args = [] || List.mem "tables" args then begin
-    let t0 = Unix.gettimeofday () in
-    let timings = run_tables table_filter in
-    write_bench_json "BENCH.json" timings (Unix.gettimeofday () -. t0)
-  end;
+  let t0 = Unix.gettimeofday () in
+  let timings = ref [] in
+  if table_filter <> [] || args = [] || List.mem "tables" args then
+    timings := !timings @ run_tables table_filter;
+  if want "campaign" then timings := !timings @ [ run_campaign_bench () ];
   if want "figures" then run_figures ();
   if want "charts" then begin
     run_charts ();
@@ -346,6 +439,8 @@ let () =
     run_drain_chart ()
   end;
   if want "micro" then run_micro ();
+  if !timings <> [] then
+    write_bench_json (next_bench_path ()) !timings (Unix.gettimeofday () -. t0);
   (match args with
   | "artifacts" :: rest ->
       export_artifacts (match rest with d :: _ -> d | [] -> "artifacts")

@@ -13,48 +13,11 @@ open Cmdliner
 
 (* ---------------- topology parsing ---------------- *)
 
+(* One grammar for every command: the campaign grid DSL owns it. *)
 let parse_topology s =
-  let fail () =
-    Error
-      (`Msg
-        (Printf.sprintf
-           "bad topology %S (try ring:8, path:5, star:6, complete:5, \
-            grid:3x4, torus:3x3, hypercube:3, btree:7, random:12:6, fig1, \
-            fig2)"
-           s))
-  in
-  let int_of x = int_of_string_opt x in
-  match String.split_on_char ':' (String.lowercase_ascii s) with
-  | [ "fig1" ] -> Ok ("fig1", Topology.Builders.paper_figure1)
-  | [ "fig2" ] -> Ok ("fig2", Topology.Builders.paper_figure2)
-  | [ kind; a ] -> (
-      match (kind, int_of a) with
-      | "ring", Some n -> Ok (s, Topology.Builders.ring n)
-      | "path", Some n -> Ok (s, Topology.Builders.path n)
-      | "star", Some n -> Ok (s, Topology.Builders.star n)
-      | "complete", Some n -> Ok (s, Topology.Builders.complete n)
-      | "btree", Some n -> Ok (s, Topology.Builders.binary_tree n)
-      | "hypercube", Some d -> Ok (s, Topology.Builders.hypercube d)
-      | ("grid" | "torus"), _ -> (
-          match String.split_on_char 'x' a with
-          | [ r; c ] -> (
-              match (int_of r, int_of c) with
-              | Some rows, Some cols when kind = "grid" ->
-                  Ok (s, Topology.Builders.grid ~rows ~cols)
-              | Some rows, Some cols ->
-                  Ok (s, Topology.Builders.torus ~rows ~cols)
-              | _ -> fail ())
-          | _ -> fail ())
-      | _ -> fail ())
-  | [ "random"; n; extra ] -> (
-      match (int_of n, int_of extra) with
-      | Some n, Some extra_edges ->
-          Ok
-            ( s,
-              Topology.Builders.random_connected (Prng.Splitmix.of_int 1) ~n
-                ~extra_edges )
-      | _ -> fail ())
-  | _ -> fail ()
+  match Campaign.Spec.topology_of_string s with
+  | Ok t -> Ok (t.Campaign.Spec.t_name, t.Campaign.Spec.graph)
+  | Error e -> Error (`Msg e)
 
 let topology_conv =
   Arg.conv
@@ -566,8 +529,302 @@ let mc_cmd =
     (Cmd.info "mc" ~doc:"Model-check SP on small networks.")
     Term.(const run $ scenario $ samples)
 
+(* ---------------- campaign command ---------------- *)
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  ln = 0
+  ||
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* A conv for comma-separated axis values, one parser per axis. *)
+let axis_conv ~what parse print =
+  let parser s =
+    let items =
+      List.filter
+        (fun x -> String.trim x <> "")
+        (String.split_on_char ',' s)
+    in
+    if items = [] then Error (`Msg (Printf.sprintf "empty %s list" what))
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match parse x with
+            | Ok v -> go (v :: acc) rest
+            | Error e -> Error (`Msg e))
+      in
+      go [] items
+  in
+  Arg.conv
+    (parser, fun fmt l -> Format.pp_print_string fmt (String.concat "," (List.map print l)))
+
+let campaign_cmd =
+  let open Campaign in
+  let grid_base =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("smoke", `Smoke) ]) `Default
+      & info [ "grid" ] ~docv:"NAME"
+          ~doc:"Base grid: default (32 scenarios) or smoke (8, for CI).")
+  in
+  let topologies =
+    let axis =
+      axis_conv ~what:"topology"
+        (fun s -> Spec.topology_of_string s)
+        (fun t -> t.Spec.t_name)
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "topologies" ] ~docv:"LIST"
+          ~doc:"Comma-separated topologies overriding the grid's axis, e.g. ring:8,grid:3x4.")
+  in
+  let corruptions =
+    let axis =
+      axis_conv ~what:"corruption" Spec.corruption_of_string
+        Spec.corruption_to_string
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "corruptions" ] ~docv:"LIST"
+          ~doc:"Comma-separated corruption levels: pristine,random,adversarial.")
+  in
+  let daemons =
+    let axis =
+      axis_conv ~what:"daemon" Harness.Runner.daemon_kind_of_string
+        Harness.Runner.daemon_kind_to_string
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "daemons" ] ~docv:"LIST"
+          ~doc:"Comma-separated daemons, e.g. synchronous,distributed,adversarial.")
+  in
+  let workloads =
+    let axis =
+      axis_conv ~what:"workload" Spec.workload_of_string Spec.workload_to_string
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "workloads" ] ~docv:"LIST"
+          ~doc:"Comma-separated workloads, e.g. uniform:2,all-to-one:1.")
+  in
+  let seeds =
+    let axis =
+      Arg.conv
+        ( (fun s ->
+            match Spec.seeds_of_string s with
+            | Ok l -> Ok l
+            | Error e -> Error (`Msg e)),
+          fun fmt l ->
+            Format.pp_print_string fmt
+              (String.concat "," (List.map string_of_int l)) )
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "seeds" ] ~docv:"SPEC"
+          ~doc:"Seeds overriding the grid's axis: 1,2,5 or 1..8.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-scenario step budget.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"SUBSTR"
+          ~doc:"Keep only scenarios whose id contains $(docv).")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int (Campaign.Pool.default_workers ())
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: recommended domain count, capped at \
+             8). Results are byte-identical whatever the value.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ] ~doc:"List the expanded scenario grid and exit.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the aggregate campaign artifact (JSON) to $(docv).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a prior campaign artifact and exit 3 on \
+             regression (new oracle failure, missing scenario, or latency \
+             above tolerance).")
+  in
+  let from_ =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Skip running: load $(docv) as the current campaign artifact \
+             (validates it parses as one) — for offline regression checks \
+             and artifact inspection.")
+  in
+  let latency_tolerance =
+    Arg.(
+      value & opt float 25.0
+      & info [ "latency-tolerance" ] ~docv:"PCT"
+          ~doc:"Latency p50 regression tolerance for --baseline, in percent.")
+  in
+  let run grid_base topologies corruptions daemons workloads seeds max_steps
+      only workers dry_run out baseline from_ latency_tolerance =
+    let grid =
+      match grid_base with
+      | `Default -> Spec.default_grid ()
+      | `Smoke -> Spec.smoke_grid ()
+    in
+    let grid =
+      {
+        Spec.topologies = Option.value ~default:grid.Spec.topologies topologies;
+        corruptions = Option.value ~default:grid.Spec.corruptions corruptions;
+        daemons = Option.value ~default:grid.Spec.daemons daemons;
+        workloads = Option.value ~default:grid.Spec.workloads workloads;
+        seeds = Option.value ~default:grid.Spec.seeds seeds;
+        max_steps = Option.value ~default:grid.Spec.max_steps max_steps;
+      }
+    in
+    let filter =
+      Option.map
+        (fun sub sc -> contains_substring sc.Spec.id sub)
+        only
+    in
+    let scenarios = Spec.expand ?filter grid in
+    if scenarios = [] then begin
+      Printf.eprintf "ssmfp_cli campaign: the grid expands to no scenarios\n";
+      2
+    end
+    else if dry_run then begin
+      Printf.printf "%d scenarios:\n" (List.length scenarios);
+      List.iter (fun sc -> Printf.printf "  %s\n" sc.Spec.id) scenarios;
+      0
+    end
+    else begin
+      let current =
+        match from_ with
+        | Some path -> (
+            match Aggregate.of_file path with
+            | Ok doc ->
+                Printf.printf "loaded      : %s\n" path;
+                Ok doc
+            | Error e -> Error e)
+        | None ->
+            let t0 = Unix.gettimeofday () in
+            let outcomes = Pool.run ~workers scenarios in
+            let dt = Unix.gettimeofday () -. t0 in
+            List.iter
+              (fun (o : Pool.outcome) ->
+                let status, detail =
+                  match o.Pool.status with
+                  | Pool.Done s when s.Pool.verdict_ok ->
+                      ( "ok",
+                        Printf.sprintf "%6d rounds  %5.0f ms" s.Pool.rounds
+                          (o.Pool.seconds *. 1000.) )
+                  | Pool.Done s ->
+                      ("VIOLATED", String.concat "; " s.Pool.violations)
+                  | Pool.Crashed msg -> ("CRASHED", msg)
+                in
+                Printf.printf "  %-55s %-8s %s\n" o.Pool.scenario.Spec.id status
+                  detail)
+              outcomes;
+            Printf.printf "campaign    : %d scenarios on %d workers in %.1f s\n"
+              (List.length scenarios) workers dt;
+            Ok (Aggregate.to_json outcomes)
+      in
+      match current with
+      | Error e ->
+          Printf.eprintf "ssmfp_cli campaign: %s\n" e;
+          2
+      | Ok current -> (
+          (match Aggregate.render_summary current with
+          | Ok s -> print_string s
+          | Error e -> Printf.eprintf "ssmfp_cli campaign: %s\n" e);
+          let write_failed =
+            match out with
+            | None -> false
+            | Some path -> (
+                try
+                  Aggregate.write path current;
+                  Printf.printf "artifact    : %s\n" path;
+                  false
+                with Sys_error msg ->
+                  Printf.eprintf "ssmfp_cli: cannot write artifact: %s\n" msg;
+                  true)
+          in
+          let failed =
+            match Aggregate.failed_scenarios current with
+            | Ok l -> l
+            | Error _ -> []
+          in
+          if write_failed then 2
+          else
+            match baseline with
+            | None -> if failed = [] then 0 else 1
+            | Some path -> (
+                match Aggregate.of_file path with
+                | Error e ->
+                    Printf.eprintf "ssmfp_cli campaign: %s\n" e;
+                    2
+                | Ok base -> (
+                    match
+                      Baseline.compare_artifacts
+                        ~latency_tolerance:(latency_tolerance /. 100.)
+                        ~baseline:base ~current ()
+                    with
+                    | Error e ->
+                        Printf.eprintf "ssmfp_cli campaign: %s\n" e;
+                        2
+                    | Ok [] ->
+                        Printf.printf "baseline    : no regressions vs %s\n" path;
+                        if failed = [] then 0 else 1
+                    | Ok regressions ->
+                        Printf.printf "baseline    : %d regression(s) vs %s\n"
+                          (List.length regressions) path;
+                        List.iter
+                          (fun line -> Printf.printf "  REGRESSED %s\n" line)
+                          (Baseline.to_strings regressions);
+                        3)))
+    end
+  in
+  let term =
+    Term.(
+      const run $ grid_base $ topologies $ corruptions $ daemons $ workloads
+      $ seeds $ max_steps $ only $ workers $ dry_run $ out $ baseline $ from_
+      $ latency_tolerance)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a declarative scenario grid in parallel on OCaml 5 domains and \
+          aggregate the verdicts into a reproducible JSON artifact.")
+    term
+
 let () =
   let doc = "snap-stabilizing message forwarding (Cournier-Dubois-Villain, IPPS 2009)" in
   let info = Cmd.info "ssmfp_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-       [ run_cmd; watch_cmd; tables_cmd; figures_cmd; dot_cmd; pif_cmd; mc_cmd ]))
+       [ run_cmd; watch_cmd; campaign_cmd; tables_cmd; figures_cmd; dot_cmd;
+         pif_cmd; mc_cmd ]))

@@ -1,0 +1,320 @@
+let schema = "ssmfp.campaign/1"
+
+open Obs.Json
+
+let summary_json (s : Harness.Stats.summary) =
+  Obj
+    [
+      ("count", Int s.Harness.Stats.count);
+      ("mean", Float s.Harness.Stats.mean);
+      ("stddev", Float s.Harness.Stats.stddev);
+      ("min", Float s.Harness.Stats.min);
+      ("max", Float s.Harness.Stats.max);
+      ("p50", Float s.Harness.Stats.p50);
+      ("p90", Float s.Harness.Stats.p90);
+      ("p99", Float s.Harness.Stats.p99);
+    ]
+
+let status_string (o : Pool.outcome) =
+  match o.Pool.status with
+  | Pool.Done s -> if s.Pool.verdict_ok then "ok" else "violated"
+  | Pool.Crashed _ -> "crashed"
+
+(* Δ^D as a float (the Prop. 5/6 latency envelope); degenerate graphs
+   (single vertex) give Δ = 0, where the envelope is meaningless. *)
+let delta_pow_d (o : Pool.outcome) =
+  if o.Pool.delta <= 0 then nan
+  else float_of_int o.Pool.delta ** float_of_int o.Pool.diameter
+
+let ratio num den = if den > 0. && Float.is_finite num then num /. den else nan
+
+let done_summaries outcomes =
+  List.filter_map
+    (fun (o : Pool.outcome) ->
+      match o.Pool.status with Pool.Done s -> Some (o, s) | Pool.Crashed _ -> None)
+    outcomes
+
+let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
+
+(* nan when no element yields a finite value (Float.max propagates nan,
+   so it cannot be the fold seed). *)
+let max_float_over f l =
+  let m =
+    List.fold_left
+      (fun acc x ->
+        let v = f x in
+        if Float.is_finite v then Float.max acc v else acc)
+      neg_infinity l
+  in
+  if m = neg_infinity then nan else m
+
+let delivery_rate dones =
+  let submitted = sum (fun (_, s) -> s.Pool.submitted) dones in
+  let delivered = sum (fun (_, s) -> s.Pool.valid_delivered) dones in
+  ratio (float_of_int delivered) (float_of_int submitted)
+
+let pooled_latency dones =
+  Harness.Stats.summarize (List.concat_map (fun (_, s) -> s.Pool.latencies) dones)
+
+let pooled_delay dones =
+  Harness.Stats.summarize (List.concat_map (fun (_, s) -> s.Pool.delays) dones)
+
+(* max over scenarios of the worst per-destination invalid count / 2n —
+   Prop. 4 bounds each destination, not the run total, so ≤ 1.0 certifies
+   the bound held everywhere in the group. *)
+let worst_invalid_ratio dones =
+  max_float_over
+    (fun ((o : Pool.outcome), s) ->
+      ratio (float_of_int s.Pool.invalid_worst_dest) (float_of_int (2 * o.Pool.n)))
+    dones
+
+(* max over scenarios of latency p99 / Δ^D — the measured Prop. 5 constant. *)
+let worst_latency_vs_envelope dones =
+  max_float_over
+    (fun (o, s) ->
+      ratio (Harness.Stats.percentile 99. s.Pool.latencies) (delta_pow_d o))
+    dones
+
+let count_status outcomes want =
+  List.length (List.filter (fun o -> status_string o = want) outcomes)
+
+let group_json key outcomes =
+  let dones = done_summaries outcomes in
+  Obj
+    [
+      ("key", String key);
+      ("scenarios", Int (List.length outcomes));
+      ("ok", Int (count_status outcomes "ok"));
+      ("violated", Int (count_status outcomes "violated"));
+      ("crashed", Int (count_status outcomes "crashed"));
+      ("submitted", Int (sum (fun (_, s) -> s.Pool.submitted) dones));
+      ("valid_delivered", Int (sum (fun (_, s) -> s.Pool.valid_delivered) dones));
+      ("delivery_rate", Float (delivery_rate dones));
+      ("invalid_delivered", Int (sum (fun (_, s) -> s.Pool.invalid_delivered) dones));
+      ("worst_invalid_over_2n", Float (worst_invalid_ratio dones));
+      ("latency_rounds", summary_json (pooled_latency dones));
+      ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
+    ]
+
+let scenario_json (o : Pool.outcome) =
+  let sc = o.Pool.scenario in
+  let base =
+    [
+      ("id", String sc.Spec.id);
+      ("topology", String sc.Spec.topology.Spec.t_name);
+      ("n", Int o.Pool.n);
+      ("delta", Int o.Pool.delta);
+      ("diameter", Int o.Pool.diameter);
+      ("delta_pow_d", Float (delta_pow_d o));
+      ("corruption", String (Spec.corruption_to_string sc.Spec.corruption));
+      ("daemon", String (Harness.Runner.daemon_kind_to_string sc.Spec.daemon));
+      ("workload", String (Spec.workload_to_string sc.Spec.workload));
+      ("seed", Int sc.Spec.seed);
+      ("status", String (status_string o));
+    ]
+  in
+  match o.Pool.status with
+  | Pool.Crashed msg -> Obj (base @ [ ("crash", String msg) ])
+  | Pool.Done s ->
+      Obj
+        (base
+        @ [
+            ( "outcome",
+              String
+                (match s.Pool.outcome with
+                | `Quiescent -> "quiescent"
+                | `Max_steps -> "max_steps") );
+            ("steps", Int s.Pool.steps);
+            ("rounds", Int s.Pool.rounds);
+            ("moves", Int s.Pool.moves);
+            ("submitted", Int s.Pool.submitted);
+            ("valid_generated", Int s.Pool.valid_generated);
+            ("valid_delivered", Int s.Pool.valid_delivered);
+            ("invalid_planted", Int s.Pool.invalid_planted);
+            ("invalid_delivered", Int s.Pool.invalid_delivered);
+            ("invalid_worst_dest", Int s.Pool.invalid_worst_dest);
+            ("invalid_bound_per_dest", Int (2 * o.Pool.n));
+            ("routing_settled_round", Int s.Pool.routing_settled_round);
+            ("violations", List (List.map (fun v -> String v) s.Pool.violations));
+            ("latency_rounds", summary_json (Harness.Stats.summarize s.Pool.latencies));
+            ("delay_rounds", summary_json (Harness.Stats.summarize s.Pool.delays));
+          ])
+
+let totals_json outcomes =
+  let dones = done_summaries outcomes in
+  Obj
+    [
+      ("scenarios", Int (List.length outcomes));
+      ("ok", Int (count_status outcomes "ok"));
+      ("violated", Int (count_status outcomes "violated"));
+      ("crashed", Int (count_status outcomes "crashed"));
+      ( "quiescent",
+        Int
+          (List.length
+             (List.filter (fun (_, s) -> s.Pool.outcome = `Quiescent) dones)) );
+      ("submitted", Int (sum (fun (_, s) -> s.Pool.submitted) dones));
+      ("valid_generated", Int (sum (fun (_, s) -> s.Pool.valid_generated) dones));
+      ("valid_delivered", Int (sum (fun (_, s) -> s.Pool.valid_delivered) dones));
+      ("delivery_rate", Float (delivery_rate dones));
+      ("invalid_planted", Int (sum (fun (_, s) -> s.Pool.invalid_planted) dones));
+      ("invalid_delivered", Int (sum (fun (_, s) -> s.Pool.invalid_delivered) dones));
+      ("worst_invalid_over_2n", Float (worst_invalid_ratio dones));
+      ("latency_rounds", summary_json (pooled_latency dones));
+      ("delay_rounds", summary_json (pooled_delay dones));
+      ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
+    ]
+
+(* Axis breakdowns keep first-appearance order, which is itself stable
+   because outcomes are sorted by scenario index first. *)
+let group_by keyf outcomes =
+  let keys =
+    List.fold_left
+      (fun acc o ->
+        let k = keyf o in
+        if List.mem k acc then acc else k :: acc)
+      [] outcomes
+    |> List.rev
+  in
+  List.map (fun k -> group_json k (List.filter (fun o -> keyf o = k) outcomes)) keys
+
+let to_json outcomes =
+  let outcomes =
+    List.sort
+      (fun (a : Pool.outcome) b ->
+        compare a.Pool.scenario.Spec.index b.Pool.scenario.Spec.index)
+      outcomes
+  in
+  let axis name keyf = (name, List (group_by keyf outcomes)) in
+  Obj
+    [
+      ("schema", String schema);
+      ("totals", totals_json outcomes);
+      ("scenarios", List (List.map scenario_json outcomes));
+      axis "by_topology" (fun o -> o.Pool.scenario.Spec.topology.Spec.t_name);
+      axis "by_corruption" (fun o ->
+          Spec.corruption_to_string o.Pool.scenario.Spec.corruption);
+      axis "by_daemon" (fun o ->
+          Harness.Runner.daemon_kind_to_string o.Pool.scenario.Spec.daemon);
+      axis "by_workload" (fun o ->
+          Spec.workload_to_string o.Pool.scenario.Spec.workload);
+    ]
+
+let write path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string doc);
+      output_char oc '\n')
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match of_string contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok doc -> (
+          match Option.bind (member "schema" doc) string_value with
+          | Some s when s = schema -> Ok doc
+          | Some s ->
+              Error
+                (Printf.sprintf "%s: schema %S, expected %S" path s schema)
+          | None -> Error (Printf.sprintf "%s: not a campaign artifact (no schema field)" path)))
+
+let scenarios_of doc =
+  match Option.bind (member "scenarios" doc) to_list with
+  | Some l -> Ok l
+  | None -> Error "artifact has no scenarios list"
+
+let scenario_ids doc =
+  Result.map
+    (List.filter_map (fun sc -> Option.bind (member "id" sc) string_value))
+    (scenarios_of doc)
+
+let failed_scenarios doc =
+  Result.map
+    (List.filter_map (fun sc ->
+         match
+           ( Option.bind (member "id" sc) string_value,
+             Option.bind (member "status" sc) string_value )
+         with
+         | Some id, Some st when st <> "ok" -> Some id
+         | _ -> None))
+    (scenarios_of doc)
+
+let render_summary doc =
+  let ( let* ) = Result.bind in
+  let* totals =
+    Option.to_result ~none:"artifact has no totals" (member "totals" doc)
+  in
+  let int_field name =
+    Option.value ~default:0 (Option.bind (member name totals) to_int)
+  in
+  let float_field j name =
+    match Option.bind (member name j) to_float with
+    | Some f when Float.is_finite f -> Printf.sprintf "%.2f" f
+    | _ -> "-"
+  in
+  let* failed = failed_scenarios doc in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "scenarios   : %d (%d ok, %d violated, %d crashed; %d quiescent)\n"
+       (int_field "scenarios") (int_field "ok") (int_field "violated")
+       (int_field "crashed") (int_field "quiescent"));
+  Buffer.add_string buf
+    (Printf.sprintf "delivery    : %d/%d valid messages (rate %s)\n"
+       (int_field "valid_delivered") (int_field "submitted")
+       (float_field totals "delivery_rate"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "invalid     : %d delivered of %d planted (worst ratio to 2n bound %s)\n"
+       (int_field "invalid_delivered") (int_field "invalid_planted")
+       (float_field totals "worst_invalid_over_2n"));
+  (match member "latency_rounds" totals with
+  | Some lat ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "latency     : p50=%s p90=%s p99=%s rounds (worst p99/Δ^D %s)\n"
+           (float_field lat "p50") (float_field lat "p90")
+           (float_field lat "p99")
+           (float_field totals "worst_latency_p99_over_delta_pow_d"))
+  | None -> ());
+  List.iter
+    (fun (axis, label) ->
+      match Option.bind (member axis doc) to_list with
+      | None | Some [] -> ()
+      | Some groups ->
+          Buffer.add_string buf (Printf.sprintf "%-12s:" ("by " ^ label));
+          List.iter
+            (fun g ->
+              let key =
+                Option.value ~default:"?"
+                  (Option.bind (member "key" g) string_value)
+              in
+              let ok =
+                Option.value ~default:0 (Option.bind (member "ok" g) to_int)
+              in
+              let total =
+                Option.value ~default:0
+                  (Option.bind (member "scenarios" g) to_int)
+              in
+              Buffer.add_string buf
+                (Printf.sprintf " %s=%d/%d(p99 %s)" key ok total
+                   (match member "latency_rounds" g with
+                   | Some lat -> float_field lat "p99"
+                   | None -> "-")))
+            groups;
+          Buffer.add_char buf '\n')
+    [
+      ("by_topology", "topology");
+      ("by_corruption", "corruption");
+      ("by_daemon", "daemon");
+      ("by_workload", "workload");
+    ];
+  (match failed with
+  | [] -> ()
+  | l ->
+      Buffer.add_string buf
+        (Printf.sprintf "FAILED      : %s\n" (String.concat ", " l)));
+  Ok (Buffer.contents buf)

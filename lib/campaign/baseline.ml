@@ -1,0 +1,69 @@
+type regression = { scenario : string; detail : string }
+
+let scenarios_by_id doc =
+  let open Obs.Json in
+  match Option.bind (member "scenarios" doc) to_list with
+  | None -> Error "artifact has no scenarios list"
+  | Some l ->
+      Ok
+        (List.filter_map
+           (fun sc ->
+             Option.map (fun id -> (id, sc))
+               (Option.bind (member "id" sc) string_value))
+           l)
+
+let status_of sc =
+  Option.value ~default:"?" Obs.Json.(Option.bind (member "status" sc) string_value)
+
+let latency_p50 sc =
+  let open Obs.Json in
+  Option.bind (Option.bind (member "latency_rounds" sc) (member "p50")) to_float
+
+let first_reason sc =
+  let open Obs.Json in
+  match Option.bind (member "crash" sc) string_value with
+  | Some msg -> Some ("crash: " ^ msg)
+  | None -> (
+      match Option.bind (member "violations" sc) to_list with
+      | Some (v :: _) -> string_value v
+      | _ -> None)
+
+let compare_artifacts ?(latency_tolerance = 0.25) ~baseline ~current () =
+  let ( let* ) = Result.bind in
+  let* base = scenarios_by_id baseline in
+  let* cur = scenarios_by_id current in
+  let regress acc (id, bsc) =
+    match List.assoc_opt id cur with
+    | None ->
+        { scenario = id; detail = "present in baseline but missing from this campaign" }
+        :: acc
+    | Some csc -> (
+        let bstat = status_of bsc and cstat = status_of csc in
+        if bstat = "ok" && cstat <> "ok" then
+          let reason =
+            match first_reason csc with None -> "" | Some r -> " — " ^ r
+          in
+          { scenario = id; detail = Printf.sprintf "verdict ok -> %s%s" cstat reason }
+          :: acc
+        else if bstat = "ok" && cstat = "ok" then
+          match (latency_p50 bsc, latency_p50 csc) with
+          | Some b, Some c
+            when Float.is_finite b && Float.is_finite c && b > 0.
+                 && c > b *. (1. +. latency_tolerance) ->
+              {
+                scenario = id;
+                detail =
+                  Printf.sprintf
+                    "latency p50 regressed from %.1f to %.1f rounds (+%.0f%%, tolerance %.0f%%)"
+                    b c
+                    ((c -. b) /. b *. 100.)
+                    (latency_tolerance *. 100.);
+              }
+              :: acc
+          | _ -> acc
+        else acc)
+  in
+  Ok (List.rev (List.fold_left regress [] base))
+
+let to_strings regressions =
+  List.map (fun r -> Printf.sprintf "%s: %s" r.scenario r.detail) regressions

@@ -1,0 +1,29 @@
+(** Regression gate: compare a campaign artifact against a prior one.
+
+    A {e regression} is, per baseline scenario id:
+    - the scenario is missing from the current artifact (grid shrank or a
+      rename silently dropped coverage);
+    - the baseline verdict was ["ok"] and the current one is ["violated"]
+      or ["crashed"] — a new oracle failure;
+    - both are ["ok"] but the current latency p50 exceeds the baseline's
+      by more than [latency_tolerance] (a fraction; default 0.25).
+
+    Scenarios that {e improve} (baseline failed, current ok) and scenarios
+    new in the current artifact are not regressions. The CLI exits
+    non-zero when the list is non-empty, naming each scenario. *)
+
+type regression = {
+  scenario : string;  (** the regressed scenario's id *)
+  detail : string;
+}
+
+val compare_artifacts :
+  ?latency_tolerance:float ->
+  baseline:Obs.Json.t ->
+  current:Obs.Json.t ->
+  unit ->
+  (regression list, string) result
+(** Regressions in baseline-artifact order; [Error] when either document
+    is not a campaign artifact. *)
+
+val to_strings : regression list -> string list

@@ -1,0 +1,124 @@
+type run_summary = {
+  outcome : [ `Quiescent | `Max_steps ];
+  steps : int;
+  rounds : int;
+  moves : int;
+  valid_generated : int;
+  valid_delivered : int;
+  invalid_delivered : int;
+  invalid_worst_dest : int;
+  invalid_planted : int;
+  submitted : int;
+  routing_settled_round : int;
+  verdict_ok : bool;
+  violations : string list;
+  latencies : float list;
+  delays : float list;
+}
+
+type status = Done of run_summary | Crashed of string
+
+type outcome = {
+  scenario : Spec.scenario;
+  n : int;
+  delta : int;
+  diameter : int;
+  status : status;
+  seconds : float;
+}
+
+let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run_list ?(workers = 1) thunks =
+  let arr = Array.of_list thunks in
+  let total = Array.length arr in
+  let results = Array.make total None in
+  let next = Atomic.make 0 in
+  (* Work stealing over a shared cursor: each cell of [results] is written
+     by exactly one domain and read only after every join, so there is no
+     data race on the payloads. *)
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < total then begin
+        let r = try Ok (arr.(i) ()) with e -> Error (Printexc.to_string e) in
+        results.(i) <- Some r;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let workers = max 1 (min workers total) in
+  if workers <= 1 then worker ()
+  else begin
+    let others = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join others
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)
+
+let summary_of (r : Harness.Runner.result) =
+  let oracle = r.Harness.Runner.oracle in
+  {
+    outcome = r.Harness.Runner.outcome;
+    steps = r.Harness.Runner.stats.Sim.Engine.steps;
+    rounds = r.Harness.Runner.stats.Sim.Engine.rounds;
+    moves = r.Harness.Runner.stats.Sim.Engine.moves;
+    valid_generated = Harness.Oracle.valid_generated oracle;
+    valid_delivered = Harness.Oracle.valid_delivered oracle;
+    invalid_delivered = Harness.Oracle.invalid_delivered_total oracle;
+    invalid_worst_dest =
+      List.fold_left
+        (fun acc (_, c) -> max acc c)
+        0
+        (Harness.Oracle.invalid_deliveries oracle);
+    invalid_planted = r.Harness.Runner.invalid_planted;
+    submitted = r.Harness.Runner.submitted;
+    routing_settled_round = r.Harness.Runner.routing_settled_round;
+    verdict_ok = r.Harness.Runner.verdict.Harness.Oracle.ok;
+    violations = r.Harness.Runner.verdict.Harness.Oracle.violations;
+    (* The oracle folds its hash table in bucket order; sort so aggregate
+       percentiles never depend on insertion history. *)
+    latencies = List.sort compare (Harness.Oracle.latencies oracle);
+    delays = List.sort compare (Harness.Oracle.delays oracle);
+  }
+
+let graph_meta (sc : Spec.scenario) =
+  let g = sc.Spec.topology.Spec.graph in
+  ( Topology.Graph.n g,
+    Topology.Graph.max_degree g,
+    try Topology.Metrics.diameter g with _ -> 0 )
+
+let run_one sc =
+  let t0 = Unix.gettimeofday () in
+  let n, delta, diameter = graph_meta sc in
+  let status =
+    (* Fresh, deterministic ghost ids per scenario, whatever the worker
+       ran before — the artifact must not depend on scheduling. *)
+    Ssmfp.Message.reset_ghost_counter ();
+    match Harness.Runner.run (Spec.materialize sc) with
+    | r -> Done (summary_of r)
+    | exception e -> Crashed (Printexc.to_string e)
+  in
+  {
+    scenario = sc;
+    n;
+    delta;
+    diameter;
+    status;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let run ?workers scenarios =
+  run_list ?workers (List.map (fun sc () -> run_one sc) scenarios)
+  |> List.map2
+       (fun sc result ->
+         match result with
+         | Ok o -> o
+         | Error msg ->
+             (* run_one already catches runner exceptions; this branch
+                only fires if scenario metadata itself blew up. *)
+             let n, delta, diameter = try graph_meta sc with _ -> (0, 0, 0) in
+             { scenario = sc; n; delta; diameter; status = Crashed msg; seconds = 0. })
+       scenarios

@@ -1,0 +1,62 @@
+(** Parallel scenario execution on OCaml 5 domains.
+
+    {!run} shards an expanded scenario list across a work-stealing pool of
+    domains. Each scenario is self-seeded (see {!Spec.materialize}) and
+    starts from a fresh domain-local ghost-id counter, so the outcome of a
+    scenario is a pure function of the scenario — running with 1 or 16
+    workers yields identical results, in the scenario list's own order.
+
+    A scenario that raises is recorded as a {!Crashed} outcome; it never
+    takes the campaign (or its worker domain) down. *)
+
+type run_summary = {
+  outcome : [ `Quiescent | `Max_steps ];
+  steps : int;
+  rounds : int;
+  moves : int;
+  valid_generated : int;
+  valid_delivered : int;
+  invalid_delivered : int;
+  invalid_worst_dest : int;
+      (** max invalid deliveries at any single destination (Prop. 4 bounds
+          this by [2n]) *)
+  invalid_planted : int;
+  submitted : int;
+  routing_settled_round : int;  (** measured [R_A] *)
+  verdict_ok : bool;  (** SP verdict of {!Harness.Oracle.check_sp} *)
+  violations : string list;
+  latencies : float list;
+      (** per-delivered-message rounds (Prop. 5), sorted ascending *)
+  delays : float list;  (** request-to-generation rounds (Prop. 6), sorted *)
+}
+
+type status =
+  | Done of run_summary
+  | Crashed of string  (** [Printexc.to_string] of the escaping exception *)
+
+type outcome = {
+  scenario : Spec.scenario;
+  n : int;
+  delta : int;  (** max degree Δ *)
+  diameter : int;  (** D *)
+  status : status;
+  seconds : float;
+      (** wall clock of this scenario on its worker — informational only,
+          never serialized (artifacts must be bit-reproducible) *)
+}
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1..8]. *)
+
+val run_list : ?workers:int -> (unit -> 'a) list -> ('a, string) result list
+(** The bare fan-out primitive: evaluate every thunk, at most [workers]
+    (default 1) domains at a time, and return results in input order. A
+    thunk that raises yields [Error (Printexc.to_string e)]; the other
+    thunks still run. *)
+
+val run_one : Spec.scenario -> outcome
+(** Execute one scenario on the calling domain (resets the domain's
+    ghost-id counter first). *)
+
+val run : ?workers:int -> Spec.scenario list -> outcome list
+(** Execute every scenario, in input order in the result. *)

@@ -6,13 +6,18 @@ type ghost = { gid : int; validity : validity; born_src : int }
 
 type t = { info : info; last : int; color : int; ghost : ghost }
 
-let counter = ref 0
+(* Ghost ids are domain-local: campaign workers running scenarios on
+   parallel domains allocate without contention, and a reset touches only
+   the calling domain's stream. Uniqueness is only ever needed within one
+   run, which executes entirely on one domain. *)
+let counter_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_ghost validity born_src =
+  let counter = Domain.DLS.get counter_key in
   incr counter;
   { gid = !counter; validity; born_src }
 
-let reset_ghost_counter () = counter := 0
+let reset_ghost_counter () = Domain.DLS.get counter_key := 0
 
 let fresh_valid ~src info =
   { info; last = src; color = 0; ghost = fresh_ghost Valid src }

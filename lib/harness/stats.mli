@@ -24,9 +24,14 @@ val maximum : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [0..100], nearest-rank on the sorted
-    sample. *)
+    sample. [percentile p []] is [nan] for every [p] — never an
+    exception — so callers can thread empty measurement sets through
+    without guarding. *)
 
 val summarize : float list -> summary
+(** Never raises. [summarize []] is [{count = 0}] with every float field
+    [nan]; serialize with that in mind (e.g. [Obs.Json] emits non-finite
+    floats as [null]). *)
 
 val of_ints : int list -> float list
 

@@ -19,6 +19,30 @@ let test_stats_empty () =
     (Float.is_nan (Harness.Stats.percentile 50. []));
   Alcotest.(check int) "count 0" 0 (Harness.Stats.count [])
 
+let test_summarize_empty () =
+  (* The documented contract: never raises, count 0, every float nan. *)
+  let s = Harness.Stats.summarize [] in
+  Alcotest.(check int) "count" 0 s.Harness.Stats.count;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " nan") true (Float.is_nan v))
+    [
+      ("mean", s.Harness.Stats.mean);
+      ("stddev", s.Harness.Stats.stddev);
+      ("min", s.Harness.Stats.min);
+      ("max", s.Harness.Stats.max);
+      ("p50", s.Harness.Stats.p50);
+      ("p90", s.Harness.Stats.p90);
+      ("p99", s.Harness.Stats.p99);
+    ];
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f nan" p)
+        true
+        (Float.is_nan (Harness.Stats.percentile p [])))
+    [ 0.; 50.; 100. ]
+
 let test_percentiles () =
   let xs = Harness.Stats.of_ints (List.init 100 (fun i -> i + 1)) in
   feq "p50" 50. (Harness.Stats.percentile 50. xs);
@@ -139,6 +163,69 @@ let test_workload_neighbors () =
   let wl = Harness.Workload.neighbors_only g ~per_processor:1 in
   Alcotest.(check int) "center sends 3" 3 (List.length wl.(0));
   Alcotest.(check int) "leaf sends 1" 1 (List.length wl.(1))
+
+let workload_testable = Alcotest.(array (list (pair int string)))
+
+let test_workload_deterministic () =
+  (* Equal seeds must yield byte-identical workloads — the campaign
+     engine's determinism rests on this. *)
+  let uniform () =
+    Harness.Workload.uniform_random (Prng.Splitmix.of_int 5) ~n:7
+      ~per_processor:3
+  in
+  Alcotest.check workload_testable "uniform identical" (uniform ()) (uniform ());
+  let perm () =
+    Harness.Workload.permutation (Prng.Splitmix.of_int 9) ~n:8 ~per_processor:2
+  in
+  Alcotest.check workload_testable "permutation identical" (perm ()) (perm ());
+  let sat () =
+    Harness.Workload.saturating
+      (Prng.Splitmix.of_int 11)
+      ~graph:(Topology.Builders.ring 6) ~per_processor:2
+  in
+  Alcotest.check workload_testable "saturating identical" (sat ()) (sat ())
+
+let test_workload_totals () =
+  (* total = n × per_processor for the all-senders generators. *)
+  let check_total name expected wl =
+    Alcotest.(check int) name expected (Harness.Workload.total wl)
+  in
+  check_total "uniform 6*4" 24
+    (Harness.Workload.uniform_random (Prng.Splitmix.of_int 1) ~n:6
+       ~per_processor:4);
+  check_total "permutation 5*3" 15
+    (Harness.Workload.permutation (Prng.Splitmix.of_int 2) ~n:5 ~per_processor:3);
+  check_total "saturating 8*2" 16
+    (Harness.Workload.saturating (Prng.Splitmix.of_int 3)
+       ~graph:(Topology.Builders.ring 8) ~per_processor:2);
+  check_total "empty" 0 (Harness.Workload.empty ~n:9)
+
+let test_workload_payload_collisions () =
+  let distinct_count wl =
+    let payloads =
+      Array.to_list wl |> List.concat_map (List.map (fun (_, info) -> info))
+    in
+    List.length (List.sort_uniq compare payloads)
+  in
+  let rng () = Prng.Splitmix.of_int 13 in
+  let colliding =
+    Harness.Workload.uniform_random ~distinct_payloads:false (rng ()) ~n:6
+      ~per_processor:3
+  in
+  (* distinct_payloads:false collapses every payload onto one string, so
+     cross-source collisions are guaranteed (the Figure 3 stress). *)
+  Alcotest.(check int) "all payloads collide" 1 (distinct_count colliding);
+  let distinct =
+    Harness.Workload.uniform_random ~distinct_payloads:true (rng ()) ~n:6
+      ~per_processor:3
+  in
+  Alcotest.(check int) "payloads distinct" 18 (distinct_count distinct);
+  (* saturating is uniform_random with colliding payloads by construction *)
+  let sat =
+    Harness.Workload.saturating (rng ()) ~graph:(Topology.Builders.ring 6)
+      ~per_processor:3
+  in
+  Alcotest.(check int) "saturating collides" 1 (distinct_count sat)
 
 (* ---------------- fault injection ---------------- *)
 
@@ -317,6 +404,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "percentiles unsorted" `Quick
             test_percentiles_unsorted;
@@ -339,6 +427,10 @@ let () =
           Alcotest.test_case "one-to-all" `Quick test_workload_one_to_all;
           Alcotest.test_case "permutation" `Quick test_workload_permutation;
           Alcotest.test_case "neighbors" `Quick test_workload_neighbors;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "totals" `Quick test_workload_totals;
+          Alcotest.test_case "payload collisions" `Quick
+            test_workload_payload_collisions;
         ] );
       ( "fault",
         [
