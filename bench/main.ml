@@ -267,6 +267,91 @@ let run_campaign_bench () =
     notes = failed;
   }
 
+(* B1: step throughput of the composed SSMFP + routing protocol, the
+   full-sweep reference engine against the incremental (dirty-set) one,
+   measured in the same run over identical schedules. The round-robin
+   daemon moves one processor per step, so the incremental engine
+   re-evaluates ~(1 + degree) guards where the full sweep re-evaluates
+   all n — the speedup is the point of the locality-aware core. *)
+let run_b1 () =
+  Harness.Report.section
+    "B1: step throughput, full-sweep vs incremental guard evaluation";
+  let scenarios =
+    [
+      ("ring:32", Topology.Builders.ring 32, 1_800);
+      ("ring:128", Topology.Builders.ring 128, 500);
+      ("ring:256", Topology.Builders.ring 256, 200);
+      ("torus:8x8", Topology.Builders.torus ~rows:8 ~cols:8, 1_000);
+      ("torus:16x16", Topology.Builders.torus ~rows:16 ~cols:16, 200);
+    ]
+  in
+  List.map
+    (fun (name, g, steps) ->
+      let n = Topology.Graph.n g in
+      let proto = Ssmfp.Protocol.make ~run_routing:true g in
+      let wl_rng = Prng.Splitmix.of_int 11 in
+      let wl = Harness.Workload.uniform_random wl_rng ~n ~per_processor:2 in
+      let timed mode =
+        let fault_rng = Prng.Splitmix.of_int 12 in
+        let t =
+          Sim.Engine.make ~mode ~graph:g ~protocol:proto (fun p ->
+              Harness.Fault.initial_states ~rng:fault_rng
+                Harness.Fault.adversarial g ~workload:wl p)
+        in
+        let daemon = Sim.Daemon.round_robin () in
+        let raise_requests () =
+          Topology.Graph.iter_vertices
+            (fun p ->
+              let st = Sim.Engine.state t p in
+              if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> []
+              then Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+            g
+        in
+        let done_ = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        (try
+           for _ = 1 to steps do
+             raise_requests ();
+             match Sim.Engine.step t daemon with
+             | None -> raise Exit
+             | Some _ -> incr done_
+           done
+         with Exit -> ());
+        (Unix.gettimeofday () -. t0, !done_)
+      in
+      let t0 = Unix.gettimeofday () in
+      let full_s, full_steps = timed Sim.Engine.Full_sweep in
+      let incr_s, incr_steps = timed Sim.Engine.Incremental in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let per_step s k = if k = 0 then infinity else s /. float_of_int k in
+      let speedup = per_step full_s full_steps /. per_step incr_s incr_steps in
+      let throughput s k = float_of_int k /. max 1e-9 s in
+      let ok =
+        full_steps = incr_steps
+        && speedup >= (if n >= 128 then 3.0 else 0.8)
+      in
+      let notes =
+        [
+          Printf.sprintf "full-sweep: %d steps, %.0f steps/s" full_steps
+            (throughput full_s full_steps);
+          Printf.sprintf "incremental: %d steps, %.0f steps/s" incr_steps
+            (throughput incr_s incr_steps);
+          Printf.sprintf "speedup: %.1fx (threshold %s)" speedup
+            (if n >= 128 then "3.0x" else "0.8x");
+        ]
+      in
+      List.iter (fun s -> Harness.Report.note (Printf.sprintf "%s %s" name s)) notes;
+      {
+        id = "b1-" ^ name;
+        title =
+          Printf.sprintf
+            "B1: step throughput full vs incremental (%s, n=%d)" name n;
+        seconds;
+        ok;
+        notes;
+      })
+    scenarios
+
 (* Drain curve: how the buffered-message population falls while the
    network digests a fully adversarial configuration. *)
 let run_drain_chart () =
@@ -278,7 +363,7 @@ let run_drain_chart () =
   let proto = Ssmfp.Protocol.make g in
   let fault_rng = Prng.Splitmix.of_int 5 in
   let t =
-    Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+    Sim.Engine.make ~graph:g ~protocol:proto (fun p ->
         Harness.Fault.initial_states ~rng:fault_rng Harness.Fault.adversarial g
           ~workload:wl p)
   in
@@ -432,6 +517,7 @@ let () =
   if table_filter <> [] || args = [] || List.mem "tables" args then
     timings := !timings @ run_tables table_filter;
   if want "campaign" then timings := !timings @ [ run_campaign_bench () ];
+  if want "b1" then timings := !timings @ run_b1 ();
   if want "figures" then run_figures ();
   if want "charts" then begin
     run_charts ();

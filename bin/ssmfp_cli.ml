@@ -378,7 +378,7 @@ let watch_cmd =
     let workload = Harness.Workload.uniform_random wl_rng ~n ~per_processor:1 in
     let protocol = Ssmfp.Protocol.make graph in
     let t =
-      Sim.Engine.make ~graph ~protocol ~init:(fun p ->
+      Sim.Engine.make ~graph ~protocol (fun p ->
           Harness.Fault.initial_states ~rng:fault_rng spec graph
             ~workload p)
     in

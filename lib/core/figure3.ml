@@ -112,7 +112,7 @@ let script : ((engine -> unit) option * (int * string) list) list =
 let run ?on_event () =
   Message.reset_ghost_counter ();
   let protocol = Protocol.make ~run_routing:false graph in
-  let t = Sim.Engine.make ~graph ~protocol ~init in
+  let t = Sim.Engine.make ~graph ~protocol init in
   let trace = Sim.Trace.create () in
   Sim.Trace.record trace ~step:0 ~moves:[] ~after:(snapshot t);
   let deliveries = ref [] in

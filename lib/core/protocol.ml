@@ -273,6 +273,13 @@ let make ?(variant = faithful) ?(run_routing = true)
   let delta = Topology.Graph.max_degree g in
   {
     Sim.Engine.proto_name = "ssmfp";
+    (* Every guard (R1–R6, choice, color picking and the routing layer's
+       enabled_dests/target) reads only p's own state and its neighbors' —
+       unreadable dereferences are already treated as "no message" (see
+       DESIGN.md §5) — so the composed SSMFP∘routing protocol satisfies
+       the Neighborhood contract and the engine's dirty-set evaluation
+       applies. *)
+    locality = Sim.Engine.Neighborhood;
     enabled = (fun net p -> enabled_rules g ~variant ~run_routing ~tie net ~p);
     apply = (fun net p a -> apply_action g ~variant ~tie ~delta net p a);
     action_label = (fun a -> rule_name a.rule);

@@ -865,7 +865,7 @@ let e12_choice_fairness () =
     let proto = Ssmfp.Protocol.make g in
     let fault_rng = rng_of (seed + 8001) in
     let t =
-      Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+      Sim.Engine.make ~graph:g ~protocol:proto (fun p ->
           Harness.Fault.initial_states ~rng:fault_rng Harness.Fault.pristine g
             ~workload:wl p)
     in

@@ -45,13 +45,15 @@ type config = {
   run_routing : bool;
   seed : int;
   max_steps : int;
+  mode : Sim.Engine.mode;
   prepare : (Ssmfp.State.t array -> unit) option;
   responder : (int -> Ssmfp.Message.info -> (int * Ssmfp.Message.info) list) option;
 }
 
 let config ?(spec = Fault.pristine) ?(daemon = Distributed_random)
     ?(variant = Ssmfp.Protocol.faithful) ?(run_routing = true) ?(seed = 1)
-    ?(max_steps = 2_000_000) ?prepare ?responder graph workload =
+    ?(max_steps = 2_000_000) ?(mode = Sim.Engine.Incremental) ?prepare
+    ?responder graph workload =
   {
     graph;
     spec;
@@ -61,6 +63,7 @@ let config ?(spec = Fault.pristine) ?(daemon = Distributed_random)
     run_routing;
     seed;
     max_steps;
+    mode;
     prepare;
     responder;
   }
@@ -111,7 +114,8 @@ let run ?obs cfg =
   in
   Option.iter (fun f -> f states) cfg.prepare;
   let engine =
-    Sim.Engine.make ~graph:cfg.graph ~protocol ~init:(fun p -> states.(p))
+    Sim.Engine.make ~mode:cfg.mode ~graph:cfg.graph ~protocol (fun p ->
+        states.(p))
   in
   let invalid_planted =
     Fault.invalid_count (Sim.Engine.net engine).Sim.Engine.states

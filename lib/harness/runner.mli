@@ -28,6 +28,10 @@ type config = {
   run_routing : bool;  (** simulate [A]; switch off to freeze tables *)
   seed : int;  (** master seed: fault injection + daemon randomness *)
   max_steps : int;
+  mode : Sim.Engine.mode;
+      (** guard-evaluation strategy; {!Sim.Engine.Full_sweep} is the
+          reference mode for differential runs (observable results are
+          identical either way) *)
   prepare : (Ssmfp.State.t array -> unit) option;
       (** final touch-up of the initial configuration (e.g.
           {!Fault.fill_component}), applied before the engine starts *)
@@ -47,13 +51,15 @@ val config :
   ?run_routing:bool ->
   ?seed:int ->
   ?max_steps:int ->
+  ?mode:Sim.Engine.mode ->
   ?prepare:(Ssmfp.State.t array -> unit) ->
   ?responder:(int -> Ssmfp.Message.info -> (int * Ssmfp.Message.info) list) ->
   Topology.Graph.t ->
   Workload.t ->
   config
 (** Defaults: pristine spec, [Distributed_random] daemon, faithful
-    variant, routing on, seed 1, 2_000_000 steps. *)
+    variant, routing on, seed 1, 2_000_000 steps, incremental guard
+    evaluation. *)
 
 type result = {
   outcome : [ `Quiescent | `Max_steps ];

@@ -209,8 +209,14 @@ let selections per_proc =
 let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
     ?(run_routing = false) ?(max_configs = 2_000_000) scenario initials =
   let g = scenario.graph in
+  let n = Topology.Graph.n g in
   let proto = Ssmfp.Protocol.make ~variant ~run_routing g in
   let visited = Hashtbl.create 65536 in
+  (* Frontier entries carry the parent's per-processor enabled table plus
+     the pids the transition wrote ([None] for roots), so popping a
+     configuration re-evaluates guards only over the dirty set — SSMFP
+     declares Neighborhood locality, a move at p can only flip guards in
+     N[p]. *)
   let frontier = Queue.create () in
   let explored = ref 0 and transitions = ref 0 in
   let duplicate = ref false and deadlock = ref None in
@@ -220,7 +226,7 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
   let generated states =
     Array.for_all (fun (st : Ssmfp.State.t) -> st.Ssmfp.State.outbox = []) states
   in
-  let push states delivered =
+  let push states delivered origin =
     (* Loss: the valid message was generated, never delivered, and no
        buffer holds a valid occurrence any more. *)
     if
@@ -233,14 +239,35 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
       Hashtbl.replace visited key ();
       if Hashtbl.length visited > max_configs then
         failwith "Explore.check_safety: configuration budget exhausted";
-      Queue.add (states, delivered) frontier
+      Queue.add (states, delivered, origin) frontier
     end
   in
-  List.iter (fun states -> push states 0) initials;
+  let enabled_table net origin =
+    match origin with
+    | Some (parent_tbl, written)
+      when proto.Sim.Engine.locality = Sim.Engine.Neighborhood ->
+        let tbl = Array.copy parent_tbl in
+        let seen = Array.make n false in
+        let touch q =
+          if not seen.(q) then begin
+            seen.(q) <- true;
+            tbl.(q) <- proto.Sim.Engine.enabled net q
+          end
+        in
+        List.iter
+          (fun p ->
+            touch p;
+            List.iter touch (Topology.Graph.neighbors g p))
+          written;
+        tbl
+    | Some _ | None -> Array.init n (fun p -> proto.Sim.Engine.enabled net p)
+  in
+  List.iter (fun states -> push states 0 None) initials;
   while not (Queue.is_empty frontier) && not !duplicate do
-    let states, delivered = Queue.pop frontier in
+    let states, delivered, origin = Queue.pop frontier in
     incr explored;
     let net = Sim.Engine.synthetic ~graph:g ~states in
+    let tbl = enabled_table net origin in
     let moves = ref 0 in
     (* Higher-layer transitions: raising a request flag. *)
     Array.iteri
@@ -250,7 +277,7 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
           incr transitions;
           let states' = copy_states states in
           states'.(p) <- { st with Ssmfp.State.request = true };
-          push states' delivered
+          push states' delivered (Some (tbl, [ p ]))
         end)
       states;
     (* Protocol transitions. Central daemon: every enabled (processor,
@@ -261,7 +288,7 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
     let per_proc =
       List.concat
         (List.init (Array.length states) (fun p ->
-             match proto.Sim.Engine.enabled net p with
+             match tbl.(p) with
              | [] -> []
              | actions -> [ (p, actions) ]))
     in
@@ -286,7 +313,7 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
           delivered updates
       in
       if delivered' >= 2 then duplicate := true;
-      push states' delivered'
+      push states' delivered' (Some (tbl, List.map fst sel))
     in
     if simultaneity then List.iter apply_selection (selections per_proc)
     else
@@ -321,7 +348,7 @@ let check_liveness ?(step_bound = 20_000) scenario initials =
   let max_steps_seen = ref 0 and failures = ref [] in
   let check_one idx states =
     let init p = states.(p) in
-    let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+    let t = Sim.Engine.make ~graph:g ~protocol:proto init in
     let daemon = Sim.Daemon.round_robin () in
     let delivered = ref 0 in
     let raise_requests t =

@@ -9,6 +9,7 @@ exception Found
 let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
     ~protocol ~canon ?(externals = fun _ -> []) ~monitor ~monitor_canon
     ~init_monitor ~check initials =
+  let n = Topology.Graph.n graph in
   let key states m =
     let buf = Buffer.create 64 in
     Array.iter
@@ -20,10 +21,15 @@ let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
     Buffer.contents buf
   in
   let visited = Hashtbl.create 4096 in
+  (* A frontier entry carries how its configuration was derived: [None]
+     for roots (full enabled sweep at pop time), [Some (parent_tbl,
+     written)] for a transition — the parent's per-processor enabled
+     table plus the pids the transition wrote, so popping re-evaluates
+     guards only over the dirty set instead of rescanning everyone. *)
   let frontier = Queue.create () in
   let explored = ref 0 and transitions = ref 0 in
   let violation = ref None in
-  let push states m =
+  let push states m origin =
     (match check states m with
     | Some msg when !violation = None ->
         violation := Some (msg, states, m);
@@ -34,25 +40,46 @@ let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
       Hashtbl.replace visited k ();
       if Hashtbl.length visited > max_configs then
         failwith "Generic.explore: configuration budget exhausted";
-      Queue.add (states, m) frontier
+      Queue.add (states, m, origin) frontier
     end
   in
+  let enabled_table net origin =
+    match origin with
+    | Some (parent_tbl, written)
+      when protocol.Sim.Engine.locality = Sim.Engine.Neighborhood ->
+        let tbl = Array.copy parent_tbl in
+        let seen = Array.make n false in
+        let touch q =
+          if not seen.(q) then begin
+            seen.(q) <- true;
+            tbl.(q) <- protocol.Sim.Engine.enabled net q
+          end
+        in
+        List.iter
+          (fun p ->
+            touch p;
+            List.iter touch (Topology.Graph.neighbors graph p))
+          written;
+        tbl
+    | Some _ | None -> Array.init n (fun p -> protocol.Sim.Engine.enabled net p)
+  in
   (try
-     List.iter (fun states -> push states init_monitor) initials;
+     List.iter (fun states -> push states init_monitor None) initials;
      while not (Queue.is_empty frontier) do
-       let states, m = Queue.pop frontier in
+       let states, m, origin = Queue.pop frontier in
        incr explored;
        let net = Sim.Engine.synthetic ~graph ~states in
+       let tbl = enabled_table net origin in
        (* external (higher-layer) transitions keep the same monitor *)
        List.iter
-         (fun states' ->
+         (fun (states', written) ->
            incr transitions;
-           push states' m)
+           push states' m (Some (tbl, written)))
          (externals states);
        let per_proc =
          List.concat
            (List.init (Array.length states) (fun p ->
-                match protocol.Sim.Engine.enabled net p with
+                match tbl.(p) with
                 | [] -> []
                 | actions -> [ (p, actions) ]))
        in
@@ -67,7 +94,7 @@ let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
                List.fold_left (fun m e -> monitor m ~pid:p e) m events)
              m sel
          in
-         push states' m'
+         push states' m' (Some (tbl, List.map fst sel))
        in
        if simultaneity then begin
          let rec selections = function

@@ -11,7 +11,15 @@
 
     Transitions are the central daemon's: one enabled action of one
     processor at a time, plus any user-supplied external transitions
-    (higher-layer writes). Pass [simultaneity] for composite steps. *)
+    (higher-layer writes). Pass [simultaneity] for composite steps.
+
+    Successor generation is locality-aware: each frontier entry remembers
+    its parent's per-processor enabled table and the pids its transition
+    wrote, so popping a configuration re-evaluates guards only over the
+    dirty set (written pids plus neighbors) when the protocol declares
+    {!Sim.Engine.Neighborhood} locality. {!Sim.Engine.Global} protocols
+    fall back to a full sweep per configuration; the search is identical
+    either way. *)
 
 type ('s, 'm) report = {
   explored : int;  (** distinct canonical (configuration, monitor) pairs *)
@@ -26,7 +34,7 @@ val explore :
   graph:Topology.Graph.t ->
   protocol:('s, 'a, 'e) Sim.Engine.protocol ->
   canon:('s -> string) ->
-  ?externals:('s array -> 's array list) ->
+  ?externals:('s array -> ('s array * int list) list) ->
   monitor:('m -> pid:int -> 'e -> 'm) ->
   monitor_canon:('m -> string) ->
   init_monitor:'m ->
@@ -37,6 +45,8 @@ val explore :
     [init_monitor]). [canon] must render a processor state so that equal
     strings mean protocol-equivalent states (it defines the state
     abstraction); [monitor] absorbs each emitted event; [check] returns
-    [Some message] on a violated property. The search stops at the first
+    [Some message] on a violated property. [externals] returns each
+    higher-layer successor together with the pids it wrote (the dirty-set
+    seed for incremental guard evaluation). The search stops at the first
     violation or after [max_configs] (default 2_000_000) distinct pairs
     ([Failure] on exhaustion). *)

@@ -62,6 +62,9 @@ let protocol t =
   in
   {
     Sim.Engine.proto_name = "pif";
+    (* Guards read only the parent's and children's phases — tree edges
+       are graph edges, so the closed-neighborhood contract holds. *)
+    locality = Sim.Engine.Neighborhood;
     enabled;
     apply;
     action_label =
@@ -84,7 +87,7 @@ let run_waves ?(initial = fun _ -> C) ?(max_steps = 200_000) t ~waves ~daemon =
   let n = Topology.Graph.n t.graph in
   let proto = protocol t in
   let engine =
-    Sim.Engine.make ~graph:t.graph ~protocol:proto ~init:(fun p ->
+    Sim.Engine.make ~graph:t.graph ~protocol:proto (fun p ->
         { phase = initial p; request = false })
   in
   let remaining = ref waves in

@@ -97,32 +97,47 @@ let is_correct ?(tie = Smallest_id) g read =
 
 let stabilize ?(tie = Smallest_id) g read =
   let n = Topology.Graph.n g in
-  let current = ref (Array.init n read) in
+  let current = Array.init n read in
   let rounds = ref 0 in
-  let continue = ref true in
   (* Synchronous execution of A alone: every enabled (p, d) pair fires at
      once. Bounded by O(n) rounds for min-hop distance vectors capped at n;
-     the 4n + 4 limit is a safety net against implementation bugs. *)
+     the 4n + 4 limit is a safety net against implementation bugs.
+
+     Dirty-set evaluation: [enabled_dests p] reads only p's and its
+     neighbors' tables, and the only table writes are the fires
+     themselves, so a processor checked disabled stays disabled until a
+     closed-neighborhood table changes. Only dirty processors are
+     re-checked each round; the fire set (hence rounds and the final
+     tables) is identical to the full rescan. *)
+  let dirty = Array.make n true in
+  let continue = ref true in
   while !continue do
-    let read_now p = !current.(p) in
-    if is_silent ~tie g read_now then continue := false
+    let read_now p = current.(p) in
+    let fired = ref [] in
+    let next = Array.copy current in
+    for p = 0 to n - 1 do
+      if dirty.(p) then
+        match enabled_dests ~tie g ~read:read_now ~p with
+        | [] -> dirty.(p) <- false
+        | dests ->
+            let table = Array.copy current.(p) in
+            List.iter
+              (fun d -> table.(d) <- target ~tie g ~read:read_now ~p ~d)
+              dests;
+            next.(p) <- table;
+            fired := p :: !fired
+    done;
+    if !fired = [] then continue := false
     else begin
       incr rounds;
       if !rounds > (4 * n) + 4 then
         failwith "Selfstab.stabilize: did not reach silence (bug)";
-      let next =
-        Array.init n (fun p ->
-            match enabled_dests ~tie g ~read:read_now ~p with
-            | [] -> !current.(p)
-            | dests ->
-                let table = Array.copy !current.(p) in
-                List.iter
-                  (fun d -> table.(d) <- target ~tie g ~read:read_now ~p ~d)
-                  dests;
-                table)
-      in
-      current := next
+      Array.blit next 0 current 0 n;
+      List.iter
+        (fun p ->
+          dirty.(p) <- true;
+          List.iter (fun q -> dirty.(q) <- true) (Topology.Graph.neighbors g p))
+        !fired
     end
   done;
-  let final = !current in
-  (!rounds, fun p -> final.(p))
+  (!rounds, fun p -> current.(p))

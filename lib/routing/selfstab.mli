@@ -85,4 +85,8 @@ val stabilize :
 (** [stabilize g read] runs the protocol alone, synchronously, to silence;
     returns the number of synchronous rounds taken ([R_A] under the
     synchronous daemon) and the stabilized tables. Used by experiments that
-    need correct tables without simulating [A] step by step. *)
+    need correct tables without simulating [A] step by step. Internally it
+    re-checks only processors whose closed neighborhood changed in the
+    previous round (the same dirty-set argument as the engine's
+    incremental mode); rounds and resulting tables are identical to a
+    full per-round rescan. *)

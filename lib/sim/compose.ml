@@ -3,13 +3,50 @@ type ('outer, 'inner) lens = {
   set : 'outer -> 'inner -> 'outer;
 }
 
+(* The lifted protocol no longer re-materializes the inner state array on
+   every [enabled]/[apply] call. Instead it keeps one cached inner view per
+   outer net (keyed by physical identity of the net record): [srcs.(p)]
+   remembers the outer element the cached projection [inner.states.(p)]
+   came from, and a call refreshes exactly the projections whose outer
+   element changed (states are immutable values, so a write replaces the
+   element and physical inequality detects it). The engine mutates states
+   in place between calls, which is why the scan is per-element rather
+   than per-net. A different net record (e.g. the model checker's
+   per-configuration synthetic nets) re-keys the cache wholesale.
+
+   The cache makes a lifted protocol value stateful: share it across
+   domains and the views race. Build one lifted protocol per domain (the
+   campaign pool already builds one protocol per scenario). *)
 let lift ~graph ~lens (proto : ('i, 'a, 'e) Engine.protocol) :
     ('o, 'a, 'e) Engine.protocol =
+  let cache : ('o Engine.net * 'o array * 'i Engine.net) option ref =
+    ref None
+  in
   let inner_net (net : 'o Engine.net) =
-    Engine.synthetic ~graph ~states:(Array.map lens.get net.Engine.states)
+    match !cache with
+    | Some (outer, srcs, inner) when outer == net ->
+        let outer_states = net.Engine.states in
+        let inner_states = inner.Engine.states in
+        for p = 0 to Array.length outer_states - 1 do
+          let src = outer_states.(p) in
+          if src != srcs.(p) then begin
+            srcs.(p) <- src;
+            inner_states.(p) <- lens.get src
+          end
+        done;
+        inner
+    | _ ->
+        let srcs = Array.copy net.Engine.states in
+        let inner =
+          Engine.synthetic ~graph
+            ~states:(Array.map lens.get net.Engine.states)
+        in
+        cache := Some (net, srcs, inner);
+        inner
   in
   {
     Engine.proto_name = proto.Engine.proto_name;
+    locality = proto.Engine.locality;
     enabled = (fun net p -> proto.Engine.enabled (inner_net net) p);
     apply =
       (fun net p a ->
@@ -18,11 +55,17 @@ let lift ~graph ~lens (proto : ('i, 'a, 'e) Engine.protocol) :
     action_label = proto.Engine.action_label;
   }
 
+let joint_locality a b =
+  match (a, b) with
+  | Engine.Neighborhood, Engine.Neighborhood -> Engine.Neighborhood
+  | _ -> Engine.Global
+
 let priority ~(high : ('s, 'a, 'e) Engine.protocol)
     ~(low : ('s, 'b, 'f) Engine.protocol) :
     ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol =
   {
     Engine.proto_name = high.Engine.proto_name ^ ">" ^ low.Engine.proto_name;
+    locality = joint_locality high.Engine.locality low.Engine.locality;
     enabled =
       (fun net p ->
         match high.Engine.enabled net p with
@@ -48,6 +91,7 @@ let interleave ~(first : ('s, 'a, 'e) Engine.protocol)
   {
     Engine.proto_name =
       first.Engine.proto_name ^ "+" ^ second.Engine.proto_name;
+    locality = joint_locality first.Engine.locality second.Engine.locality;
     enabled =
       (fun net p ->
         List.map Either.left (first.Engine.enabled net p)

@@ -30,14 +30,21 @@ val lift :
   ('o, 'a, 'e) Engine.protocol
 (** Run a protocol over the ['i] component of each processor's ['o]
     state. Guards see every processor's component through the lens;
-    actions write back through it. *)
+    actions write back through it. The lifted protocol keeps a cached
+    lens-projected view per outer net, refreshed per written element
+    instead of re-materialized per call (states must stay immutable
+    values for the write detection to see replacements — the usual
+    engine contract). The cache makes the returned protocol value
+    stateful: build one per domain, do not share across domains. The
+    lifted protocol inherits the inner protocol's {!Engine.locality}. *)
 
 val priority :
   high:('s, 'a, 'e) Engine.protocol ->
   low:('s, 'b, 'f) Engine.protocol ->
   ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol
 (** Offer [high]'s actions alone wherever it is enabled; [low]'s actions
-    otherwise — strict local priority, the paper's §3.3 assumption. *)
+    otherwise — strict local priority, the paper's §3.3 assumption. The
+    composite is {!Engine.Neighborhood} only if both layers are. *)
 
 val interleave :
   first:('s, 'a, 'e) Engine.protocol ->
@@ -45,4 +52,5 @@ val interleave :
   ('s, ('a, 'b) Either.t, ('e, 'f) Either.t) Engine.protocol
 (** Offer both protocols' enabled actions ([first]'s first); the daemon
     chooses. Weakly fair daemons then execute both layers infinitely
-    often wherever both stay enabled. *)
+    often wherever both stay enabled. The composite is
+    {!Engine.Neighborhood} only if both layers are. *)

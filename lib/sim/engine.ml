@@ -1,7 +1,10 @@
+type locality = Neighborhood | Global
+
 type 's net = { graph : Topology.Graph.t; states : 's array }
 
 type ('s, 'a, 'e) protocol = {
   proto_name : string;
+  locality : locality;
   enabled : 's net -> int -> 'a list;
   apply : 's net -> int -> 'a -> 's * 'e list;
   action_label : 'a -> string;
@@ -26,9 +29,12 @@ type probe = {
   on_round : round:int -> moves:int -> unit;
 }
 
+type mode = Full_sweep | Incremental
+
 type ('s, 'a, 'e) t = {
   protocol : ('s, 'a, 'e) protocol;
   network : 's net;
+  mode : mode;
   mutable steps : int;
   mutable rounds : int;
   mutable moves : int;
@@ -40,10 +46,18 @@ type ('s, 'a, 'e) t = {
   pending : bool array;
   mutable pending_count : int;
   mutable round_open : bool;
-  (* Enabled candidates of the *current* configuration, computed at most
-     once between state writes: the guard sweep done for a step's
-     [refresh_round] is the same sweep the next step (or [candidates] /
-     [is_terminal]) would redo. Invalidated by every state write. *)
+  (* Incremental mode: [cand_tbl.(p)] is [p]'s enabled-action list in the
+     current configuration. It is kept current eagerly: every state write
+     re-evaluates exactly the dirty set — the written processors plus, for
+     [Neighborhood] protocols, their neighbors — and leaves every other
+     entry untouched (a guard reads only its closed neighborhood, so
+     nothing else can have changed). Unused in Full_sweep mode. *)
+  cand_tbl : 'a list array;
+  (* Scratch for dirty-set deduplication; all-false between refreshes. *)
+  dirty_mark : bool array;
+  (* Enabled candidates of the *current* configuration, assembled at most
+     once between state writes (from [cand_tbl] in incremental mode, by a
+     full guard sweep in full-sweep mode). Invalidated by every write. *)
   mutable cands_cache : 'a candidate list option;
   mutable probe : probe option;
   (* Move counter at the start of the current round, for per-round move
@@ -51,7 +65,7 @@ type ('s, 'a, 'e) t = {
   mutable round_move_mark : int;
 }
 
-let enabled_pids t =
+let full_sweep t =
   let n = Topology.Graph.n t.network.graph in
   let rec loop p acc =
     if p < 0 then acc
@@ -65,11 +79,28 @@ let enabled_pids t =
   in
   loop (n - 1) []
 
+let assemble_candidates t =
+  let rec loop p acc =
+    if p < 0 then acc
+    else
+      let acc =
+        match t.cand_tbl.(p) with
+        | [] -> acc
+        | actions -> { cand_pid = p; cand_actions = actions } :: acc
+      in
+      loop (p - 1) acc
+  in
+  loop (Array.length t.cand_tbl - 1) []
+
 let current_cands t =
   match t.cands_cache with
   | Some cands -> cands
   | None ->
-      let cands = enabled_pids t in
+      let cands =
+        match t.mode with
+        | Full_sweep -> full_sweep t
+        | Incremental -> assemble_candidates t
+      in
       t.cands_cache <- Some cands;
       cands
 
@@ -84,53 +115,15 @@ let reset_round_frontier t cands =
       t.pending_count <- t.pending_count + 1)
     cands
 
-let synthetic ~graph ~states =
-  if Array.length states <> Topology.Graph.n graph then
-    invalid_arg "Engine.synthetic: states length <> graph size";
-  { graph; states }
-
-let make ~graph ~protocol ~init =
-  let n = Topology.Graph.n graph in
-  let network = { graph; states = Array.init n init } in
-  let t =
-    {
-      protocol;
-      network;
-      steps = 0;
-      rounds = 0;
-      moves = 0;
-      rule_moves = Hashtbl.create 16;
-      pending = Array.make n false;
-      pending_count = 0;
-      round_open = false;
-      cands_cache = None;
-      probe = None;
-      round_move_mark = 0;
-    }
-  in
-  reset_round_frontier t (current_cands t);
-  t.round_open <- t.pending_count > 0;
-  t
-
-let net t = t.network
-let graph t = t.network.graph
-let state t p = t.network.states.(p)
-
 let clear_pending t p =
   if t.pending.(p) then begin
     t.pending.(p) <- false;
     t.pending_count <- t.pending_count - 1
   end
 
-let refresh_round t cands =
-  (* Neutralization: a pending processor that is no longer enabled leaves
-     the frontier without executing. *)
-  let enabled_now = Array.make (Array.length t.pending) false in
-  List.iter (fun c -> enabled_now.(c.cand_pid) <- true) cands;
-  Array.iteri
-    (fun p was_pending ->
-      if was_pending && not enabled_now.(p) then clear_pending t p)
-    t.pending;
+(* Round bookkeeping shared by both modes: once the frontier drains, close
+   the round and open the next one over the current enabled set. *)
+let maybe_complete_round t =
   if t.pending_count = 0 then begin
     if t.round_open then begin
       t.rounds <- t.rounds + 1;
@@ -140,16 +133,110 @@ let refresh_round t cands =
       | None -> ());
       t.round_move_mark <- t.moves
     end;
+    let cands = current_cands t in
     reset_round_frontier t cands;
     t.round_open <- cands <> []
   end
+
+(* Full-sweep reference path: re-evaluate every guard and neutralize any
+   pending processor that is no longer enabled. *)
+let refresh_full t =
+  invalidate_cands t;
+  let cands = current_cands t in
+  let enabled_now = Array.make (Array.length t.pending) false in
+  List.iter (fun c -> enabled_now.(c.cand_pid) <- true) cands;
+  Array.iteri
+    (fun p was_pending ->
+      if was_pending && not enabled_now.(p) then clear_pending t p)
+    t.pending;
+  maybe_complete_round t
+
+(* Incremental path: [written] lists the processors whose states changed.
+   The locality contract says a write at [p] can only flip guards inside
+   N[p], so only that dirty set is re-evaluated; a [Global] protocol
+   dirties everyone. Neutralization stays honest because the invariant
+   "pending ⊆ enabled" is re-established for exactly the processors whose
+   guards may have changed. *)
+let refresh_incremental t written =
+  let g = t.network.graph in
+  let touched = ref [] in
+  let touch q =
+    if not t.dirty_mark.(q) then begin
+      t.dirty_mark.(q) <- true;
+      touched := q :: !touched;
+      let actions = t.protocol.enabled t.network q in
+      t.cand_tbl.(q) <- actions;
+      if actions = [] then clear_pending t q
+    end
+  in
+  (match t.protocol.locality with
+  | Global ->
+      for q = 0 to Topology.Graph.n g - 1 do
+        touch q
+      done
+  | Neighborhood ->
+      List.iter
+        (fun p ->
+          touch p;
+          List.iter touch (Topology.Graph.neighbors g p))
+        written);
+  List.iter (fun q -> t.dirty_mark.(q) <- false) !touched;
+  invalidate_cands t;
+  maybe_complete_round t
+
+let refresh_after_writes t written =
+  match t.mode with
+  | Full_sweep -> refresh_full t
+  | Incremental -> refresh_incremental t written
+
+let synthetic ~graph ~states =
+  if Array.length states <> Topology.Graph.n graph then
+    invalid_arg "Engine.synthetic: states length <> graph size";
+  { graph; states }
+
+let make ?(mode = Incremental) ~graph ~protocol init =
+  let n = Topology.Graph.n graph in
+  let network = { graph; states = Array.init n init } in
+  let t =
+    {
+      protocol;
+      network;
+      mode;
+      steps = 0;
+      rounds = 0;
+      moves = 0;
+      rule_moves = Hashtbl.create 16;
+      pending = Array.make n false;
+      pending_count = 0;
+      round_open = false;
+      cand_tbl = Array.make n [];
+      dirty_mark = Array.make n false;
+      cands_cache = None;
+      probe = None;
+      round_move_mark = 0;
+    }
+  in
+  (match mode with
+  | Incremental ->
+      for p = 0 to n - 1 do
+        t.cand_tbl.(p) <- protocol.enabled network p
+      done
+  | Full_sweep -> ());
+  reset_round_frontier t (current_cands t);
+  t.round_open <- t.pending_count > 0;
+  t
+
+let net t = t.network
+let graph t = t.network.graph
+let mode t = t.mode
+let state t p = t.network.states.(p)
 
 let set_state t p s =
   t.network.states.(p) <- s;
   invalidate_cands t;
   (* External writes can enable or disable guards; keep the round frontier
-     honest by re-checking neutralization. *)
-  refresh_round t (current_cands t)
+     honest by re-checking neutralization over the dirty set. *)
+  refresh_after_writes t [ p ]
 
 let candidates t = current_cands t
 
@@ -170,7 +257,10 @@ let check_selection cands selection =
         raise
           (Invalid_selection (Printf.sprintf "processor %d is not enabled" p))
     | Some actions ->
-        if not (List.memq a actions) then
+        (* Structural comparison: a daemon that reconstructs an offered
+           action (rather than returning the offered value itself) is
+           still selecting a legal move. *)
+        if not (List.mem a actions) then
           raise
             (Invalid_selection
                (Printf.sprintf "action not offered by processor %d" p))
@@ -209,9 +299,8 @@ let step t daemon =
           updates
       in
       t.steps <- t.steps + 1;
-      invalidate_cands t;
+      refresh_after_writes t (List.map (fun (p, _, _, _) -> p) updates);
       let post = current_cands t in
-      refresh_round t post;
       (match t.probe with
       | Some probe ->
           probe.on_step ~step:(t.steps - 1) ~frontier:(List.length post)
@@ -231,6 +320,7 @@ let stats t =
 let set_probe t probe = t.probe <- probe
 
 let run ?(max_steps = 1_000_000) ?stop ?before_step ?on_events ?probe t daemon =
+  let saved_probe = t.probe in
   (match probe with Some _ -> t.probe <- probe | None -> ());
   let stop_now () = match stop with Some f -> f t | None -> false in
   let rec loop remaining =
@@ -245,4 +335,5 @@ let run ?(max_steps = 1_000_000) ?stop ?before_step ?on_events ?probe t daemon =
           loop (remaining - 1)
     end
   in
-  loop max_steps
+  Fun.protect ~finally:(fun () -> t.probe <- saved_probe) (fun () ->
+      loop max_steps)

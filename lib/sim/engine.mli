@@ -10,7 +10,25 @@
     The engine also implements the round measure of Dolev–Israeli–Moran as
     modified by Bui et al.: a round ends once every processor that was
     enabled at the round's start has either executed an action or been
-    neutralized (became disabled without executing). *)
+    neutralized (became disabled without executing).
+
+    Guard evaluation is incremental by default: the model is local by
+    construction (a guard reads only its processor's closed neighborhood),
+    so a step that moves processors [P] can only flip guards inside
+    [⋃_{p∈P} N\[p\]] — the *dirty set* — and only those are re-evaluated.
+    A full-sweep reference mode re-evaluates every guard after every write
+    and exists for differential testing; both modes produce byte-identical
+    traces, stats and rounds (pinned by [test/test_incremental.ml]). *)
+
+type locality =
+  | Neighborhood
+      (** The §2.1 contract: [enabled net p] depends only on the states of
+          [p] and its graph neighbors. This is what lets the engine
+          restrict re-evaluation to the dirty set. *)
+  | Global
+      (** Escape hatch for guards that read beyond the closed neighborhood:
+          every write dirties every processor (incremental mode then
+          degenerates to a full sweep, but stays correct). *)
 
 type 's net = private {
   graph : Topology.Graph.t;
@@ -20,6 +38,9 @@ type 's net = private {
 
 type ('s, 'a, 'e) protocol = {
   proto_name : string;
+  locality : locality;
+      (** How far a guard can read; declare {!Global} unless every guard
+          provably reads only the closed neighborhood. *)
   enabled : 's net -> int -> 'a list;
       (** [enabled net p] lists the actions of [p] whose guards hold in
           [net], ordered by decreasing priority. The head is what a
@@ -39,8 +60,9 @@ type 'a candidate = { cand_pid : int; cand_actions : 'a list }
 type 'a daemon = step:int -> 'a candidate list -> (int * 'a) list
 (** A daemon maps the enabled candidates of a step to the chosen
     [(processor, action)] pairs. It must return a non-empty selection of
-    distinct processors, each with one of its offered actions (checked by
-    the engine). *)
+    distinct processors, each with one of its offered actions (checked
+    structurally by the engine, so a daemon may rebuild an action value
+    rather than return the offered one). *)
 
 exception Invalid_selection of string
 (** Raised when a daemon violates the rules above. *)
@@ -70,6 +92,16 @@ type probe = {
     write states. They feed the observability layer's metrics registry
     without the engine depending on it. *)
 
+type mode =
+  | Full_sweep
+      (** Reference semantics: every guard re-evaluated after every state
+          write. Kept for differential testing and benchmarking. *)
+  | Incremental
+      (** Default: a persistent per-processor candidate table, refreshed
+          only over the dirty set of each write (sized by the protocol's
+          {!locality}). Observable behavior is identical to
+          {!Full_sweep}. *)
+
 val synthetic : graph:Topology.Graph.t -> states:'s array -> 's net
 (** Build a configuration value outside a running engine — used by the
     model checker (to evaluate guards over enumerated configurations), the
@@ -78,14 +110,24 @@ val synthetic : graph:Topology.Graph.t -> states:'s array -> 's net
     @raise Invalid_argument if the array length differs from the graph's
     vertex count. *)
 
-val make : graph:Topology.Graph.t -> protocol:('s, 'a, 'e) protocol -> init:(int -> 's) -> ('s, 'a, 'e) t
-(** Build a system in the initial configuration [init]. Snap-stabilization
-    means [init] is arbitrary; nothing is assumed about it. *)
+val make :
+  ?mode:mode ->
+  graph:Topology.Graph.t ->
+  protocol:('s, 'a, 'e) protocol ->
+  (int -> 's) ->
+  ('s, 'a, 'e) t
+(** [make ~graph ~protocol init] builds a system in the initial
+    configuration given by [init] (default mode
+    {!Incremental}). Snap-stabilization means [init] is arbitrary; nothing
+    is assumed about it. *)
 
 val net : ('s, 'a, 'e) t -> 's net
 (** Current configuration. The returned states array must not be mutated. *)
 
 val graph : ('s, 'a, 'e) t -> Topology.Graph.t
+
+val mode : ('s, 'a, 'e) t -> mode
+(** The guard-evaluation mode the system was built with. *)
 
 val state : ('s, 'a, 'e) t -> int -> 's
 (** [state t p] is processor [p]'s current local state. *)
@@ -93,20 +135,22 @@ val state : ('s, 'a, 'e) t -> int -> 's
 val set_state : ('s, 'a, 'e) t -> int -> 's -> unit
 (** [set_state t p s] overwrites [p]'s state *outside* protocol execution.
     This models the higher layer's writes to its Input/Output shared
-    variables (e.g. raising [request_p]) and the fault injector. *)
+    variables (e.g. raising [request_p]) and the fault injector. In
+    incremental mode only the dirty set [N\[p\]] is re-evaluated. *)
 
 val candidates : ('s, 'a, 'e) t -> 'a candidate list
 (** Enabled processors in the current configuration (ascending pid).
-    Cached between state writes: the guard sweep a step performs for its
-    round bookkeeping is reused here, by {!is_terminal} and by the next
-    step, instead of rescanned. *)
+    Assembled at most once between state writes — from the persistent
+    candidate table in incremental mode, by a full guard sweep in
+    full-sweep mode — and shared with {!is_terminal} and the next
+    {!step}. *)
 
 val is_terminal : ('s, 'a, 'e) t -> bool
 (** No processor is enabled. *)
 
 val set_probe : ('s, 'a, 'e) t -> probe option -> unit
-(** Install (or remove) the telemetry probe. Also settable for one run
-    via {!run}'s [?probe]. *)
+(** Install (or remove) the telemetry probe. A probe can also be scoped to
+    a single run via {!run}'s [?probe]. *)
 
 val step : ('s, 'a, 'e) t -> 'a daemon -> (int * 'e) list option
 (** Execute one step under the daemon. [None] if the configuration is
@@ -127,5 +171,7 @@ val run :
 (** Drive the system until it is terminal, [stop] holds (checked before
     each step), or [max_steps] (default 1_000_000) steps have run.
     [before_step] runs before each step — the hook where the higher layer
-    raises request flags. [probe], when given, is installed for the rest
-    of the engine's life (see {!set_probe}). *)
+    raises request flags. [probe], when given, is installed for the
+    duration of this run only: the previously installed probe (if any) is
+    restored on exit, even on exception. Omitting [probe] leaves any probe
+    installed via {!set_probe} active during the run. *)

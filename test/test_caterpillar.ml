@@ -105,7 +105,7 @@ let prop_coverage_invariant =
       let states =
         Array.init n (fun p -> Harness.Fault.initial_states ~rng spec g ~workload:wl p)
       in
-      let t = Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p -> states.(p)) in
+      let t = Sim.Engine.make ~graph:g ~protocol:proto (fun p -> states.(p)) in
       let daemon = Sim.Daemon.distributed_random rng in
       let ok = ref (Ssmfp.Caterpillar.covers_all_occupied g (Sim.Engine.net t)) in
       (try

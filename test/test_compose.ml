@@ -9,6 +9,7 @@ let g = Topology.Builders.path 4
 let max_proto field_get field_set name =
   {
     Sim.Engine.proto_name = name;
+    locality = Sim.Engine.Neighborhood;
     enabled =
       (fun net p ->
         let mine = field_get net.Sim.Engine.states.(p) in
@@ -36,7 +37,7 @@ let proto_b = max_proto (fun c -> c.b) (fun c v -> { c with b = v }) "B"
 let init p = { a = p; b = 10 - p }
 
 let run proto =
-  let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+  let t = Sim.Engine.make ~graph:g ~protocol:proto init in
   let status = Sim.Engine.run t (Sim.Daemon.round_robin ()) in
   Alcotest.(check bool) "terminal" true (status = `Terminal);
   t
@@ -51,7 +52,7 @@ let test_priority_converges_both () =
 let test_priority_masks_low () =
   (* wherever A is enabled, only A's actions are offered *)
   let proto = Sim.Compose.priority ~high:proto_a ~low:proto_b in
-  let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+  let t = Sim.Engine.make ~graph:g ~protocol:proto init in
   List.iter
     (fun c ->
       let p = c.Sim.Engine.cand_pid in
@@ -65,7 +66,7 @@ let test_priority_masks_low () =
 
 let test_interleave_offers_both () =
   let proto = Sim.Compose.interleave ~first:proto_a ~second:proto_b in
-  let t = Sim.Engine.make ~graph:g ~protocol:proto ~init in
+  let t = Sim.Engine.make ~graph:g ~protocol:proto init in
   (* processor 0: a=0 < neighbor 1, b=10 > neighbor 9: A enabled, B not;
      processor 1: both enabled *)
   let cand =
@@ -86,6 +87,7 @@ let test_lift () =
   let inner =
     {
       Sim.Engine.proto_name = "max";
+      locality = Sim.Engine.Neighborhood;
       enabled =
         (fun net p ->
           let mine = net.Sim.Engine.states.(p) in
@@ -123,6 +125,136 @@ let test_labels () =
   Alcotest.(check string) "right label" "B"
     (proto.Sim.Engine.action_label (Either.Right `Adopt))
 
+(* ------------------------------------------------------------------ *)
+(* Lens laws and the lifted protocol's cache                           *)
+
+let a_lens =
+  { Sim.Compose.get = (fun c -> c.a); set = (fun c v -> { c with a = v }) }
+
+let test_lens_laws () =
+  let cells = [ { a = 0; b = 7 }; { a = 3; b = 3 }; { a = -1; b = 0 } ] in
+  List.iter
+    (fun c ->
+      (* get-set: writing back what was read changes nothing *)
+      Alcotest.(check bool) "get-set" true (a_lens.Sim.Compose.set c (a_lens.Sim.Compose.get c) = c);
+      (* set-get: what was written is read back *)
+      Alcotest.(check int) "set-get" 42
+        (a_lens.Sim.Compose.get (a_lens.Sim.Compose.set c 42));
+      (* set-set: the last write wins *)
+      Alcotest.(check bool) "set-set" true
+        (a_lens.Sim.Compose.set (a_lens.Sim.Compose.set c 1) 2
+        = a_lens.Sim.Compose.set c 2))
+    cells
+
+(* An inner max protocol that emits its adopted value, so event streams
+   can be compared across the lift boundary. *)
+let inner_max_emitting =
+  {
+    Sim.Engine.proto_name = "max";
+    locality = Sim.Engine.Neighborhood;
+    enabled =
+      (fun net p ->
+        let mine = net.Sim.Engine.states.(p) in
+        if
+          List.exists
+            (fun q -> net.Sim.Engine.states.(q) > mine)
+            (Topology.Graph.neighbors g p)
+        then [ `Adopt ]
+        else []);
+    apply =
+      (fun net p `Adopt ->
+        let v =
+          List.fold_left
+            (fun acc q -> max acc net.Sim.Engine.states.(q))
+            net.Sim.Engine.states.(p)
+            (Topology.Graph.neighbors g p)
+        in
+        (v, [ v ]));
+    action_label = (fun `Adopt -> "adopt");
+  }
+
+let collect_events proto init =
+  let t = Sim.Engine.make ~graph:g ~protocol:proto init in
+  let events = ref [] in
+  let status =
+    Sim.Engine.run t
+      ~on_events:(fun ~step evs -> events := (step, evs) :: !events)
+      (Sim.Daemon.round_robin ())
+  in
+  Alcotest.(check bool) "terminal" true (status = `Terminal);
+  (List.rev !events, Sim.Engine.stats t)
+
+let test_lift_event_order () =
+  (* The lifted protocol must emit exactly the inner protocol's event
+     stream, step for step, under the same schedule. *)
+  let inner_events, inner_stats = collect_events inner_max_emitting (fun p -> p) in
+  let lifted = Sim.Compose.lift ~graph:g ~lens:a_lens inner_max_emitting in
+  let lifted_events, lifted_stats = collect_events lifted init in
+  Alcotest.(check bool) "same event stream" true (inner_events = lifted_events);
+  Alcotest.(check bool) "same stats" true (inner_stats = lifted_stats)
+
+let test_lift_cache_rekey () =
+  (* Alternating between different outer nets (the model checker's usage)
+     must re-key the cached view; mutating an element of a known net (the
+     engine's usage) must refresh exactly that projection. *)
+  let lifted = Sim.Compose.lift ~graph:g ~lens:a_lens inner_max_emitting in
+  let states1 =
+    [| { a = 0; b = 0 }; { a = 5; b = 0 }; { a = 0; b = 0 }; { a = 0; b = 0 } |]
+  in
+  let states2 = Array.make 4 { a = 1; b = 9 } in
+  let net1 = Sim.Engine.synthetic ~graph:g ~states:states1 in
+  let net2 = Sim.Engine.synthetic ~graph:g ~states:states2 in
+  Alcotest.(check bool) "net1: p0 enabled" true
+    (lifted.Sim.Engine.enabled net1 0 <> []);
+  Alcotest.(check bool) "net2: p0 disabled" true
+    (lifted.Sim.Engine.enabled net2 0 = []);
+  Alcotest.(check bool) "net1 again: p0 still enabled" true
+    (lifted.Sim.Engine.enabled net1 0 <> []);
+  (* in-place element replacement on the cached net *)
+  states1.(1) <- { a = 0; b = 0 };
+  Alcotest.(check bool) "refreshed projection: p0 disabled" true
+    (lifted.Sim.Engine.enabled net1 0 = []);
+  states1.(1) <- { a = 7; b = 0 };
+  Alcotest.(check bool) "and enabled again" true
+    (lifted.Sim.Engine.enabled net1 0 <> [])
+
+let test_lift_modes_agree () =
+  (* The cached lift composed with either engine mode: identical results. *)
+  let run_mode mode =
+    let lifted = Sim.Compose.lift ~graph:g ~lens:a_lens inner_max_emitting in
+    let t = Sim.Engine.make ~mode ~graph:g ~protocol:lifted init in
+    let events = ref [] in
+    let status =
+      Sim.Engine.run t
+        ~on_events:(fun ~step evs -> events := (step, evs) :: !events)
+        (Sim.Daemon.round_robin ())
+    in
+    Alcotest.(check bool) "terminal" true (status = `Terminal);
+    ( List.rev !events,
+      Sim.Engine.stats t,
+      Array.copy (Sim.Engine.net t).Sim.Engine.states )
+  in
+  let ea, sa, ca = run_mode Sim.Engine.Full_sweep in
+  let eb, sb, cb = run_mode Sim.Engine.Incremental in
+  Alcotest.(check bool) "events equal" true (ea = eb);
+  Alcotest.(check bool) "stats equal" true (sa = sb);
+  Alcotest.(check bool) "configs equal" true (ca = cb)
+
+let test_locality_propagation () =
+  let global_b = { proto_b with Sim.Engine.locality = Sim.Engine.Global } in
+  Alcotest.(check bool) "lift inherits Neighborhood" true
+    ((Sim.Compose.lift ~graph:g ~lens:a_lens inner_max_emitting)
+       .Sim.Engine.locality = Sim.Engine.Neighborhood);
+  Alcotest.(check bool) "priority of two local layers is local" true
+    ((Sim.Compose.priority ~high:proto_a ~low:proto_b).Sim.Engine.locality
+    = Sim.Engine.Neighborhood);
+  Alcotest.(check bool) "priority with a global layer is global" true
+    ((Sim.Compose.priority ~high:proto_a ~low:global_b).Sim.Engine.locality
+    = Sim.Engine.Global);
+  Alcotest.(check bool) "interleave with a global layer is global" true
+    ((Sim.Compose.interleave ~first:global_b ~second:proto_a).Sim.Engine.locality
+    = Sim.Engine.Global)
+
 let () =
   Alcotest.run "compose"
     [
@@ -133,5 +265,16 @@ let () =
           Alcotest.test_case "interleave" `Quick test_interleave_offers_both;
           Alcotest.test_case "lift" `Quick test_lift;
           Alcotest.test_case "labels" `Quick test_labels;
+        ] );
+      ( "lift internals",
+        [
+          Alcotest.test_case "lens laws" `Quick test_lens_laws;
+          Alcotest.test_case "event order preserved" `Quick test_lift_event_order;
+          Alcotest.test_case "cache re-keys across nets" `Quick
+            test_lift_cache_rekey;
+          Alcotest.test_case "modes agree on lifted protocol" `Quick
+            test_lift_modes_agree;
+          Alcotest.test_case "locality propagation" `Quick
+            test_locality_propagation;
         ] );
     ]

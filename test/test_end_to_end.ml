@@ -123,7 +123,7 @@ let test_alternate_tie_break () =
   in
   let spec = { Harness.Fault.adversarial with Harness.Fault.buffer_fill = 0.5 } in
   let t =
-    Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+    Sim.Engine.make ~graph:g ~protocol:proto (fun p ->
         Harness.Fault.initial_states ~rng spec g ~workload:wl p)
   in
   let oracle = Harness.Oracle.create () in

@@ -7,6 +7,7 @@
 let max_protocol g =
   {
     Sim.Engine.proto_name = "max";
+    locality = Sim.Engine.Neighborhood;
     enabled =
       (fun net p ->
         let mine = net.Sim.Engine.states.(p) in
@@ -33,6 +34,7 @@ let max_protocol g =
 let swap_protocol g =
   {
     Sim.Engine.proto_name = "swap";
+    locality = Sim.Engine.Neighborhood;
     enabled = (fun _net _p -> [ `Swap ]);
     apply =
       (fun net p `Swap ->
@@ -48,7 +50,7 @@ let path2 = Topology.Builders.path 2
 let test_terminal_detection () =
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun _ -> 5)
+      (fun _ -> 5)
   in
   Alcotest.(check bool) "all equal = terminal" true (Sim.Engine.is_terminal t);
   Alcotest.(check bool) "step returns None" true
@@ -56,7 +58,7 @@ let test_terminal_detection () =
 
 let test_max_converges () =
   let t =
-    Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4) ~init:(fun p -> p)
+    Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4) (fun p -> p)
   in
   let status = Sim.Engine.run t (Sim.Daemon.synchronous ()) in
   Alcotest.(check bool) "terminal" true (status = `Terminal);
@@ -67,7 +69,7 @@ let test_max_converges () =
 let test_composite_atomicity_swap () =
   let t =
     Sim.Engine.make ~graph:path2 ~protocol:(swap_protocol path2)
-      ~init:(fun p -> p * 10)
+      (fun p -> p * 10)
   in
   (* Both processors move simultaneously, each reading the pre-step value
      of the other: a clean swap, not a clobber. *)
@@ -79,7 +81,7 @@ let test_rounds_synchronous () =
   let t =
     Sim.Engine.make ~graph:(Topology.Builders.path 6)
       ~protocol:(max_protocol (Topology.Builders.path 6))
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let _ = Sim.Engine.run t (Sim.Daemon.synchronous ()) in
   let s = Sim.Engine.stats t in
@@ -94,7 +96,7 @@ let test_neutralization () =
   let g = Topology.Builders.path 3 in
   let t =
     Sim.Engine.make ~graph:g ~protocol:(max_protocol g)
-      ~init:(fun p -> if p = 2 then 1 else 0)
+      (fun p -> if p = 2 then 1 else 0)
   in
   (* only processor 1 is enabled *)
   let cands = Sim.Engine.candidates t in
@@ -110,7 +112,7 @@ let test_rounds_count_neutralized () =
      initially enabled processor has moved or been neutralized. *)
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let _ = Sim.Engine.run t (Sim.Daemon.round_robin ()) in
   let s = Sim.Engine.stats t in
@@ -120,7 +122,7 @@ let test_rounds_count_neutralized () =
 let test_moves_by_rule () =
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let _ = Sim.Engine.run t (Sim.Daemon.synchronous ()) in
   let s = Sim.Engine.stats t in
@@ -132,7 +134,7 @@ let test_moves_by_rule () =
 let test_events_emitted () =
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let events = ref [] in
   let _ =
@@ -147,7 +149,7 @@ let test_events_emitted () =
 let test_daemon_empty_selection_rejected () =
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let bad ~step:_ _ = [] in
   Alcotest.check_raises "empty selection"
@@ -157,7 +159,7 @@ let test_daemon_empty_selection_rejected () =
 let test_daemon_not_enabled_rejected () =
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   (* processor 3 holds the max: not enabled *)
   let bad ~step:_ cands =
@@ -171,7 +173,7 @@ let test_daemon_not_enabled_rejected () =
 let test_daemon_duplicate_rejected () =
   let t =
     Sim.Engine.make ~graph:ring4 ~protocol:(max_protocol ring4)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let bad ~step:_ cands =
     let c = List.hd cands in
@@ -185,7 +187,7 @@ let test_daemon_duplicate_rejected () =
 let test_max_steps () =
   let t =
     Sim.Engine.make ~graph:path2 ~protocol:(swap_protocol path2)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   (* swap protocol never terminates *)
   let status = Sim.Engine.run ~max_steps:10 t (Sim.Daemon.synchronous ()) in
@@ -195,7 +197,7 @@ let test_max_steps () =
 let test_stop_condition () =
   let t =
     Sim.Engine.make ~graph:path2 ~protocol:(swap_protocol path2)
-      ~init:(fun p -> p)
+      (fun p -> p)
   in
   let status =
     Sim.Engine.run
@@ -208,7 +210,7 @@ let test_stop_condition () =
 let test_scripted_daemon () =
   let g = Topology.Builders.path 3 in
   let t =
-    Sim.Engine.make ~graph:g ~protocol:(max_protocol g) ~init:(fun p -> p)
+    Sim.Engine.make ~graph:g ~protocol:(max_protocol g) (fun p -> p)
   in
   let daemon = Sim.Daemon.scripted ~label:(fun `Adopt -> "adopt") [ (1, "adopt") ] in
   ignore (Sim.Engine.step t daemon);
@@ -220,7 +222,7 @@ let test_scripted_daemon () =
 let test_scripted_wrong_rule () =
   let g = Topology.Builders.path 3 in
   let t =
-    Sim.Engine.make ~graph:g ~protocol:(max_protocol g) ~init:(fun p -> p)
+    Sim.Engine.make ~graph:g ~protocol:(max_protocol g) (fun p -> p)
   in
   let daemon = Sim.Daemon.scripted ~label:(fun `Adopt -> "adopt") [ (1, "bogus") ] in
   Alcotest.check_raises "bad rule"
@@ -237,7 +239,7 @@ let test_round_robin_fairness () =
      picks *)
   let g = Topology.Builders.ring 4 in
   let t =
-    Sim.Engine.make ~graph:g ~protocol:(swap_protocol g) ~init:(fun p -> p)
+    Sim.Engine.make ~graph:g ~protocol:(swap_protocol g) (fun p -> p)
   in
   let chosen = Array.make 4 0 in
   let daemon = Sim.Daemon.round_robin () in
@@ -256,7 +258,7 @@ let test_round_robin_fairness () =
 let test_k_central () =
   let g = Topology.Builders.ring 6 in
   let t =
-    Sim.Engine.make ~graph:g ~protocol:(swap_protocol g) ~init:(fun p -> p)
+    Sim.Engine.make ~graph:g ~protocol:(swap_protocol g) (fun p -> p)
   in
   let rng = Prng.Splitmix.of_int 3 in
   let daemon = Sim.Daemon.k_central rng ~k:2 in
@@ -277,12 +279,96 @@ let test_k_central () =
       let d : unit Sim.Engine.daemon = Sim.Daemon.k_central rng ~k:0 in
       ignore d)
 
+(* Actions here are boxed values, so a daemon can return an action that
+   is structurally equal but physically distinct from the offered one —
+   the engine's selection check must accept it (it compares
+   structurally, not by pointer). *)
+type boxed_action = Set of int
+
+let boxed_protocol g =
+  {
+    Sim.Engine.proto_name = "boxed";
+    locality = Sim.Engine.Neighborhood;
+    enabled =
+      (fun net p ->
+        let mine = net.Sim.Engine.states.(p) in
+        let best =
+          List.fold_left
+            (fun acc q -> max acc net.Sim.Engine.states.(q))
+            mine (Topology.Graph.neighbors g p)
+        in
+        if best > mine then [ Set best ] else []);
+    apply = (fun _ _ (Set v) -> (v, [ v ]));
+    action_label = (fun (Set _) -> "set");
+  }
+
+let test_rebuilt_action_accepted () =
+  let t =
+    Sim.Engine.make ~graph:ring4 ~protocol:(boxed_protocol ring4) (fun p -> p)
+  in
+  let rebuilding ~step:_ cands =
+    let c = List.hd cands in
+    let (Set v) = List.hd c.Sim.Engine.cand_actions in
+    (* A fresh allocation: same contents, different address. *)
+    let a = Set v in
+    assert (a != List.hd c.Sim.Engine.cand_actions);
+    [ (c.Sim.Engine.cand_pid, a) ]
+  in
+  (match Sim.Engine.step t rebuilding with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a step");
+  Alcotest.(check int) "rebuilt action executed" 3 (Sim.Engine.state t 0)
+
+let counting_probe r =
+  {
+    Sim.Engine.on_move = (fun ~pid:_ ~rule:_ -> incr r);
+    on_step = (fun ~step:_ ~frontier:_ ~moves:_ -> ());
+    on_round = (fun ~round:_ ~moves:_ -> ());
+  }
+
+let test_run_probe_scoped () =
+  let t =
+    Sim.Engine.make ~graph:path2 ~protocol:(swap_protocol path2) (fun p -> p)
+  in
+  let installed = ref 0 and scoped = ref 0 in
+  Sim.Engine.set_probe t (Some (counting_probe installed));
+  let status =
+    Sim.Engine.run ~max_steps:3 ~probe:(counting_probe scoped) t
+      (Sim.Daemon.synchronous ())
+  in
+  Alcotest.(check bool) "ran" true (status = `Max_steps);
+  Alcotest.(check int) "scoped probe saw the run" 6 !scoped;
+  Alcotest.(check int) "installed probe silent during run" 0 !installed;
+  (* After the run the previously installed probe is active again. *)
+  ignore (Sim.Engine.step t (Sim.Daemon.synchronous ()));
+  Alcotest.(check int) "installed probe restored" 2 !installed;
+  Alcotest.(check int) "scoped probe gone" 6 !scoped;
+  (* A run without [?probe] leaves the installed probe active. *)
+  ignore (Sim.Engine.run ~max_steps:1 t (Sim.Daemon.synchronous ()));
+  Alcotest.(check int) "installed probe active in plain run" 4 !installed
+
+let test_run_probe_restored_on_exception () =
+  let t =
+    Sim.Engine.make ~graph:path2 ~protocol:(swap_protocol path2) (fun p -> p)
+  in
+  let installed = ref 0 and scoped = ref 0 in
+  Sim.Engine.set_probe t (Some (counting_probe installed));
+  (try
+     ignore
+       (Sim.Engine.run
+          ~stop:(fun _ -> raise Exit)
+          ~probe:(counting_probe scoped) t
+          (Sim.Daemon.synchronous ()))
+   with Exit -> ());
+  ignore (Sim.Engine.step t (Sim.Daemon.synchronous ()));
+  Alcotest.(check int) "installed probe restored after exception" 2 !installed
+
 let prop_distributed_random_nonempty =
   QCheck.Test.make ~name:"distributed daemon picks valid subsets" ~count:200
     QCheck.small_int (fun seed ->
       let g = Topology.Builders.ring 5 in
       let t =
-        Sim.Engine.make ~graph:g ~protocol:(swap_protocol g) ~init:(fun p -> p)
+        Sim.Engine.make ~graph:g ~protocol:(swap_protocol g) (fun p -> p)
       in
       let rng = Prng.Splitmix.of_int seed in
       let daemon = Sim.Daemon.distributed_random rng in
@@ -312,6 +398,11 @@ let () =
           Alcotest.test_case "max steps" `Quick test_max_steps;
           Alcotest.test_case "stop condition" `Quick test_stop_condition;
           Alcotest.test_case "synthetic validation" `Quick test_synthetic_validation;
+          Alcotest.test_case "rebuilt action accepted" `Quick
+            test_rebuilt_action_accepted;
+          Alcotest.test_case "run probe scoped" `Quick test_run_probe_scoped;
+          Alcotest.test_case "run probe restored on exception" `Quick
+            test_run_probe_restored_on_exception;
         ] );
       ( "daemons",
         [

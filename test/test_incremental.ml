@@ -1,0 +1,232 @@
+(* Differential test of the execution core: the incremental (dirty-set)
+   engine against the full-sweep reference, in lockstep over randomized
+   topologies × daemons × fault-injected initial configurations. The two
+   engines must agree on every step's event emissions, on the final
+   stats (steps, rounds, moves, per-rule counts) and on the terminal
+   configuration — the observable behavior is defined to be identical,
+   the modes differ only in how guards are re-evaluated. *)
+
+let graphs =
+  [
+    ("ring6", Topology.Builders.ring 6);
+    ("ring9", Topology.Builders.ring 9);
+    ("path8", Topology.Builders.path 8);
+    ("star7", Topology.Builders.star 7);
+    ("torus3x3", Topology.Builders.torus ~rows:3 ~cols:3);
+  ]
+
+let daemon_kinds =
+  [ "synchronous"; "central"; "distributed"; "round-robin"; "lowest"; "random-action" ]
+
+(* Each engine gets its own daemon instance built from the same seed, so
+   stateful/randomized daemons make identical choices on identical
+   candidate lists. *)
+let daemon_of kind seed =
+  match kind with
+  | "synchronous" -> Sim.Daemon.synchronous ()
+  | "central" -> Sim.Daemon.central_random (Prng.Splitmix.of_int seed)
+  | "distributed" -> Sim.Daemon.distributed_random (Prng.Splitmix.of_int seed)
+  | "round-robin" -> Sim.Daemon.round_robin ()
+  | "lowest" -> Sim.Daemon.adversarial_lowest ()
+  | "random-action" -> Sim.Daemon.random_action (Prng.Splitmix.of_int seed)
+  | k -> invalid_arg k
+
+let spec_of seed =
+  match seed mod 3 with
+  | 0 -> ("pristine", Harness.Fault.pristine)
+  | 1 -> ("adversarial", Harness.Fault.adversarial)
+  | _ ->
+      ( "random",
+        Harness.Fault.random_spec (Prng.Splitmix.of_int (seed * 31 + 7)) )
+
+let raise_requests g t =
+  Topology.Graph.iter_vertices
+    (fun p ->
+      let st = Sim.Engine.state t p in
+      if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+        Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+    g
+
+(* One scenario: execute the identical schedule once per mode (ghost ids
+   come from a domain-local counter, so each run resets it and replays
+   the same allocation stream — interleaving the two engines would split
+   the stream and differ in ghost metadata only) and compare the full
+   recorded traces. *)
+let trace_ssmfp g ~daemon_kind ~seed ~max_steps mode =
+  let n = Topology.Graph.n g in
+  let proto = Ssmfp.Protocol.make ~run_routing:true g in
+  let wl_rng = Prng.Splitmix.of_int ((seed * 7) + 1) in
+  let wl = Harness.Workload.uniform_random wl_rng ~n ~per_processor:1 in
+  let _, spec = spec_of seed in
+  Ssmfp.Message.reset_ghost_counter ();
+  let rng = Prng.Splitmix.of_int ((seed * 13) + 5) in
+  let t =
+    Sim.Engine.make ~mode ~graph:g ~protocol:proto (fun p ->
+        Harness.Fault.initial_states ~rng spec g ~workload:wl p)
+  in
+  let daemon = daemon_of daemon_kind seed in
+  let events = ref [] in
+  let rec loop i =
+    if i < max_steps then begin
+      raise_requests g t;
+      match Sim.Engine.step t daemon with
+      | None -> ()
+      | Some evs ->
+          events := evs :: !events;
+          loop (i + 1)
+    end
+  in
+  loop 0;
+  ( List.rev !events,
+    Sim.Engine.stats t,
+    Array.copy (Sim.Engine.net t).Sim.Engine.states,
+    Sim.Engine.is_terminal t )
+
+let lockstep_ssmfp ~name g ~daemon_kind ~seed ~max_steps =
+  let run mode = trace_ssmfp g ~daemon_kind ~seed ~max_steps mode in
+  let ea, sa, ca, ta = run Sim.Engine.Full_sweep in
+  let eb, sb, cb, tb = run Sim.Engine.Incremental in
+  if List.length ea <> List.length eb then
+    Alcotest.failf "%s: different run lengths (%d vs %d steps)" name
+      (List.length ea) (List.length eb);
+  List.iteri
+    (fun i (sa, sb) ->
+      if sa <> sb then Alcotest.failf "%s: step %d emits different events" name i)
+    (List.combine ea eb);
+  if sa <> sb then
+    Alcotest.failf "%s: stats diverge (%d/%d/%d vs %d/%d/%d)" name
+      sa.Sim.Engine.steps sa.Sim.Engine.rounds sa.Sim.Engine.moves
+      sb.Sim.Engine.steps sb.Sim.Engine.rounds sb.Sim.Engine.moves;
+  if ca <> cb then Alcotest.failf "%s: terminal configurations differ" name;
+  if ta <> tb then Alcotest.failf "%s: is_terminal disagrees" name
+
+(* The grid: 5 topologies × 6 daemons × 4 seeds = 120 scenarios, each
+   mixing corruption kinds by seed. *)
+let test_grid () =
+  let count = ref 0 in
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun daemon_kind ->
+          for seed = 0 to 3 do
+            incr count;
+            let sname, _ = spec_of seed in
+            let name =
+              Printf.sprintf "%s/%s/%s/s%d" gname daemon_kind sname seed
+            in
+            lockstep_ssmfp ~name g ~daemon_kind ~seed ~max_steps:250
+          done)
+        daemon_kinds)
+    graphs;
+  Alcotest.(check bool) "at least 100 scenarios" true (!count >= 100)
+
+(* A protocol that reads beyond the closed neighborhood must declare
+   Global locality; the incremental engine then dirties every processor
+   on every write and stays equivalent to the reference. *)
+type gaction = Adopt of int
+
+let global_max_protocol =
+  {
+    Sim.Engine.proto_name = "global-max";
+    locality = Sim.Engine.Global;
+    enabled =
+      (fun net p ->
+        let m = Array.fold_left max min_int net.Sim.Engine.states in
+        if net.Sim.Engine.states.(p) < m then [ Adopt m ] else []);
+    apply = (fun _ _ (Adopt m) -> (m, [ m ]));
+    action_label = (fun (Adopt _) -> "adopt");
+  }
+
+let test_global_locality () =
+  let g = Topology.Builders.ring 9 in
+  let mk mode =
+    Sim.Engine.make ~mode ~graph:g ~protocol:global_max_protocol (fun p ->
+        (p * 17) mod 9)
+  in
+  let a = mk Sim.Engine.Full_sweep and b = mk Sim.Engine.Incremental in
+  let da = Sim.Daemon.central_random (Prng.Splitmix.of_int 3) in
+  let db = Sim.Daemon.central_random (Prng.Splitmix.of_int 3) in
+  let rec loop i =
+    match (Sim.Engine.step a da, Sim.Engine.step b db) with
+    | None, None -> ()
+    | Some ea, Some eb ->
+        if ea <> eb then Alcotest.failf "global: step %d events differ" i;
+        loop (i + 1)
+    | _ -> Alcotest.failf "global: step %d termination differs" i
+  in
+  loop 0;
+  Alcotest.(check bool) "stats equal" true (Sim.Engine.stats a = Sim.Engine.stats b);
+  Alcotest.(check (array int)) "terminal configs equal"
+    (Sim.Engine.net a).Sim.Engine.states (Sim.Engine.net b).Sim.Engine.states
+
+(* set_state storms: external writes between steps must keep the
+   candidate table coherent (the runner's request-raising pattern plus
+   arbitrary corruption mid-run). *)
+let test_set_state_storm () =
+  let g = Topology.Builders.ring 8 in
+  let run mode =
+    let proto = Ssmfp.Protocol.make ~run_routing:true g in
+    let wl_rng = Prng.Splitmix.of_int 41 in
+    let wl = Harness.Workload.uniform_random wl_rng ~n:8 ~per_processor:2 in
+    Ssmfp.Message.reset_ghost_counter ();
+    let rng = Prng.Splitmix.of_int 42 in
+    let t =
+      Sim.Engine.make ~mode ~graph:g ~protocol:proto (fun p ->
+          Harness.Fault.initial_states ~rng Harness.Fault.adversarial g
+            ~workload:wl p)
+    in
+    let daemon = Sim.Daemon.round_robin () in
+    let corrupt_rng = Prng.Splitmix.of_int 43 in
+    let events = ref [] in
+    let rec loop i =
+      if i < 200 then begin
+        let p = Prng.Splitmix.int corrupt_rng 8 in
+        let flip = Prng.Splitmix.int corrupt_rng 2 = 0 in
+        let st = Sim.Engine.state t p in
+        Sim.Engine.set_state t p { st with Ssmfp.State.request = flip };
+        raise_requests g t;
+        match Sim.Engine.step t daemon with
+        | None -> ()
+        | Some evs ->
+            events := evs :: !events;
+            loop (i + 1)
+      end
+    in
+    loop 0;
+    ( List.rev !events,
+      Sim.Engine.stats t,
+      Array.copy (Sim.Engine.net t).Sim.Engine.states )
+  in
+  let ea, sa, ca = run Sim.Engine.Full_sweep in
+  let eb, sb, cb = run Sim.Engine.Incremental in
+  Alcotest.(check bool) "event streams equal" true (ea = eb);
+  Alcotest.(check bool) "stats equal" true (sa = sb);
+  if ca <> cb then Alcotest.fail "storm: configurations diverged"
+
+let test_default_mode () =
+  let g = Topology.Builders.ring 4 in
+  let t =
+    Sim.Engine.make ~graph:g ~protocol:global_max_protocol (fun p -> p)
+  in
+  Alcotest.(check bool) "default is incremental" true
+    (Sim.Engine.mode t = Sim.Engine.Incremental);
+  let t' =
+    Sim.Engine.make ~mode:Sim.Engine.Full_sweep ~graph:g
+      ~protocol:global_max_protocol (fun p -> p)
+  in
+  Alcotest.(check bool) "full-sweep kept" true
+    (Sim.Engine.mode t' = Sim.Engine.Full_sweep)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "120-scenario grid: full vs incremental" `Quick
+            test_grid;
+          Alcotest.test_case "global locality fallback" `Quick
+            test_global_locality;
+          Alcotest.test_case "set_state storm" `Quick test_set_state_storm;
+          Alcotest.test_case "mode accessor & default" `Quick test_default_mode;
+        ] );
+    ]

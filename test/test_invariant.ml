@@ -83,7 +83,7 @@ let prop_invariants_along_runs =
       let spec = Harness.Fault.random_spec rng in
       let proto = Ssmfp.Protocol.make g in
       let t =
-        Sim.Engine.make ~graph:g ~protocol:proto ~init:(fun p ->
+        Sim.Engine.make ~graph:g ~protocol:proto (fun p ->
             Harness.Fault.initial_states ~rng spec g ~workload:wl p)
       in
       let daemon = Sim.Daemon.distributed_random rng in

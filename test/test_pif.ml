@@ -77,7 +77,7 @@ let pif_safety ?(simultaneity = false) tree =
     else begin
       let states' = Array.map Fun.id states in
       states'.(root) <- { (states'.(root)) with Pif.request = true };
-      [ states' ]
+      [ (states', [ root ]) ]
     end
   in
   let monitor m ~pid = function

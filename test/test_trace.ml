@@ -3,6 +3,7 @@
 let max_protocol g =
   {
     Sim.Engine.proto_name = "max";
+    locality = Sim.Engine.Neighborhood;
     enabled =
       (fun net p ->
         let mine = net.Sim.Engine.states.(p) in
@@ -35,7 +36,7 @@ let test_record_and_entries () =
 
 let test_wrap_daemon_records_run () =
   let g = Topology.Builders.path 4 in
-  let t = Sim.Engine.make ~graph:g ~protocol:(max_protocol g) ~init:(fun p -> p) in
+  let t = Sim.Engine.make ~graph:g ~protocol:(max_protocol g) (fun p -> p) in
   let tr = Sim.Trace.create () in
   let snapshot () =
     String.concat ""
