@@ -157,7 +157,7 @@ let chart_scenario ~index ~spelling ~corruption ~workload ~seed =
   {
     index;
     id =
-      Printf.sprintf "%s/%s/%s/%s/s%d" topology.t_name
+      Printf.sprintf "%s/%s/%s/%s/state/none/s%d" topology.t_name
         (corruption_to_string corruption)
         (Harness.Runner.daemon_kind_to_string daemon)
         (workload_to_string workload) seed;
@@ -165,6 +165,8 @@ let chart_scenario ~index ~spelling ~corruption ~workload ~seed =
     corruption;
     daemon;
     workload;
+    model = State_model;
+    chaos = Chaos.Schedule.none;
     seed;
     max_steps = 500_000;
   }
@@ -352,6 +354,66 @@ let run_b1 () =
       })
     scenarios
 
+(* B2: recovery time vs burst size. The same pristine ring is struck at
+   round 10 by a single burst of growing victim count; the recovery
+   oracle's rounds-to-quiescence is the measurement. One timing entry per
+   burst size keeps the cross-PR BENCH sequence able to chart the curve. *)
+let run_b2 () =
+  Harness.Report.section "B2: recovery time vs burst size (ring:12, state model)";
+  let g = Topology.Builders.ring 12 in
+  let n = Topology.Graph.n g in
+  let sizes = [ 1; 2; 4; 8; 12 ] in
+  let series = ref [] in
+  let timings =
+    List.map
+      (fun k ->
+        let schedule =
+          Campaign.Spec.chaos_exn
+            (if k >= n then "10:rbqf:all" else Printf.sprintf "10:rbqf:%d" k)
+        in
+        let wl =
+          Harness.Workload.uniform_random (Prng.Splitmix.of_int 21) ~n
+            ~per_processor:2
+        in
+        let cfg =
+          Harness.Runner.config ~spec:Harness.Fault.pristine
+            ~daemon:Harness.Runner.Synchronous ~seed:33 ~max_steps:500_000 g wl
+        in
+        let t0 = Unix.gettimeofday () in
+        let o = Chaos.Runner.run ~aftermath:4 ~schedule cfg in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let r = o.Chaos.Runner.report in
+        let notes =
+          [
+            Printf.sprintf "recovery: %d rounds" r.Chaos.Recovery.recovery_rounds;
+            Printf.sprintf "invalid delivered: %d" r.Chaos.Recovery.invalid_total;
+            Printf.sprintf "post-burst: %d/%d delivered once"
+              r.Chaos.Recovery.post_delivered_once r.Chaos.Recovery.post_generated;
+          ]
+        in
+        List.iter
+          (fun s -> Harness.Report.note (Printf.sprintf "%2d victims %s" k s))
+          notes;
+        series :=
+          ( Printf.sprintf "%2d victims" k,
+            float_of_int (max 0 r.Chaos.Recovery.recovery_rounds) )
+          :: !series;
+        {
+          id = Printf.sprintf "b2-v%d" k;
+          title =
+            Printf.sprintf "B2: recovery after a %d-victim burst (ring:12)" k;
+          seconds;
+          ok = r.Chaos.Recovery.ok;
+          notes;
+        })
+      sizes
+  in
+  print_string
+    (Harness.Report.bar_chart ~width:50
+       ~title:"rounds from last burst back to quiescence" (List.rev !series));
+  print_newline ();
+  timings
+
 (* Drain curve: how the buffered-message population falls while the
    network digests a fully adversarial configuration. *)
 let run_drain_chart () =
@@ -518,6 +580,7 @@ let () =
     timings := !timings @ run_tables table_filter;
   if want "campaign" then timings := !timings @ [ run_campaign_bench () ];
   if want "b1" then timings := !timings @ run_b1 ();
+  if want "b2" then timings := !timings @ run_b2 ();
   if want "figures" then run_figures ();
   if want "charts" then begin
     run_charts ();

@@ -529,6 +529,291 @@ let mc_cmd =
     (Cmd.info "mc" ~doc:"Model-check SP on small networks.")
     Term.(const run $ scenario $ samples)
 
+(* ---------------- chaos command ---------------- *)
+
+let chaos_cmd =
+  let schedule_conv =
+    Arg.conv
+      ( (fun s ->
+          match Chaos.Schedule.of_string s with
+          | Ok v -> Ok v
+          | Error e -> Error (`Msg e)),
+        fun fmt t -> Format.pp_print_string fmt (Chaos.Schedule.to_string t) )
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt schedule_conv (Campaign.Spec.chaos_exn "10:rbqf:all")
+      & info [ "schedule" ] ~docv:"SPEC"
+          ~doc:
+            "Fault schedule: bursts joined by '+', each \
+             <round>:<domains>:<victims> with domains from r(outing) \
+             b(uffers) q(ueues) f(lags) c(rash) and victims a count or \
+             'all'; an optional channel preset '\\@lossy' or '\\@flaky' \
+             (mp model only). Example: 10:rbqf:all+40:c:2\\@lossy. 'none' \
+             disables faults.")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("state", `State); ("mp", `Mp) ]) `State
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Execution model: state (shared-memory engine, burst rounds are \
+             engine rounds) or mp (message-passing synchronizer, burst \
+             rounds are pulses).")
+  in
+  let corruption =
+    Arg.(
+      value
+      & opt corruption_conv ("adversarial", Harness.Fault.adversarial)
+      & info [ "c"; "corruption" ] ~docv:"LEVEL"
+          ~doc:"Initial configuration: pristine, random or adversarial.")
+  in
+  let daemon =
+    Arg.(
+      value
+      & opt daemon_conv Harness.Runner.Synchronous
+      & info [ "d"; "daemon" ] ~docv:"DAEMON"
+          ~doc:"Scheduler for the state model (ignored by mp).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let messages =
+    Arg.(
+      value & opt int 2
+      & info [ "m"; "messages" ] ~docv:"K"
+          ~doc:"Messages per processor (uniform random destinations).")
+  in
+  let aftermath =
+    Arg.(
+      value & opt int 4
+      & info [ "aftermath" ] ~docv:"K"
+          ~doc:
+            "Fresh requests submitted right after the last burst, so the \
+             post-burst exactly-once check always has traffic.")
+  in
+  let channel_garbage =
+    Arg.(
+      value & opt int 0
+      & info [ "channel-garbage" ] ~docv:"K"
+          ~doc:"Forged messages pre-loaded into the mp channels.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Step budget (state) / per-segment delivery budget (mp).")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable chaos summary to $(docv).")
+  in
+  let journal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "State model only: write the event journal (including \
+             fault_injected events) to $(docv) as JSONL.")
+  in
+  let report_lines (r : Chaos.Recovery.report) =
+    Printf.printf "bursts fired: %s\n"
+      (if r.Chaos.Recovery.burst_rounds = [] then "none"
+       else
+         String.concat ", "
+           (List.map string_of_int r.Chaos.Recovery.burst_rounds));
+    Printf.printf "post-burst  : %d generated, %d delivered once, %d duplicated, %d lost\n"
+      r.Chaos.Recovery.post_generated r.Chaos.Recovery.post_delivered_once
+      r.Chaos.Recovery.post_duplicated r.Chaos.Recovery.post_lost;
+    Printf.printf
+      "invalid     : %d delivered total, worst window %d (2n budget %d per fault event)\n"
+      r.Chaos.Recovery.invalid_total r.Chaos.Recovery.invalid_worst_window
+      r.Chaos.Recovery.invalid_budget;
+    (if r.Chaos.Recovery.recovery_rounds >= 0 then
+       Printf.printf
+         "recovery    : %d rounds after the last burst (envelope max(R_A, Δ^D) = %d%s)\n"
+         r.Chaos.Recovery.recovery_rounds r.Chaos.Recovery.envelope_rounds
+         (if r.Chaos.Recovery.within_envelope then ", within" else ", above")
+     else Printf.printf "recovery    : never re-reached quiescence\n");
+    Printf.printf "chaos check : %s\n"
+      (if r.Chaos.Recovery.ok then "recovery oracle satisfied"
+       else "VIOLATED — " ^ String.concat "; " r.Chaos.Recovery.violations)
+  in
+  let chaos_json ~name ~model ~schedule ~fired ~seed
+      ~(report : Chaos.Recovery.report) ~sp_ok ~verdict_ok extra =
+    let open Obs.Json in
+    Obj
+      ([
+         ("topology", String name);
+         ("model", String model);
+         ("schedule", String (Chaos.Schedule.to_string schedule));
+         ("seed", Int seed);
+         ( "fired",
+           List
+             (List.map
+                (fun (round, victims) ->
+                  Obj [ ("round", Int round); ("victims", Int victims) ])
+                fired) );
+         ("recovery", Chaos.Recovery.to_json report);
+         ("sp_whole_run_ok", Bool sp_ok);
+         ("verdict_ok", Bool verdict_ok);
+       ]
+      @ extra)
+  in
+  let write_json path doc =
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "summary     : %s\n" path
+  in
+  let run (name, graph) schedule model (spec_name, spec) daemon seed messages
+      aftermath channel_garbage max_steps json_file journal_file =
+    let n = Topology.Graph.n graph in
+    let rng = Prng.Splitmix.of_int (seed + 7919) in
+    let workload =
+      Harness.Workload.uniform_random rng ~n ~per_processor:messages
+    in
+    Printf.printf "topology    : %s (n=%d, Δ=%d, D=%d)\n" name n
+      (Topology.Graph.max_degree graph)
+      (Topology.Metrics.diameter graph);
+    Printf.printf "schedule    : %s\n" (Chaos.Schedule.to_string schedule);
+    Printf.printf "corruption  : %s\n" spec_name;
+    try
+      match model with
+      | `State ->
+          let cfg =
+            Harness.Runner.config ~spec ~daemon ~seed ~max_steps graph workload
+          in
+          let obs =
+            if json_file <> None || journal_file <> None then
+              Some (Obs.Sink.create ~with_journal:(journal_file <> None) ())
+            else None
+          in
+          let o = Chaos.Runner.run ?obs ~aftermath ~schedule cfg in
+          let r = o.Chaos.Runner.run in
+          Printf.printf "model       : state (%s daemon)\n"
+            (Harness.Runner.daemon_kind_to_string daemon);
+          Printf.printf "outcome     : %s after %d steps / %d rounds\n"
+            (match r.Harness.Runner.outcome with
+            | `Quiescent -> "quiescent"
+            | `Max_steps -> "step budget exhausted")
+            r.Harness.Runner.stats.Sim.Engine.steps
+            r.Harness.Runner.stats.Sim.Engine.rounds;
+          Printf.printf "faults      : %s\n"
+            (if o.Chaos.Runner.fired = [] then "none fired"
+             else
+               String.concat ", "
+                 (List.map
+                    (fun (round, victims) ->
+                      Printf.sprintf "round %d -> %d victim(s)" round victims)
+                    o.Chaos.Runner.fired));
+          if aftermath > 0 then
+            Printf.printf "aftermath   : %d probe request(s)\n"
+              o.Chaos.Runner.aftermath_submitted;
+          report_lines o.Chaos.Runner.report;
+          let verdict_ok, violations, _ =
+            Campaign.Pool.chaos_verdict ~schedule
+              ~verdict:o.Chaos.Runner.sp_verdict ~report:o.Chaos.Runner.report
+          in
+          Printf.printf "verdict     : %s\n"
+            (if verdict_ok then "ok"
+             else "VIOLATED — " ^ String.concat "; " violations);
+          (match (journal_file, Option.map Obs.Sink.journal obs) with
+          | Some path, Some (Some j) ->
+              Obs.Journal.write_jsonl path j;
+              Printf.printf "journal     : %d events -> %s\n"
+                (Obs.Journal.length j) path
+          | _ -> ());
+          (match json_file with
+          | None -> ()
+          | Some path ->
+              write_json path
+                (chaos_json ~name ~model:"state" ~schedule
+                   ~fired:o.Chaos.Runner.fired ~seed ~report:o.Chaos.Runner.report
+                   ~sp_ok:o.Chaos.Runner.sp_verdict.Harness.Oracle.ok ~verdict_ok
+                   []));
+          if verdict_ok then 0 else 1
+      | `Mp ->
+          let o =
+            Chaos.Mp_run.run ~spec ~channel_garbage ~seed
+              ~max_deliveries:max_steps ~aftermath ~schedule graph workload
+          in
+          Printf.printf "model       : mp (α-synchronizer port)\n";
+          Printf.printf "outcome     : %s after %d deliveries / %d pulses\n"
+            (match o.Chaos.Mp_run.mp_outcome with
+            | `All_done -> "all drained"
+            | `Max_deliveries -> "delivery budget exhausted")
+            o.Chaos.Mp_run.channel_deliveries o.Chaos.Mp_run.max_pulse;
+          let ch = o.Chaos.Mp_run.channel in
+          Printf.printf
+            "channel     : %d delivered, %d lost, %d duplicated, %d reordered, %d dropped at down processes\n"
+            ch.Mp.Ssmfp_mp.delivered ch.Mp.Ssmfp_mp.lost
+            ch.Mp.Ssmfp_mp.duplicated ch.Mp.Ssmfp_mp.reordered
+            ch.Mp.Ssmfp_mp.dropped_while_down;
+          Printf.printf "faults      : %s\n"
+            (if o.Chaos.Mp_run.fired = [] then "none fired"
+             else
+               String.concat ", "
+                 (List.map
+                    (fun (pulse, victims) ->
+                      Printf.sprintf "pulse %d -> %d victim(s)" pulse victims)
+                    o.Chaos.Mp_run.fired));
+          if aftermath > 0 then
+            Printf.printf "aftermath   : %d probe request(s)\n"
+              o.Chaos.Mp_run.aftermath_submitted;
+          report_lines o.Chaos.Mp_run.report;
+          let verdict_ok, violations, _ =
+            Campaign.Pool.chaos_verdict ~schedule ~verdict:o.Chaos.Mp_run.verdict
+              ~report:o.Chaos.Mp_run.report
+          in
+          Printf.printf "verdict     : %s\n"
+            (if verdict_ok then "ok"
+             else "VIOLATED — " ^ String.concat "; " violations);
+          (match json_file with
+          | None -> ()
+          | Some path ->
+              write_json path
+                (chaos_json ~name ~model:"mp" ~schedule ~fired:o.Chaos.Mp_run.fired
+                   ~seed ~report:o.Chaos.Mp_run.report
+                   ~sp_ok:o.Chaos.Mp_run.verdict.Harness.Oracle.ok ~verdict_ok
+                   [
+                     ( "channel",
+                       Obs.Json.Obj
+                         [
+                           ("delivered", Obs.Json.Int ch.Mp.Ssmfp_mp.delivered);
+                           ("lost", Obs.Json.Int ch.Mp.Ssmfp_mp.lost);
+                           ("duplicated", Obs.Json.Int ch.Mp.Ssmfp_mp.duplicated);
+                           ("reordered", Obs.Json.Int ch.Mp.Ssmfp_mp.reordered);
+                           ( "dropped_while_down",
+                             Obs.Json.Int ch.Mp.Ssmfp_mp.dropped_while_down );
+                         ] );
+                   ]));
+          if verdict_ok then 0 else 1
+    with Sys_error msg ->
+      Printf.eprintf "ssmfp_cli: cannot write artifact: %s\n" msg;
+      2
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ schedule $ model $ corruption $ daemon $ seed
+      $ messages $ aftermath $ channel_garbage $ max_steps $ json_file
+      $ journal_file)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Strike a running execution with a timed fault schedule and check \
+          the recovery oracle (post-burst exactly-once, amortized 2n invalid \
+          budget, rounds back to quiescence).")
+    term
+
 (* ---------------- campaign command ---------------- *)
 
 let contains_substring hay needle =
@@ -565,9 +850,12 @@ let campaign_cmd =
   let grid_base =
     Arg.(
       value
-      & opt (enum [ ("default", `Default); ("smoke", `Smoke) ]) `Default
+      & opt (enum [ ("default", `Default); ("smoke", `Smoke); ("chaos", `Chaos) ])
+          `Default
       & info [ "grid" ] ~docv:"NAME"
-          ~doc:"Base grid: default (32 scenarios) or smoke (8, for CI).")
+          ~doc:
+            "Base grid: default (32 scenarios), smoke (8, for CI) or chaos \
+             (108 fault-schedule scenarios across both models).")
   in
   let topologies =
     let axis =
@@ -612,6 +900,28 @@ let campaign_cmd =
       & opt (some axis) None
       & info [ "workloads" ] ~docv:"LIST"
           ~doc:"Comma-separated workloads, e.g. uniform:2,all-to-one:1.")
+  in
+  let models =
+    let axis = axis_conv ~what:"model" Spec.model_of_string Spec.model_to_string in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "models" ] ~docv:"LIST"
+          ~doc:"Comma-separated execution models: state,mp.")
+  in
+  let chaos =
+    let axis =
+      axis_conv ~what:"chaos schedule" Chaos.Schedule.of_string
+        Chaos.Schedule.to_string
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "chaos" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated fault schedules, e.g. \
+             none,10:rbqf:all+40:c:2@lossy (see the chaos subcommand for the \
+             grammar).")
   in
   let seeds =
     let axis =
@@ -690,12 +1000,13 @@ let campaign_cmd =
       & info [ "latency-tolerance" ] ~docv:"PCT"
           ~doc:"Latency p50 regression tolerance for --baseline, in percent.")
   in
-  let run grid_base topologies corruptions daemons workloads seeds max_steps
-      only workers dry_run out baseline from_ latency_tolerance =
+  let run grid_base topologies corruptions daemons workloads models chaos seeds
+      max_steps only workers dry_run out baseline from_ latency_tolerance =
     let grid =
       match grid_base with
       | `Default -> Spec.default_grid ()
       | `Smoke -> Spec.smoke_grid ()
+      | `Chaos -> Spec.chaos_grid ()
     in
     let grid =
       {
@@ -703,16 +1014,21 @@ let campaign_cmd =
         corruptions = Option.value ~default:grid.Spec.corruptions corruptions;
         daemons = Option.value ~default:grid.Spec.daemons daemons;
         workloads = Option.value ~default:grid.Spec.workloads workloads;
+        models = Option.value ~default:grid.Spec.models models;
+        chaos = Option.value ~default:grid.Spec.chaos chaos;
         seeds = Option.value ~default:grid.Spec.seeds seeds;
         max_steps = Option.value ~default:grid.Spec.max_steps max_steps;
       }
     in
-    let filter =
-      Option.map
-        (fun sub sc -> contains_substring sc.Spec.id sub)
-        only
+    (* chaos_filter always composes in: on single-model grids it keeps
+       everything, and on mixed grids it drops the mp × daemon twins. *)
+    let filter sc =
+      Spec.chaos_filter sc
+      && match only with
+         | None -> true
+         | Some sub -> contains_substring sc.Spec.id sub
     in
-    let scenarios = Spec.expand ?filter grid in
+    let scenarios = Spec.expand ~filter grid in
     if scenarios = [] then begin
       Printf.eprintf "ssmfp_cli campaign: the grid expands to no scenarios\n";
       2
@@ -745,7 +1061,7 @@ let campaign_cmd =
                           (o.Pool.seconds *. 1000.) )
                   | Pool.Done s ->
                       ("VIOLATED", String.concat "; " s.Pool.violations)
-                  | Pool.Crashed msg -> ("CRASHED", msg)
+                  | Pool.Crashed c -> ("CRASHED", c.Pool.crash_msg)
                 in
                 Printf.printf "  %-55s %-8s %s\n" o.Pool.scenario.Spec.id status
                   detail)
@@ -812,8 +1128,8 @@ let campaign_cmd =
   let term =
     Term.(
       const run $ grid_base $ topologies $ corruptions $ daemons $ workloads
-      $ seeds $ max_steps $ only $ workers $ dry_run $ out $ baseline $ from_
-      $ latency_tolerance)
+      $ models $ chaos $ seeds $ max_steps $ only $ workers $ dry_run $ out
+      $ baseline $ from_ $ latency_tolerance)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -826,5 +1142,5 @@ let () =
   let doc = "snap-stabilizing message forwarding (Cournier-Dubois-Villain, IPPS 2009)" in
   let info = Cmd.info "ssmfp_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-       [ run_cmd; watch_cmd; campaign_cmd; tables_cmd; figures_cmd; dot_cmd;
-         pif_cmd; mc_cmd ]))
+       [ run_cmd; watch_cmd; chaos_cmd; campaign_cmd; tables_cmd; figures_cmd;
+         dot_cmd; pif_cmd; mc_cmd ]))

@@ -1,4 +1,4 @@
-let schema = "ssmfp.campaign/1"
+let schema = "ssmfp.campaign/2"
 
 open Obs.Json
 
@@ -78,23 +78,51 @@ let worst_latency_vs_envelope dones =
 let count_status outcomes want =
   List.length (List.filter (fun o -> status_string o = want) outcomes)
 
+(* Recovery aggregates over the chaos scenarios of a group (the ones whose
+   summary carries a recovery report). [recovered] counts the runs that
+   made it back to quiescence; [recovery_rounds] pools their
+   last-burst-to-quiescence distances. *)
+let recovery_reports dones =
+  List.filter_map (fun (_, s) -> s.Pool.recovery) dones
+
+let recovery_fields dones =
+  match recovery_reports dones with
+  | [] -> []
+  | reports ->
+      let recovered =
+        List.filter (fun r -> r.Chaos.Recovery.recovery_rounds >= 0) reports
+      in
+      [
+        ("chaos_scenarios", Int (List.length reports));
+        ("recovered", Int (List.length recovered));
+        ( "recovery_rounds",
+          summary_json
+            (Harness.Stats.summarize
+               (List.sort compare
+                  (List.map
+                     (fun r -> float_of_int r.Chaos.Recovery.recovery_rounds)
+                     recovered))) );
+      ]
+
 let group_json key outcomes =
   let dones = done_summaries outcomes in
   Obj
-    [
-      ("key", String key);
-      ("scenarios", Int (List.length outcomes));
-      ("ok", Int (count_status outcomes "ok"));
-      ("violated", Int (count_status outcomes "violated"));
-      ("crashed", Int (count_status outcomes "crashed"));
-      ("submitted", Int (sum (fun (_, s) -> s.Pool.submitted) dones));
-      ("valid_delivered", Int (sum (fun (_, s) -> s.Pool.valid_delivered) dones));
-      ("delivery_rate", Float (delivery_rate dones));
-      ("invalid_delivered", Int (sum (fun (_, s) -> s.Pool.invalid_delivered) dones));
-      ("worst_invalid_over_2n", Float (worst_invalid_ratio dones));
-      ("latency_rounds", summary_json (pooled_latency dones));
-      ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
-    ]
+    ([
+       ("key", String key);
+       ("scenarios", Int (List.length outcomes));
+       ("ok", Int (count_status outcomes "ok"));
+       ("violated", Int (count_status outcomes "violated"));
+       ("crashed", Int (count_status outcomes "crashed"));
+       ("submitted", Int (sum (fun (_, s) -> s.Pool.submitted) dones));
+       ("valid_delivered", Int (sum (fun (_, s) -> s.Pool.valid_delivered) dones));
+       ("delivery_rate", Float (delivery_rate dones));
+       ("duplicate_delivered", Int (sum (fun (_, s) -> s.Pool.duplicate_delivered) dones));
+       ("invalid_delivered", Int (sum (fun (_, s) -> s.Pool.invalid_delivered) dones));
+       ("worst_invalid_over_2n", Float (worst_invalid_ratio dones));
+       ("latency_rounds", summary_json (pooled_latency dones));
+       ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
+     ]
+    @ recovery_fields dones)
 
 let scenario_json (o : Pool.outcome) =
   let sc = o.Pool.scenario in
@@ -109,12 +137,20 @@ let scenario_json (o : Pool.outcome) =
       ("corruption", String (Spec.corruption_to_string sc.Spec.corruption));
       ("daemon", String (Harness.Runner.daemon_kind_to_string sc.Spec.daemon));
       ("workload", String (Spec.workload_to_string sc.Spec.workload));
+      ("model", String (Spec.model_to_string sc.Spec.model));
+      ("chaos", String (Chaos.Schedule.to_string sc.Spec.chaos));
       ("seed", Int sc.Spec.seed);
       ("status", String (status_string o));
     ]
   in
   match o.Pool.status with
-  | Pool.Crashed msg -> Obj (base @ [ ("crash", String msg) ])
+  | Pool.Crashed c ->
+      Obj
+        (base
+        @ [
+            ("crash", String c.Pool.crash_msg);
+            ("crash_backtrace", String c.Pool.crash_backtrace);
+          ])
   | Pool.Done s ->
       Obj
         (base
@@ -130,6 +166,7 @@ let scenario_json (o : Pool.outcome) =
             ("submitted", Int s.Pool.submitted);
             ("valid_generated", Int s.Pool.valid_generated);
             ("valid_delivered", Int s.Pool.valid_delivered);
+            ("duplicate_delivered", Int s.Pool.duplicate_delivered);
             ("invalid_planted", Int s.Pool.invalid_planted);
             ("invalid_delivered", Int s.Pool.invalid_delivered);
             ("invalid_worst_dest", Int s.Pool.invalid_worst_dest);
@@ -138,31 +175,37 @@ let scenario_json (o : Pool.outcome) =
             ("violations", List (List.map (fun v -> String v) s.Pool.violations));
             ("latency_rounds", summary_json (Harness.Stats.summarize s.Pool.latencies));
             ("delay_rounds", summary_json (Harness.Stats.summarize s.Pool.delays));
-          ])
+          ]
+        @
+        match s.Pool.recovery with
+        | None -> []
+        | Some r -> [ ("recovery", Chaos.Recovery.to_json r) ])
 
 let totals_json outcomes =
   let dones = done_summaries outcomes in
   Obj
-    [
-      ("scenarios", Int (List.length outcomes));
-      ("ok", Int (count_status outcomes "ok"));
-      ("violated", Int (count_status outcomes "violated"));
-      ("crashed", Int (count_status outcomes "crashed"));
-      ( "quiescent",
-        Int
-          (List.length
-             (List.filter (fun (_, s) -> s.Pool.outcome = `Quiescent) dones)) );
-      ("submitted", Int (sum (fun (_, s) -> s.Pool.submitted) dones));
-      ("valid_generated", Int (sum (fun (_, s) -> s.Pool.valid_generated) dones));
-      ("valid_delivered", Int (sum (fun (_, s) -> s.Pool.valid_delivered) dones));
-      ("delivery_rate", Float (delivery_rate dones));
-      ("invalid_planted", Int (sum (fun (_, s) -> s.Pool.invalid_planted) dones));
-      ("invalid_delivered", Int (sum (fun (_, s) -> s.Pool.invalid_delivered) dones));
-      ("worst_invalid_over_2n", Float (worst_invalid_ratio dones));
-      ("latency_rounds", summary_json (pooled_latency dones));
-      ("delay_rounds", summary_json (pooled_delay dones));
-      ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
-    ]
+    ([
+       ("scenarios", Int (List.length outcomes));
+       ("ok", Int (count_status outcomes "ok"));
+       ("violated", Int (count_status outcomes "violated"));
+       ("crashed", Int (count_status outcomes "crashed"));
+       ( "quiescent",
+         Int
+           (List.length
+              (List.filter (fun (_, s) -> s.Pool.outcome = `Quiescent) dones)) );
+       ("submitted", Int (sum (fun (_, s) -> s.Pool.submitted) dones));
+       ("valid_generated", Int (sum (fun (_, s) -> s.Pool.valid_generated) dones));
+       ("valid_delivered", Int (sum (fun (_, s) -> s.Pool.valid_delivered) dones));
+       ("delivery_rate", Float (delivery_rate dones));
+       ("duplicate_delivered", Int (sum (fun (_, s) -> s.Pool.duplicate_delivered) dones));
+       ("invalid_planted", Int (sum (fun (_, s) -> s.Pool.invalid_planted) dones));
+       ("invalid_delivered", Int (sum (fun (_, s) -> s.Pool.invalid_delivered) dones));
+       ("worst_invalid_over_2n", Float (worst_invalid_ratio dones));
+       ("latency_rounds", summary_json (pooled_latency dones));
+       ("delay_rounds", summary_json (pooled_delay dones));
+       ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
+     ]
+    @ recovery_fields dones)
 
 (* Axis breakdowns keep first-appearance order, which is itself stable
    because outcomes are sorted by scenario index first. *)
@@ -197,6 +240,9 @@ let to_json outcomes =
           Harness.Runner.daemon_kind_to_string o.Pool.scenario.Spec.daemon);
       axis "by_workload" (fun o ->
           Spec.workload_to_string o.Pool.scenario.Spec.workload);
+      axis "by_model" (fun o -> Spec.model_to_string o.Pool.scenario.Spec.model);
+      axis "by_chaos" (fun o ->
+          Chaos.Schedule.to_string o.Pool.scenario.Spec.chaos);
     ]
 
 let write path doc =
@@ -280,6 +326,15 @@ let render_summary doc =
            (float_field lat "p99")
            (float_field totals "worst_latency_p99_over_delta_pow_d"))
   | None -> ());
+  (match member "recovery_rounds" totals with
+  | Some rr ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "recovery    : %d/%d chaos scenarios quiesced (rounds p50=%s max=%s)\n"
+           (int_field "recovered")
+           (int_field "chaos_scenarios")
+           (float_field rr "p50") (float_field rr "max"))
+  | None -> ());
   List.iter
     (fun (axis, label) ->
       match Option.bind (member axis doc) to_list with
@@ -311,6 +366,8 @@ let render_summary doc =
       ("by_corruption", "corruption");
       ("by_daemon", "daemon");
       ("by_workload", "workload");
+      ("by_model", "model");
+      ("by_chaos", "chaos");
     ];
   (match failed with
   | [] -> ()

@@ -13,13 +13,19 @@
       ([n], [delta], [diameter], [delta_pow_d]), engine totals, oracle
       tallies (with ["invalid_bound"] = [2n], Prop. 4), verdict and latency/
       delay digests (Props. 5–6);
-    - ["by_topology"], ["by_corruption"], ["by_daemon"], ["by_workload"] —
-      per-axis breakdowns: delivery rate, invalid-vs-bound worst ratio, and
-      pooled rounds-to-delivery percentiles with their worst ratio to
-      [Δ^D] (the Prop. 5 envelope). *)
+    - ["by_topology"], ["by_corruption"], ["by_daemon"], ["by_workload"],
+      ["by_model"], ["by_chaos"] — per-axis breakdowns: delivery rate,
+      invalid-vs-bound worst ratio, pooled rounds-to-delivery percentiles
+      with their worst ratio to [Δ^D] (the Prop. 5 envelope), and — when
+      the group holds chaos scenarios — recovered counts with pooled
+      rounds-to-recovery percentiles.
+
+    Chaos scenarios additionally carry a ["recovery"] object (the
+    {!Chaos.Recovery} report) and crashed ones a ["crash_backtrace"]
+    string next to ["crash"]. *)
 
 val schema : string
-(** ["ssmfp.campaign/1"]. *)
+(** ["ssmfp.campaign/2"]. *)
 
 val to_json : Pool.outcome list -> Obs.Json.t
 (** Order-insensitive: outcomes are re-sorted by scenario index. *)

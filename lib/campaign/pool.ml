@@ -5,6 +5,7 @@ type run_summary = {
   moves : int;
   valid_generated : int;
   valid_delivered : int;
+  duplicate_delivered : int;
   invalid_delivered : int;
   invalid_worst_dest : int;
   invalid_planted : int;
@@ -14,9 +15,11 @@ type run_summary = {
   violations : string list;
   latencies : float list;
   delays : float list;
+  recovery : Chaos.Recovery.report option;
 }
 
-type status = Done of run_summary | Crashed of string
+type crash = { crash_msg : string; crash_backtrace : string }
+type status = Done of run_summary | Crashed of crash
 
 type outcome = {
   scenario : Spec.scenario;
@@ -58,30 +61,104 @@ let run_list ?(workers = 1) thunks =
   Array.to_list
     (Array.map (function Some r -> r | None -> assert false) results)
 
-let summary_of (r : Harness.Runner.result) =
-  let oracle = r.Harness.Runner.oracle in
+(* The chaos verdict: with no schedule at all the classic whole-run SP
+   check stands alone; with an unreliable channel but no bursts both the
+   whole-run check and the recovery oracle must hold (retransmission must
+   still get everything through); once bursts strike, the whole-run check
+   may legitimately fail (a crash destroys in-flight valid messages), so
+   the recovery oracle's post-burst clauses are the verdict. *)
+let chaos_verdict ~(schedule : Chaos.Schedule.t)
+    ~(verdict : Harness.Oracle.verdict) ~(report : Chaos.Recovery.report) =
+  if Chaos.Schedule.is_none schedule then
+    (verdict.Harness.Oracle.ok, verdict.Harness.Oracle.violations, None)
+  else if schedule.Chaos.Schedule.bursts = [] then
+    ( verdict.Harness.Oracle.ok && report.Chaos.Recovery.ok,
+      verdict.Harness.Oracle.violations @ report.Chaos.Recovery.violations,
+      Some report )
+  else (report.Chaos.Recovery.ok, report.Chaos.Recovery.violations, Some report)
+
+(* Post-burst probe wave size: enough traffic that the recovery oracle's
+   once-and-only-once clause is never vacuous, small enough not to
+   reshape the workload. Zero when nothing ever fires. *)
+let aftermath_for (sc : Spec.scenario) =
+  if sc.Spec.chaos.Chaos.Schedule.bursts = [] then 0 else 4
+
+let oracle_tallies oracle =
+  ( Harness.Oracle.valid_generated oracle,
+    Harness.Oracle.valid_delivered oracle,
+    Harness.Oracle.duplicate_delivered_total oracle,
+    Harness.Oracle.invalid_delivered_total oracle,
+    List.fold_left
+      (fun acc (_, c) -> max acc c)
+      0
+      (Harness.Oracle.invalid_deliveries oracle),
+    (* The oracle folds its hash table in bucket order; sort so aggregate
+       percentiles never depend on insertion history. *)
+    List.sort compare (Harness.Oracle.latencies oracle),
+    List.sort compare (Harness.Oracle.delays oracle) )
+
+let summary_of_chaos (o : Chaos.Runner.outcome) =
+  let r = o.Chaos.Runner.run in
+  let generated, delivered, duplicated, invalid, invalid_worst, latencies, delays
+      =
+    oracle_tallies r.Harness.Runner.oracle
+  in
+  let verdict_ok, violations, recovery =
+    chaos_verdict ~schedule:o.Chaos.Runner.schedule
+      ~verdict:o.Chaos.Runner.sp_verdict ~report:o.Chaos.Runner.report
+  in
   {
     outcome = r.Harness.Runner.outcome;
     steps = r.Harness.Runner.stats.Sim.Engine.steps;
     rounds = r.Harness.Runner.stats.Sim.Engine.rounds;
     moves = r.Harness.Runner.stats.Sim.Engine.moves;
-    valid_generated = Harness.Oracle.valid_generated oracle;
-    valid_delivered = Harness.Oracle.valid_delivered oracle;
-    invalid_delivered = Harness.Oracle.invalid_delivered_total oracle;
-    invalid_worst_dest =
-      List.fold_left
-        (fun acc (_, c) -> max acc c)
-        0
-        (Harness.Oracle.invalid_deliveries oracle);
+    valid_generated = generated;
+    valid_delivered = delivered;
+    duplicate_delivered = duplicated;
+    invalid_delivered = invalid;
+    invalid_worst_dest = invalid_worst;
     invalid_planted = r.Harness.Runner.invalid_planted;
-    submitted = r.Harness.Runner.submitted;
+    submitted = r.Harness.Runner.submitted + o.Chaos.Runner.aftermath_submitted;
     routing_settled_round = r.Harness.Runner.routing_settled_round;
-    verdict_ok = r.Harness.Runner.verdict.Harness.Oracle.ok;
-    violations = r.Harness.Runner.verdict.Harness.Oracle.violations;
-    (* The oracle folds its hash table in bucket order; sort so aggregate
-       percentiles never depend on insertion history. *)
-    latencies = List.sort compare (Harness.Oracle.latencies oracle);
-    delays = List.sort compare (Harness.Oracle.delays oracle);
+    verdict_ok;
+    violations;
+    latencies;
+    delays;
+    recovery;
+  }
+
+let summary_of_mp (o : Chaos.Mp_run.outcome) =
+  let generated, delivered, duplicated, invalid, invalid_worst, latencies, delays
+      =
+    oracle_tallies o.Chaos.Mp_run.oracle
+  in
+  let verdict_ok, violations, recovery =
+    chaos_verdict ~schedule:o.Chaos.Mp_run.schedule ~verdict:o.Chaos.Mp_run.verdict
+      ~report:o.Chaos.Mp_run.report
+  in
+  {
+    outcome =
+      (match o.Chaos.Mp_run.mp_outcome with
+      | `All_done -> `Quiescent
+      | `Max_deliveries -> `Max_steps);
+    (* steps and moves are channel deliveries here — the mp model's unit
+       of work; rounds are synchronizer pulses. *)
+    steps = o.Chaos.Mp_run.channel_deliveries;
+    rounds = o.Chaos.Mp_run.max_pulse;
+    moves = o.Chaos.Mp_run.channel_deliveries;
+    valid_generated = generated;
+    valid_delivered = delivered;
+    duplicate_delivered = duplicated;
+    invalid_delivered = invalid;
+    invalid_worst_dest = invalid_worst;
+    invalid_planted = o.Chaos.Mp_run.invalid_planted;
+    submitted = o.Chaos.Mp_run.submitted;
+    routing_settled_round = 0;
+    verdict_ok;
+    violations;
+    latencies;
+    delays;
+    recovery;
   }
 
 let graph_meta (sc : Spec.scenario) =
@@ -90,6 +167,33 @@ let graph_meta (sc : Spec.scenario) =
     Topology.Graph.max_degree g,
     try Topology.Metrics.diameter g with _ -> 0 )
 
+(* channel_garbage mirrors the corruption axis on the mp side: forged
+   messages sitting in flight at start, scaled like the planted state
+   corruption (Prop. 4's budget is per destination, hence the 2n). *)
+let mp_channel_garbage (sc : Spec.scenario) ~n =
+  match sc.Spec.corruption with
+  | Spec.Pristine -> 0
+  | Spec.Random_point -> 10
+  | Spec.Adversarial -> 2 * n
+
+let run_scenario (sc : Spec.scenario) =
+  match sc.Spec.model with
+  | Spec.State_model ->
+      (* Zero-burst schedules delegate to the plain runner inside
+         Chaos.Runner — byte-identical to Harness.Runner.run. *)
+      summary_of_chaos
+        (Chaos.Runner.run ~aftermath:(aftermath_for sc) ~schedule:sc.Spec.chaos
+           (Spec.materialize sc))
+  | Spec.Mp_model ->
+      let n = Topology.Graph.n sc.Spec.topology.Spec.graph in
+      summary_of_mp
+        (Chaos.Mp_run.run
+           ~spec:(Spec.materialize_fault_spec sc)
+           ~channel_garbage:(mp_channel_garbage sc ~n) ~seed:sc.Spec.seed
+           ~aftermath:(aftermath_for sc) ~schedule:sc.Spec.chaos
+           sc.Spec.topology.Spec.graph
+           (Spec.materialize_workload sc))
+
 let run_one sc =
   let t0 = Unix.gettimeofday () in
   let n, delta, diameter = graph_meta sc in
@@ -97,9 +201,16 @@ let run_one sc =
     (* Fresh, deterministic ghost ids per scenario, whatever the worker
        ran before — the artifact must not depend on scheduling. *)
     Ssmfp.Message.reset_ghost_counter ();
-    match Harness.Runner.run (Spec.materialize sc) with
-    | r -> Done (summary_of r)
-    | exception e -> Crashed (Printexc.to_string e)
+    Printexc.record_backtrace true;
+    match run_scenario sc with
+    | s -> Done s
+    | exception e ->
+        let raw = Printexc.get_raw_backtrace () in
+        Crashed
+          {
+            crash_msg = Printexc.to_string e;
+            crash_backtrace = String.trim (Printexc.raw_backtrace_to_string raw);
+          }
   in
   {
     scenario = sc;
@@ -120,5 +231,12 @@ let run ?workers scenarios =
              (* run_one already catches runner exceptions; this branch
                 only fires if scenario metadata itself blew up. *)
              let n, delta, diameter = try graph_meta sc with _ -> (0, 0, 0) in
-             { scenario = sc; n; delta; diameter; status = Crashed msg; seconds = 0. })
+             {
+               scenario = sc;
+               n;
+               delta;
+               diameter;
+               status = Crashed { crash_msg = msg; crash_backtrace = "" };
+               seconds = 0.;
+             })
        scenarios

@@ -11,28 +11,44 @@
 
 type run_summary = {
   outcome : [ `Quiescent | `Max_steps ];
-  steps : int;
-  rounds : int;
+      (** mp scenarios map [`All_done] to [`Quiescent] and delivery-budget
+          exhaustion to [`Max_steps] *)
+  steps : int;  (** engine steps; channel deliveries on mp scenarios *)
+  rounds : int;  (** engine rounds; synchronizer pulses on mp scenarios *)
   moves : int;
   valid_generated : int;
   valid_delivered : int;
+  duplicate_delivered : int;
+      (** extra deliveries of valid messages beyond their first (SP allows
+          none) *)
   invalid_delivered : int;
   invalid_worst_dest : int;
       (** max invalid deliveries at any single destination (Prop. 4 bounds
           this by [2n]) *)
   invalid_planted : int;
-  submitted : int;
-  routing_settled_round : int;  (** measured [R_A] *)
-  verdict_ok : bool;  (** SP verdict of {!Harness.Oracle.check_sp} *)
+  submitted : int;  (** workload requests plus any chaos aftermath wave *)
+  routing_settled_round : int;  (** measured [R_A]; [0] on mp scenarios *)
+  verdict_ok : bool;
+      (** SP verdict of {!Harness.Oracle.check_sp} on burst-free scenarios;
+          on bursty ones, the recovery oracle's [report.ok] (bursts may
+          legitimately destroy in-flight valid messages, so the whole-run
+          check does not apply) *)
   violations : string list;
   latencies : float list;
       (** per-delivered-message rounds (Prop. 5), sorted ascending *)
   delays : float list;  (** request-to-generation rounds (Prop. 6), sorted *)
+  recovery : Chaos.Recovery.report option;
+      (** [Some] exactly when the scenario's schedule is not
+          [Chaos.Schedule.none] *)
 }
 
-type status =
-  | Done of run_summary
-  | Crashed of string  (** [Printexc.to_string] of the escaping exception *)
+type crash = {
+  crash_msg : string;  (** [Printexc.to_string] of the escaping exception *)
+  crash_backtrace : string;
+      (** the exception's backtrace, [""] when the runtime recorded none *)
+}
+
+type status = Done of run_summary | Crashed of crash
 
 type outcome = {
   scenario : Spec.scenario;
@@ -45,6 +61,18 @@ type outcome = {
           never serialized (artifacts must be bit-reproducible) *)
 }
 
+val chaos_verdict :
+  schedule:Chaos.Schedule.t ->
+  verdict:Harness.Oracle.verdict ->
+  report:Chaos.Recovery.report ->
+  bool * string list * Chaos.Recovery.report option
+(** The verdict rule shared by the pool, the CLI and the tests:
+    [Chaos.Schedule.none] keeps the whole-run SP verdict alone (and no
+    report); an unreliable channel without bursts requires both the
+    whole-run verdict and the recovery report; bursts hand the verdict to
+    the recovery report (the whole-run check may legitimately fail once
+    faults destroy in-flight valid messages). *)
+
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], clamped to [1..8]. *)
 
@@ -56,7 +84,11 @@ val run_list : ?workers:int -> (unit -> 'a) list -> ('a, string) result list
 
 val run_one : Spec.scenario -> outcome
 (** Execute one scenario on the calling domain (resets the domain's
-    ghost-id counter first). *)
+    ghost-id counter first). Dispatches on the scenario's model: state
+    scenarios run through {!Chaos.Runner} (burst-free schedules delegate
+    to the plain [Harness.Runner] code path untouched), mp scenarios
+    through {!Chaos.Mp_run} with channel garbage scaled from the
+    corruption axis (pristine 0, random 10, adversarial [2n]). *)
 
 val run : ?workers:int -> Spec.scenario list -> outcome list
 (** Execute every scenario, in input order in the result. *)

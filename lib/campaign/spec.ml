@@ -103,6 +103,21 @@ let workload_of_string s =
       | _ -> fail ())
   | _ -> fail ()
 
+type model = State_model | Mp_model
+
+let model_to_string = function State_model -> "state" | Mp_model -> "mp"
+
+let model_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "state" -> Ok State_model
+  | "mp" | "message-passing" -> Ok Mp_model
+  | s -> Error (Printf.sprintf "unknown model %S (expected state or mp)" s)
+
+let chaos_exn s =
+  match Chaos.Schedule.of_string s with
+  | Ok sch -> sch
+  | Error e -> invalid_arg e
+
 let seeds_of_string s =
   let item acc part =
     match acc with
@@ -132,6 +147,8 @@ type grid = {
   corruptions : corruption list;
   daemons : Harness.Runner.daemon_kind list;
   workloads : workload_kind list;
+  models : model list;
+  chaos : Chaos.Schedule.t list;
   seeds : int list;
   max_steps : int;
 }
@@ -143,6 +160,8 @@ let default_grid () =
     corruptions = [ Pristine; Adversarial ];
     daemons = [ Harness.Runner.Synchronous; Harness.Runner.Distributed_random ];
     workloads = [ Uniform 2 ];
+    models = [ State_model ];
+    chaos = [ Chaos.Schedule.none ];
     seeds = [ 1; 2 ];
     max_steps = 500_000;
   }
@@ -153,8 +172,23 @@ let smoke_grid () =
     corruptions = [ Pristine; Adversarial ];
     daemons = [ Harness.Runner.Synchronous ];
     workloads = [ Uniform 1 ];
+    models = [ State_model ];
+    chaos = [ Chaos.Schedule.none ];
     seeds = [ 1; 2 ];
     max_steps = 200_000;
+  }
+
+let chaos_grid () =
+  {
+    topologies = List.map topology_exn [ "ring:6"; "path:5"; "grid:3x3" ];
+    corruptions = [ Pristine; Adversarial ];
+    daemons = [ Harness.Runner.Synchronous; Harness.Runner.Distributed_random ];
+    workloads = [ Uniform 2 ];
+    models = [ State_model; Mp_model ];
+    chaos =
+      List.map chaos_exn [ "8:rb:2"; "8:rbqf:all+20:c:1@lossy"; "12:bq:3@flaky" ];
+    seeds = [ 1; 2 ];
+    max_steps = 500_000;
   }
 
 type scenario = {
@@ -164,14 +198,25 @@ type scenario = {
   corruption : corruption;
   daemon : Harness.Runner.daemon_kind;
   workload : workload_kind;
+  model : model;
+  chaos : Chaos.Schedule.t;
   seed : int;
   max_steps : int;
 }
 
-let scenario_id t c d w s =
-  Printf.sprintf "%s/%s/%s/%s/s%d" t.t_name (corruption_to_string c)
+let scenario_id t c d w m ch s =
+  Printf.sprintf "%s/%s/%s/%s/%s/%s/s%d" t.t_name (corruption_to_string c)
     (Harness.Runner.daemon_kind_to_string d)
-    (workload_to_string w) s
+    (workload_to_string w) (model_to_string m)
+    (Chaos.Schedule.to_string ch)
+    s
+
+let chaos_filter sc =
+  (* The mp synchronizer has no daemon; keep one daemon spelling per mp
+     point so the chaos grid doesn't carry semantically-identical twins. *)
+  match sc.model with
+  | State_model -> true
+  | Mp_model -> sc.daemon = Harness.Runner.Synchronous
 
 let expand ?(filter = fun _ -> true) (grid : grid) =
   let acc = ref [] in
@@ -184,21 +229,29 @@ let expand ?(filter = fun _ -> true) (grid : grid) =
               List.iter
                 (fun w ->
                   List.iter
-                    (fun s ->
-                      let sc =
-                        {
-                          index = 0;
-                          id = scenario_id t c d w s;
-                          topology = t;
-                          corruption = c;
-                          daemon = d;
-                          workload = w;
-                          seed = s;
-                          max_steps = grid.max_steps;
-                        }
-                      in
-                      if filter sc then acc := sc :: !acc)
-                    grid.seeds)
+                    (fun m ->
+                      List.iter
+                        (fun ch ->
+                          List.iter
+                            (fun s ->
+                              let sc =
+                                {
+                                  index = 0;
+                                  id = scenario_id t c d w m ch s;
+                                  topology = t;
+                                  corruption = c;
+                                  daemon = d;
+                                  workload = w;
+                                  model = m;
+                                  chaos = ch;
+                                  seed = s;
+                                  max_steps = grid.max_steps;
+                                }
+                              in
+                              if filter sc then acc := sc :: !acc)
+                            grid.seeds)
+                        grid.chaos)
+                    grid.models)
                 grid.workloads)
             grid.daemons)
         grid.corruptions)
@@ -216,27 +269,28 @@ let expand ?(filter = fun _ -> true) (grid : grid) =
   | None -> ());
   scenarios
 
-let materialize sc =
+(* Same derivations as `ssmfp_cli run`, so a scenario and the equivalent
+   single run agree bit-for-bit. *)
+let materialize_workload sc =
   let graph = sc.topology.graph in
   let n = Topology.Graph.n graph in
-  (* Same derivation as `ssmfp_cli run`, so a scenario and the equivalent
-     single run agree bit-for-bit. *)
   let wl_rng = Prng.Splitmix.of_int (sc.seed + 7919) in
-  let workload =
-    match sc.workload with
-    | Uniform k -> Harness.Workload.uniform_random wl_rng ~n ~per_processor:k
-    | All_to_one k -> Harness.Workload.all_to_one ~n ~dest:0 ~per_processor:k ()
-    | One_to_all k -> Harness.Workload.one_to_all ~n ~src:0 ~rounds:k
-    | Permutation k -> Harness.Workload.permutation wl_rng ~n ~per_processor:k
-    | Neighbors k -> Harness.Workload.neighbors_only graph ~per_processor:k
-    | Saturating k -> Harness.Workload.saturating wl_rng ~graph ~per_processor:k
-  in
-  let spec =
-    match sc.corruption with
-    | Pristine -> Harness.Fault.pristine
-    | Adversarial -> Harness.Fault.adversarial
-    | Random_point ->
-        Harness.Fault.random_spec (Prng.Splitmix.of_int (sc.seed + 104729))
-  in
-  Harness.Runner.config ~spec ~daemon:sc.daemon ~seed:sc.seed
-    ~max_steps:sc.max_steps graph workload
+  match sc.workload with
+  | Uniform k -> Harness.Workload.uniform_random wl_rng ~n ~per_processor:k
+  | All_to_one k -> Harness.Workload.all_to_one ~n ~dest:0 ~per_processor:k ()
+  | One_to_all k -> Harness.Workload.one_to_all ~n ~src:0 ~rounds:k
+  | Permutation k -> Harness.Workload.permutation wl_rng ~n ~per_processor:k
+  | Neighbors k -> Harness.Workload.neighbors_only graph ~per_processor:k
+  | Saturating k -> Harness.Workload.saturating wl_rng ~graph ~per_processor:k
+
+let materialize_fault_spec sc =
+  match sc.corruption with
+  | Pristine -> Harness.Fault.pristine
+  | Adversarial -> Harness.Fault.adversarial
+  | Random_point ->
+      Harness.Fault.random_spec (Prng.Splitmix.of_int (sc.seed + 104729))
+
+let materialize sc =
+  Harness.Runner.config ~spec:(materialize_fault_spec sc) ~daemon:sc.daemon
+    ~seed:sc.seed ~max_steps:sc.max_steps sc.topology.graph
+    (materialize_workload sc)

@@ -51,6 +51,19 @@ val workload_to_string : workload_kind -> string
 
 val workload_of_string : string -> (workload_kind, string) result
 
+type model =
+  | State_model  (** shared-memory semantics, [Harness.Runner] / [Chaos.Runner] *)
+  | Mp_model  (** message-passing port, [Chaos.Mp_run] over [Mp.Ssmfp_mp] *)
+
+val model_to_string : model -> string
+(** ["state"] / ["mp"]. *)
+
+val model_of_string : string -> (model, string) result
+
+val chaos_exn : string -> Chaos.Schedule.t
+(** Parse a chaos schedule ({!Chaos.Schedule.of_string}).
+    @raise Invalid_argument on a spelling it rejects. *)
+
 val seeds_of_string : string -> (int list, string) result
 (** Comma-separated seeds and inclusive ranges: ["1,2,5"], ["1..8"],
     ["1..3,7"]. *)
@@ -60,6 +73,9 @@ type grid = {
   corruptions : corruption list;
   daemons : Harness.Runner.daemon_kind list;
   workloads : workload_kind list;
+  models : model list;
+  chaos : Chaos.Schedule.t list;
+      (** fault schedules; [Chaos.Schedule.none] is the plain run *)
   seeds : int list;
   max_steps : int;  (** step budget of every scenario *)
 }
@@ -73,24 +89,39 @@ val smoke_grid : unit -> grid
 (** 8 fast scenarios for CI: {ring:5, path:4} × {pristine, adversarial}
     × synchronous × uniform:1 × seeds {1, 2}. *)
 
+val chaos_grid : unit -> grid
+(** The robustness sweep: {ring:6, path:5, grid:3x3} × {pristine,
+    adversarial} × {synchronous, distributed} × uniform:2 × {state, mp}
+    × three fault schedules (an early point burst, an all-victims burst
+    followed by a crash on a lossy channel, and a mid-run burst on a
+    flaky channel) × seeds {1, 2}. Expand it with {!chaos_filter} to
+    drop the mp × distributed twins — 108 scenarios. *)
+
 type scenario = {
   index : int;  (** position in the expanded (filtered) list *)
   id : string;
-      (** ["<topology>/<corruption>/<daemon>/<workload>/s<seed>"] — unique
-          within a grid and stable across grid reshapes *)
+      (** ["<topology>/<corruption>/<daemon>/<workload>/<model>/<chaos>/s<seed>"]
+          — unique within a grid and stable across grid reshapes *)
   topology : topology;
   corruption : corruption;
   daemon : Harness.Runner.daemon_kind;
   workload : workload_kind;
+  model : model;
+  chaos : Chaos.Schedule.t;
   seed : int;
   max_steps : int;
 }
 
+val chaos_filter : scenario -> bool
+(** Keeps every state-model scenario and only the synchronous-daemon
+    spelling of each mp scenario (the synchronizer has no daemon, so
+    other spellings would be semantically identical twins). *)
+
 val expand : ?filter:(scenario -> bool) -> grid -> scenario list
 (** Cartesian product in a stable order: topologies outermost, then
-    corruptions, daemons, workloads, and seeds innermost. [filter] drops
-    scenarios before indices are assigned, so the surviving list is
-    densely numbered.
+    corruptions, daemons, workloads, models, chaos schedules, and seeds
+    innermost. [filter] drops scenarios before indices are assigned, so
+    the surviving list is densely numbered.
     @raise Invalid_argument if two scenarios share an id (duplicate axis
     values). *)
 
@@ -100,3 +131,9 @@ val materialize : scenario -> Harness.Runner.config
     [ssmfp_cli run]) and a [Random_point] corruption spec with a further
     seed-derived stream, so two calls — on any domain — build identical
     configurations. *)
+
+val materialize_workload : scenario -> Harness.Workload.t
+(** Just the workload of {!materialize} (the mp path needs it bare). *)
+
+val materialize_fault_spec : scenario -> Harness.Fault.spec
+(** Just the corruption spec of {!materialize}. *)

@@ -1,0 +1,36 @@
+(** Applying one fault burst to a live configuration.
+
+    All corruption stays inside the variable domains (the [Harness.Fault]
+    invariants): planted ghosts carry [Invalid] tags so the oracles count
+    them against Proposition 4's budget, never against SP. *)
+
+val corrupt_state :
+  Prng.Splitmix.t ->
+  Topology.Graph.t ->
+  p:int ->
+  domains:Schedule.domain list ->
+  Ssmfp.State.t ->
+  Ssmfp.State.t
+(** Apply the listed domains (in order) to processor [p]'s state. Shared
+    by the state-model runner (through {!burst}) and the mp runner
+    (through [Ssmfp_mp.set_core]). [Crash] here means an amnesia restart
+    that keeps the outbox. *)
+
+val pick_victims :
+  Prng.Splitmix.t -> Topology.Graph.t -> Schedule.victims -> int list
+(** Victim pids, ascending ([Count k] sampled without replacement,
+    clamped to [n]). *)
+
+val domains_tag : Schedule.domain list -> string
+(** Canonical letter string, e.g. ["rbq"]. *)
+
+val burst :
+  Prng.Splitmix.t ->
+  ?journal:Obs.Journal.t ->
+  Schedule.burst ->
+  Harness.Runner.engine ->
+  int
+(** Corrupt the burst's victims in the running engine via
+    [Sim.Engine.set_state] (so incremental mode re-evaluates exactly the
+    dirty sets), journaling one [Fault_injected] entry per victim.
+    Returns the victim count. *)

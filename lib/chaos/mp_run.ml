@@ -1,0 +1,127 @@
+let crash_span = 50
+
+type outcome = {
+  mp_outcome : [ `All_done | `Max_deliveries ];
+  channel_deliveries : int;
+  max_pulse : int;
+  oracle : Harness.Oracle.t;
+  verdict : Harness.Oracle.verdict;
+  report : Recovery.report;
+  fired : (int * int) list;
+  aftermath_submitted : int;
+  submitted : int;
+  invalid_planted : int;
+  channel : Mp.Ssmfp_mp.channel_stats;
+  schedule : Schedule.t;
+}
+
+let apply_burst chaos_rng t (b : Schedule.burst) =
+  let g = Mp.Ssmfp_mp.graph t in
+  let victims = Inject.pick_victims chaos_rng g b.Schedule.victims in
+  let state_domains =
+    List.filter (fun d -> d <> Schedule.Crash) b.Schedule.domains
+  in
+  let crashes = List.mem Schedule.Crash b.Schedule.domains in
+  List.iter
+    (fun p ->
+      if state_domains <> [] then
+        Mp.Ssmfp_mp.set_core t p
+          (Inject.corrupt_state chaos_rng g ~p ~domains:state_domains
+             (Mp.Ssmfp_mp.core t p));
+      if crashes then Mp.Ssmfp_mp.crash_process t p ~down_for:crash_span)
+    victims;
+  List.length victims
+
+let run ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0) ?(seed = 1)
+    ?(max_deliveries = 2_000_000) ?(aftermath = 0) ~schedule graph workload =
+  let knobs = Schedule.knobs schedule in
+  let t =
+    Mp.Ssmfp_mp.create ~spec ~channel_garbage ~loss:knobs.Schedule.loss
+      ~duplication:knobs.Schedule.duplication ~reorder:knobs.Schedule.reorder
+      ~seed graph workload
+  in
+  let chaos_rng = Prng.Splitmix.of_int (seed + 6_700_417) in
+  let invalid_planted =
+    Harness.Fault.invalid_count
+      (Array.init (Topology.Graph.n graph) (Mp.Ssmfp_mp.core t))
+  in
+  let fired = ref [] in
+  let aftermath_submitted = ref 0 in
+  (* Post-burst probe wave: fresh requests pushed into cores right after
+     the last burst, so the recovery oracle's SP clause has traffic. *)
+  let submit_aftermath () =
+    let n = Topology.Graph.n graph in
+    if n > 1 then
+      for i = 1 to aftermath do
+        let src = Prng.Splitmix.int chaos_rng n in
+        let dest = (src + 1 + Prng.Splitmix.int chaos_rng (n - 1)) mod n in
+        Mp.Ssmfp_mp.set_core t src
+          (Ssmfp.State.push_outbox (Mp.Ssmfp_mp.core t src) ~dest
+             (Printf.sprintf "aftermath-%d" i));
+        incr aftermath_submitted
+      done
+  in
+  let exhausted = ref false in
+  let bursts =
+    List.sort
+      (fun a b -> compare a.Schedule.at b.Schedule.at)
+      schedule.Schedule.bursts
+  in
+  (* Segment the schedule: drive until the synchronizer's global pulse
+     reaches the burst's round, strike, resume. Pulses advance even when
+     the traffic has drained (timers keep the synchronizer running), so
+     a burst past quiescence still gets its turn. Each segment gets the
+     full delivery budget. *)
+  List.iter
+    (fun b ->
+      if not !exhausted then
+        match
+          Mp.Ssmfp_mp.drive ~max_deliveries
+            ~stop:(fun t -> Mp.Ssmfp_mp.max_pulse t >= b.Schedule.at)
+            t
+        with
+        | `Stopped ->
+            let pulse = Mp.Ssmfp_mp.max_pulse t in
+            let victims = apply_burst chaos_rng t b in
+            fired := (pulse, victims) :: !fired;
+            if List.length !fired = List.length bursts then submit_aftermath ()
+        | `Idle | `Max_deliveries -> exhausted := true)
+    bursts;
+  let mp_outcome =
+    if !exhausted then `Max_deliveries
+    else
+      match Mp.Ssmfp_mp.drive ~max_deliveries ~stop:Mp.Ssmfp_mp.all_drained t with
+      | `Stopped -> `All_done
+      | `Idle | `Max_deliveries -> `Max_deliveries
+  in
+  let oracle = Mp.Ssmfp_mp.oracle t in
+  let n = Topology.Graph.n graph in
+  let verdict =
+    Harness.Oracle.check_sp oracle
+      ~expected_valid:(Mp.Ssmfp_mp.expected_valid t + !aftermath_submitted)
+      ~n
+      ~at_quiescence:(mp_outcome = `All_done)
+  in
+  let fired = List.rev !fired in
+  let report =
+    Recovery.analyze ~oracle ~burst_rounds:(List.map fst fired) ~n
+      ~delta:(Topology.Graph.max_degree graph)
+      ~diameter:(try Topology.Metrics.diameter graph with _ -> 0)
+      ~final_round:(Mp.Ssmfp_mp.max_pulse t)
+      ~quiescent:(mp_outcome = `All_done)
+      ~routing_settled_round:0 ()
+  in
+  {
+    mp_outcome;
+    channel_deliveries = Mp.Ssmfp_mp.channel_deliveries t;
+    max_pulse = Mp.Ssmfp_mp.max_pulse t;
+    oracle;
+    verdict;
+    report;
+    fired;
+    aftermath_submitted = !aftermath_submitted;
+    submitted = Mp.Ssmfp_mp.expected_valid t + !aftermath_submitted;
+    invalid_planted;
+    channel = Mp.Ssmfp_mp.channel_stats t;
+    schedule;
+  }

@@ -1,0 +1,45 @@
+(** Message-passing chaos runs: the [Mp.Ssmfp_mp] synchronizer port
+    driven in segments, with bursts striking between segments and the
+    schedule's channel preset wired into the network's
+    loss/duplication/reorder knobs.
+
+    Burst rounds are synchronizer pulses here. A burst's state domains
+    corrupt the victims' SSMFP cores through [Ssmfp_mp.set_core]; its
+    [Crash] domain takes the victims down for a fixed span of scheduler
+    steps (they lose mirrors and timers on recovery). *)
+
+type outcome = {
+  mp_outcome : [ `All_done | `Max_deliveries ];
+  channel_deliveries : int;
+  max_pulse : int;
+  oracle : Harness.Oracle.t;
+  verdict : Harness.Oracle.verdict;
+      (** whole-run SP check; bursts may legitimately fail it — the
+          chaos verdict is [report.ok] *)
+  report : Recovery.report;
+  fired : (int * int) list;  (** (pulse fired at, victims), firing order *)
+  aftermath_submitted : int;
+  submitted : int;
+      (** workload requests + aftermath — [verdict]'s expected total *)
+  invalid_planted : int;
+      (** invalid messages sitting in the corrupted initial cores *)
+  channel : Mp.Ssmfp_mp.channel_stats;
+  schedule : Schedule.t;
+}
+
+val run :
+  ?spec:Harness.Fault.spec ->
+  ?channel_garbage:int ->
+  ?seed:int ->
+  ?max_deliveries:int ->
+  ?aftermath:int ->
+  schedule:Schedule.t ->
+  Topology.Graph.t ->
+  Harness.Workload.t ->
+  outcome
+(** [max_deliveries] (default 2_000_000) is a per-segment budget: each
+    burst segment and the final drain get the full budget, so a run is
+    bounded by [(bursts + 1) * max_deliveries] scheduler steps.
+    [aftermath] (default 0) submits that many fresh requests right
+    after the last burst (counted into [verdict]'s expected total), so
+    the recovery oracle's post-burst SP check is never vacuous. *)

@@ -1,0 +1,133 @@
+type domain = Routing | Buffers | Queues | Flags | Crash
+
+let all_domains = [ Routing; Buffers; Queues; Flags; Crash ]
+
+let domain_letter = function
+  | Routing -> 'r'
+  | Buffers -> 'b'
+  | Queues -> 'q'
+  | Flags -> 'f'
+  | Crash -> 'c'
+
+let domain_of_letter = function
+  | 'r' -> Ok Routing
+  | 'b' -> Ok Buffers
+  | 'q' -> Ok Queues
+  | 'f' -> Ok Flags
+  | 'c' -> Ok Crash
+  | ch -> Error (Printf.sprintf "unknown fault domain %C (expected r b q f c)" ch)
+
+type victims = All | Count of int
+
+type burst = { at : int; domains : domain list; victims : victims }
+
+type channel = Reliable | Lossy | Flaky
+
+type knobs = { loss : float; duplication : float; reorder : float }
+
+let channel_knobs = function
+  | Reliable -> { loss = 0.; duplication = 0.; reorder = 0. }
+  | Lossy -> { loss = 0.15; duplication = 0.05; reorder = 0.10 }
+  | Flaky -> { loss = 0.30; duplication = 0.10; reorder = 0.20 }
+
+let channel_to_string = function
+  | Reliable -> "reliable"
+  | Lossy -> "lossy"
+  | Flaky -> "flaky"
+
+type t = { bursts : burst list; channel : channel }
+
+let none = { bursts = []; channel = Reliable }
+let is_none t = t.bursts = [] && t.channel = Reliable
+
+(* Canonical burst order: by round, then textual; canonical domain order
+   is r b q f c with duplicates removed, so of_string/to_string round
+   trips on canonical forms. *)
+let normalize_domains ds =
+  List.filter (fun d -> List.mem d ds) all_domains
+
+let burst_to_string b =
+  Printf.sprintf "%d:%s:%s" b.at
+    (String.concat ""
+       (List.map (fun d -> String.make 1 (domain_letter d)) b.domains))
+    (match b.victims with All -> "all" | Count k -> string_of_int k)
+
+let to_string t =
+  if is_none t then "none"
+  else
+    let bursts = String.concat "+" (List.map burst_to_string t.bursts) in
+    let bursts = if bursts = "" then "none" else bursts in
+    match t.channel with
+    | Reliable -> bursts
+    | c -> bursts ^ "@" ^ channel_to_string c
+
+let parse_burst s =
+  match String.split_on_char ':' s with
+  | [ at; letters; victims ] -> (
+      let ( let* ) = Result.bind in
+      let* at =
+        match int_of_string_opt at with
+        | Some a when a >= 0 -> Ok a
+        | _ -> Error (Printf.sprintf "bad burst round %S" at)
+      in
+      let* domains =
+        String.fold_left
+          (fun acc ch ->
+            let* acc = acc in
+            let* d = domain_of_letter ch in
+            Ok (d :: acc))
+          (Ok []) letters
+      in
+      let domains = normalize_domains (List.rev domains) in
+      let* () =
+        if domains = [] then Error (Printf.sprintf "burst %S has no domains" s)
+        else Ok ()
+      in
+      match victims with
+      | "all" -> Ok { at; domains; victims = All }
+      | k -> (
+          match int_of_string_opt k with
+          | Some k when k >= 1 -> Ok { at; domains; victims = Count k }
+          | _ -> Error (Printf.sprintf "bad victim count %S" k)))
+  | _ ->
+      Error
+        (Printf.sprintf "bad burst %S (expected <round>:<domains>:<all|k>)" s)
+
+let of_string s =
+  let s = String.trim s in
+  let ( let* ) = Result.bind in
+  let* () = if s = "" then Error "empty schedule" else Ok () in
+  let body, channel =
+    match String.index_opt s '@' with
+    | None -> (s, Ok Reliable)
+    | Some i ->
+        ( String.sub s 0 i,
+          match String.sub s (i + 1) (String.length s - i - 1) with
+          | "reliable" -> Ok Reliable
+          | "lossy" -> Ok Lossy
+          | "flaky" -> Ok Flaky
+          | c -> Error (Printf.sprintf "unknown channel preset %S" c) )
+  in
+  let* channel = channel in
+  let* bursts =
+    if body = "none" || body = "" then Ok []
+    else
+      List.fold_left
+        (fun acc part ->
+          let* acc = acc in
+          let* b = parse_burst part in
+          Ok (b :: acc))
+        (Ok [])
+        (String.split_on_char '+' body)
+  in
+  let bursts =
+    List.sort
+      (fun a b ->
+        match compare a.at b.at with
+        | 0 -> compare (burst_to_string a) (burst_to_string b)
+        | c -> c)
+      (List.rev bursts)
+  in
+  Ok { bursts; channel }
+
+let knobs t = channel_knobs t.channel

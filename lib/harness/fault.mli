@@ -36,6 +36,18 @@ val adversarial : spec
 val random_spec : Prng.Splitmix.t -> spec
 (** A random point in the corruption space (for property-based tests). *)
 
+val invalid_message :
+  Prng.Splitmix.t ->
+  Topology.Graph.t ->
+  at:int ->
+  delta:int ->
+  string list ->
+  Ssmfp.Message.t
+(** One domain-valid invalid occurrence sitting at processor [at]:
+    [last ∈ N_at ∪ {at}], [color ∈ \[0..Δ\]], info drawn from the pool.
+    Used for initial buffer fills here and for mid-run buffer bursts by
+    the chaos layer. *)
+
 val initial_states :
   ?rng:Prng.Splitmix.t ->
   spec ->

@@ -7,6 +7,7 @@ type record = {
 type t = {
   ghosts : (int, record) Hashtbl.t; (* valid ghosts only *)
   mutable invalid_delivered : (int * int) list; (* (dest, count) *)
+  mutable invalid_log : (int * int) list; (* (round, dest), reverse *)
   pending_requests : (int, int) Hashtbl.t; (* pid -> round raised *)
   mutable delay_samples : float list;
   mutable gen_rounds : (int, int list) Hashtbl.t; (* pid -> rounds, reverse *)
@@ -18,6 +19,7 @@ let create () =
   {
     ghosts = Hashtbl.create 64;
     invalid_delivered = [];
+    invalid_log = [];
     pending_requests = Hashtbl.create 16;
     delay_samples = [];
     gen_rounds = Hashtbl.create 16;
@@ -39,10 +41,11 @@ let observe_request_raised t ~round ~pid =
   if not (Hashtbl.mem t.pending_requests pid) then
     Hashtbl.replace t.pending_requests pid round
 
-let bump_invalid t dest =
+let bump_invalid t ~round dest =
   let count = Option.value ~default:0 (List.assoc_opt dest t.invalid_delivered) in
   t.invalid_delivered <-
-    (dest, count + 1) :: List.remove_assoc dest t.invalid_delivered
+    (dest, count + 1) :: List.remove_assoc dest t.invalid_delivered;
+  t.invalid_log <- (round, dest) :: t.invalid_log
 
 let note_delivery t ~round =
   t.delivered_total <- t.delivered_total + 1;
@@ -68,7 +71,7 @@ let observe t ~round ~pid ev =
         let r = record_of t m.Ssmfp.Message.ghost.Ssmfp.Message.gid in
         r.deliveries <- round :: r.deliveries
       end
-      else bump_invalid t pid
+      else bump_invalid t ~round pid
   | Ssmfp.Protocol.Internal_forward _ | Ssmfp.Protocol.Copied _
   | Ssmfp.Protocol.Erased_after_forward _ | Ssmfp.Protocol.Erased_duplicate _
   | Ssmfp.Protocol.Routing_update _ ->
@@ -99,10 +102,25 @@ let lost_ghosts t =
       else acc)
     []
 
+let duplicate_delivered_total t =
+  fold_ghosts t
+    (fun _ r acc ->
+      let c = List.length r.deliveries in
+      if c > 1 then acc + (c - 1) else acc)
+    0
+
 let invalid_deliveries t = List.sort compare t.invalid_delivered
 
 let invalid_delivered_total t =
   List.fold_left (fun acc (_, c) -> acc + c) 0 t.invalid_delivered
+
+let invalid_delivery_log t = List.rev t.invalid_log
+
+let ghost_views t =
+  fold_ghosts t
+    (fun gid r acc -> (gid, r.generated_round, List.rev r.deliveries) :: acc)
+    []
+  |> List.sort compare
 
 let latencies t =
   fold_ghosts t

@@ -36,6 +36,9 @@ let daemon_kind_of_string s =
         (Printf.sprintf "unknown daemon %S (expected %s)" s
            (String.concat ", " (List.map daemon_kind_to_string all_daemon_kinds)))
 
+type engine =
+  (Ssmfp.State.t, Ssmfp.Protocol.action, Ssmfp.Protocol.event) Sim.Engine.t
+
 type config = {
   graph : Topology.Graph.t;
   spec : Fault.spec;
@@ -48,12 +51,13 @@ type config = {
   mode : Sim.Engine.mode;
   prepare : (Ssmfp.State.t array -> unit) option;
   responder : (int -> Ssmfp.Message.info -> (int * Ssmfp.Message.info) list) option;
+  inject : (engine -> unit) option;
 }
 
 let config ?(spec = Fault.pristine) ?(daemon = Distributed_random)
     ?(variant = Ssmfp.Protocol.faithful) ?(run_routing = true) ?(seed = 1)
     ?(max_steps = 2_000_000) ?(mode = Sim.Engine.Incremental) ?prepare
-    ?responder graph workload =
+    ?responder ?inject graph workload =
   {
     graph;
     spec;
@@ -66,6 +70,7 @@ let config ?(spec = Fault.pristine) ?(daemon = Distributed_random)
     mode;
     prepare;
     responder;
+    inject;
   }
 
 type result = {
@@ -181,9 +186,17 @@ let run ?obs cfg =
           Obs.Metrics.observe metrics "engine.round_moves" (float_of_int moves));
     }
   in
+  let before_step =
+    match cfg.inject with
+    | None -> raise_requests
+    | Some inject ->
+        fun t ->
+          raise_requests t;
+          inject t
+  in
   let status =
-    Sim.Engine.run ~max_steps:cfg.max_steps ~before_step:raise_requests
-      ~on_events ~probe engine daemon
+    Sim.Engine.run ~max_steps:cfg.max_steps ~before_step ~on_events ~probe
+      engine daemon
   in
   let outcome =
     match status with

@@ -19,6 +19,11 @@ val daemon_kind_of_string : string -> (daemon_kind, string) Stdlib.result
 val daemon_kind_to_string : daemon_kind -> string
 val all_daemon_kinds : daemon_kind list
 
+type engine =
+  (Ssmfp.State.t, Ssmfp.Protocol.action, Ssmfp.Protocol.event) Sim.Engine.t
+(** The concrete engine type the runner drives, exposed so external
+    injectors (the chaos layer) can be typed against it. *)
+
 type config = {
   graph : Topology.Graph.t;
   spec : Fault.spec;  (** initial-configuration corruption *)
@@ -42,6 +47,12 @@ type config = {
           traffic). Replies count towards the SP verdict like any other
           workload message. Make it terminating: a responder that always
           replies never drains. *)
+  inject : (engine -> unit) option;
+      (** mid-run fault injector, called in [before_step] after request
+          flags are raised — i.e. before the engine's terminal check, so
+          an injection at a quiescent configuration re-enables the
+          system. [None] leaves the plain code path untouched (the
+          zero-fault chaos runner relies on this for byte-identity). *)
 }
 
 val config :
@@ -54,6 +65,7 @@ val config :
   ?mode:Sim.Engine.mode ->
   ?prepare:(Ssmfp.State.t array -> unit) ->
   ?responder:(int -> Ssmfp.Message.info -> (int * Ssmfp.Message.info) list) ->
+  ?inject:(engine -> unit) ->
   Topology.Graph.t ->
   Workload.t ->
   config

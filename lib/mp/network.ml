@@ -6,9 +6,16 @@ type ('s, 'm) t = {
   channels : (int * int, 'm Queue.t) Hashtbl.t; (* (from, into) -> FIFO *)
   handler : ('s, 'm) handler;
   loss : float;
+  duplication : float;
+  reorder : float;
   timeout : (self:int -> 's -> 's * (int * 'm) list) option;
+  on_recover : (self:int -> 's -> 's) option;
+  down : int array; (* remaining down step-calls per process; 0 = up *)
   mutable delivered : int;
   mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable dropped_down : int;
 }
 
 let channel t ~from ~into =
@@ -21,7 +28,8 @@ let channel t ~from ~into =
       Hashtbl.replace t.channels (from, into) q;
       q
 
-let create ?(loss = 0.) ?timeout ~init ~handler graph =
+let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?timeout
+    ?on_recover ~init ~handler graph =
   let t =
     {
       graph;
@@ -29,9 +37,16 @@ let create ?(loss = 0.) ?timeout ~init ~handler graph =
       channels = Hashtbl.create 64;
       handler;
       loss;
+      duplication;
+      reorder;
       timeout;
+      on_recover;
+      down = Array.make (Topology.Graph.n graph) 0;
       delivered = 0;
       dropped = 0;
+      duplicated = 0;
+      reordered = 0;
+      dropped_down = 0;
     }
   in
   (* Materialize every channel so the scheduler can enumerate them. *)
@@ -57,24 +72,86 @@ let in_flight t =
 
 let deliveries t = t.delivered
 let dropped t = t.dropped
+let duplicated t = t.duplicated
+let reordered t = t.reordered
+let dropped_while_down t = t.dropped_down
 
-(* Handler-originated sends go through the lossy link. *)
+let crash t p ~down_for =
+  if down_for < 1 then invalid_arg "Network.crash: down_for must be >= 1";
+  if p < 0 || p >= Array.length t.down then invalid_arg "Network.crash: no such process";
+  t.down.(p) <- max t.down.(p) down_for
+
+let is_down t p = t.down.(p) > 0
+
+(* Adversarial FIFO violation: the new message overtakes at least one
+   already-queued one. Drawn only when the knob is on and there is
+   something to overtake, so the draw sequence of reorder-free networks
+   is untouched. *)
+let enqueue t rng q m =
+  if
+    t.reorder > 0.
+    && (not (Queue.is_empty q))
+    && Prng.Splitmix.bernoulli rng t.reorder
+  then begin
+    let items = List.of_seq (Queue.to_seq q) in
+    let pos = Prng.Splitmix.int rng (List.length items) in
+    Queue.clear q;
+    List.iteri
+      (fun i x ->
+        if i = pos then Queue.add m q;
+        Queue.add x q)
+      items;
+    t.reordered <- t.reordered + 1
+  end
+  else Queue.add m q
+
+(* Handler-originated sends go through the unreliable link: an optional
+   duplicate copy first, then an independent loss draw per copy, then
+   possibly out-of-order placement. Every draw is guarded by its knob
+   being > 0 so networks created without a knob see the exact historical
+   draw sequence. *)
 let post t rng ~from sends =
   List.iter
     (fun (q, msg) ->
-      if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
-        t.dropped <- t.dropped + 1
-      else Queue.add msg (channel t ~from ~into:q))
+      let copies =
+        if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication
+        then begin
+          t.duplicated <- t.duplicated + 1;
+          2
+        end
+        else 1
+      in
+      for _ = 1 to copies do
+        if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
+          t.dropped <- t.dropped + 1
+        else enqueue t rng (channel t ~from ~into:q) msg
+      done)
     sends
+
+let tick_down t =
+  Array.iteri
+    (fun p remaining ->
+      if remaining > 0 then begin
+        t.down.(p) <- remaining - 1;
+        if t.down.(p) = 0 then
+          match t.on_recover with
+          | None -> ()
+          | Some f -> t.states.(p) <- f ~self:p t.states.(p)
+      end)
+    t.down
 
 let fire_timeout t rng =
   match t.timeout with
   | None -> false
   | Some f ->
       let p = Prng.Splitmix.int rng (Topology.Graph.n t.graph) in
-      let s', sends = f ~self:p t.states.(p) in
-      t.states.(p) <- s';
-      post t rng ~from:p sends;
+      if t.down.(p) = 0 then begin
+        let s', sends = f ~self:p t.states.(p) in
+        t.states.(p) <- s';
+        post t rng ~from:p sends
+      end;
+      (* A timer drawn on a crashed process simply does not fire, but the
+         scheduler step still happened. *)
       true
 
 let nonempty_channels t =
@@ -83,20 +160,31 @@ let nonempty_channels t =
     t.channels []
 
 let step t rng =
-  match nonempty_channels t with
-  | [] -> fire_timeout t rng
-  | channels ->
-      if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
-        fire_timeout t rng
-      else begin
-        let from, into = Prng.Splitmix.choose rng (List.sort compare channels) in
-        let m = Queue.pop (Hashtbl.find t.channels (from, into)) in
-        t.delivered <- t.delivered + 1;
-        let s', sends = t.handler ~self:into ~from t.states.(into) m in
-        t.states.(into) <- s';
-        post t rng ~from:into sends;
-        true
-      end
+  let acted =
+    match nonempty_channels t with
+    | [] -> fire_timeout t rng
+    | channels ->
+        if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
+          fire_timeout t rng
+        else begin
+          let from, into =
+            Prng.Splitmix.choose rng (List.sort compare channels)
+          in
+          let m = Queue.pop (Hashtbl.find t.channels (from, into)) in
+          if t.down.(into) > 0 then
+            (* Crashed recipient: the message evaporates at the interface. *)
+            t.dropped_down <- t.dropped_down + 1
+          else begin
+            t.delivered <- t.delivered + 1;
+            let s', sends = t.handler ~self:into ~from t.states.(into) m in
+            t.states.(into) <- s';
+            post t rng ~from:into sends
+          end;
+          true
+        end
+  in
+  if acted then tick_down t;
+  acted
 
 let run ?(max_deliveries = 5_000_000) ?stop t rng =
   let stop_now () = match stop with Some f -> f t | None -> false in

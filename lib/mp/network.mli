@@ -1,12 +1,21 @@
 (** Asynchronous message-passing substrate (paper §4: "it will be
     interesting to carry our protocol in the message passing model").
 
-    Processes communicate over reliable FIFO channels, one per directed
-    edge. A scheduler step delivers the head message of one non-empty
-    channel to its recipient's handler, which updates the local state and
-    sends messages in turn. The random scheduler is fair with probability
-    1. Channels may start with arbitrary garbage in flight — the
-    message-passing analogue of an arbitrary initial configuration. *)
+    Processes communicate over FIFO channels, one per directed edge. A
+    scheduler step delivers the head message of one non-empty channel to
+    its recipient's handler, which updates the local state and sends
+    messages in turn. The random scheduler is fair with probability 1.
+    Channels may start with arbitrary garbage in flight — the
+    message-passing analogue of an arbitrary initial configuration.
+
+    The substrate can be made unreliable along the axes Delaët et al.
+    identify as the hard part of message-passing snap-stabilization
+    (arXiv:0802.1123): probabilistic {e loss}, {e duplication} and
+    {e reordering} of handler-sent messages, plus {e crash–recovery} of
+    whole processes ({!crash}). All unreliability draws come from the
+    scheduler's PRNG stream and are guarded by their knob being non-zero,
+    so a network created without a knob replays the exact draw sequence
+    it had before the knob existed. *)
 
 type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
 (** [handler ~self ~from state msg] consumes one message and returns the
@@ -16,17 +25,27 @@ type ('s, 'm) t
 
 val create :
   ?loss:float ->
+  ?duplication:float ->
+  ?reorder:float ->
   ?timeout:(self:int -> 's -> 's * (int * 'm) list) ->
+  ?on_recover:(self:int -> 's -> 's) ->
   init:(int -> 's) ->
   handler:('s, 'm) handler ->
   Topology.Graph.t ->
   ('s, 'm) t
-(** [loss] (default 0.) drops each handler-sent message with that
-    probability (injected messages are never dropped). [timeout] equips
-    processes with a spontaneous action — the scheduler occasionally fires
-    it on a random process (and always can when all channels are empty),
-    modelling the timers that retransmission-based protocols need on
-    unreliable channels. *)
+(** [loss] (default 0.) drops each handler-sent message copy with that
+    probability (injected messages are never dropped). [duplication]
+    (default 0.) enqueues a second copy of a handler-sent message with
+    that probability — each copy then takes its own loss draw.
+    [reorder] (default 0.) makes an enqueued message overtake at least
+    one message already in its channel with that probability (a FIFO
+    violation). [timeout] equips processes with a spontaneous action —
+    the scheduler occasionally fires it on a random process (and always
+    can when all channels are empty), modelling the timers that
+    retransmission-based protocols need on unreliable channels; it never
+    fires on a crashed process. [on_recover] is applied to a process's
+    state at the moment its {!crash} span expires — the hook where a
+    protocol models amnesia or re-initialization. *)
 
 val inject : ('s, 'm) t -> from:int -> into:int -> 'm -> unit
 (** Plant a message in the channel [from → into] (initial garbage, or a
@@ -46,11 +65,36 @@ val deliveries : ('s, 'm) t -> int
 val dropped : ('s, 'm) t -> int
 (** Messages lost to [loss] so far. *)
 
+val duplicated : ('s, 'm) t -> int
+(** Messages that got a second copy enqueued so far. *)
+
+val reordered : ('s, 'm) t -> int
+(** Enqueues that violated FIFO order so far. *)
+
+val dropped_while_down : ('s, 'm) t -> int
+(** Messages that arrived at a crashed process and evaporated. *)
+
+(** {2 Crash–recovery} *)
+
+val crash : ('s, 'm) t -> int -> down_for:int -> unit
+(** [crash t p ~down_for] takes process [p] down for the next [down_for]
+    scheduler steps: messages delivered to it evaporate (counted by
+    {!dropped_while_down}), its timers do not fire, and messages it sent
+    before crashing stay in flight. Crashing an already-down process
+    extends its span to at least [down_for]. When the span expires the
+    [on_recover] hook (if any) rewrites its state.
+    @raise Invalid_argument if [down_for < 1] or [p] is not a process. *)
+
+val is_down : ('s, 'm) t -> int -> bool
+
+(** {2 Scheduling} *)
+
 val step : ('s, 'm) t -> Prng.Splitmix.t -> bool
 (** Deliver one message from a uniformly random non-empty channel, or
     (with probability 1/8, or whenever all channels are empty) fire the
     [timeout] of a random process; [false] when channels are empty and no
-    [timeout] is installed. *)
+    [timeout] is installed. Down-spans decrement once per returning-true
+    step. *)
 
 val run :
   ?max_deliveries:int ->

@@ -12,6 +12,8 @@ type proc = {
   core : Ssmfp.State.t;
   pulse : int;
   snaps : (int * (int * public) list) list; (* neighbor -> (pulse, pub) list *)
+  backoff : int; (* consecutive retransmissions without pulse progress *)
+  ticks : int; (* timer fires since the last retransmission *)
 }
 
 type t = {
@@ -21,6 +23,14 @@ type t = {
   oracle : Harness.Oracle.t;
   expected_valid : int;
   max_pulse : int ref;
+}
+
+type channel_stats = {
+  delivered : int;
+  lost : int;
+  duplicated : int;
+  reordered : int;
+  dropped_while_down : int;
 }
 
 type result = {
@@ -81,6 +91,10 @@ let barrier_ready g proc ~self =
     (fun q -> List.mem_assoc proc.pulse (snaps_for proc q))
     (Topology.Graph.neighbors g self)
 
+(* Any pulse progress resets the retransmission backoff: the channel is
+   evidently moving again. *)
+let advance_pulse proc pulse = { proc with pulse; backoff = 0; ticks = 0 }
+
 let make_handler g oracle max_pulse_ref =
   let n = Topology.Graph.n g in
   let proto = Ssmfp.Protocol.make g in
@@ -119,7 +133,7 @@ let make_handler g oracle max_pulse_ref =
             events;
           core'
     in
-    let proc = prune { proc with core; pulse = proc.pulse + 1 } in
+    let proc = prune (advance_pulse { proc with core } (proc.pulse + 1)) in
     if proc.pulse > !max_pulse_ref then max_pulse_ref := proc.pulse;
     proc
   in
@@ -134,7 +148,7 @@ let make_handler g oracle max_pulse_ref =
     (* Maximum adoption: jump forward to a larger pulse and republish. *)
     let proc =
       if k > proc.pulse then begin
-        let proc = prune { proc with pulse = k } in
+        let proc = prune (advance_pulse proc k) in
         broadcast proc;
         proc
       end
@@ -155,7 +169,8 @@ let make_handler g oracle max_pulse_ref =
   handler
 
 let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
-    ?(loss = 0.) ?(seed = 1) graph workload =
+    ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?(seed = 1) graph
+    workload =
   let master = Prng.Splitmix.of_int seed in
   let fault_rng = Prng.Splitmix.split master in
   let sched_rng = Prng.Splitmix.split master in
@@ -168,17 +183,35 @@ let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
       core = Harness.Fault.initial_states ~rng:fault_rng spec graph ~workload p;
       pulse = 0;
       snaps = [];
+      backoff = 0;
+      ticks = 0;
     }
   in
-  (* Timeout = retransmission: republish the current pulse's snapshot to
-     every neighbor. With lossy channels this is what keeps barriers
-     completing; it is idempotent for the receivers. *)
+  (* Timeout = retransmission with exponential backoff: a timer fire only
+     republishes once 2^backoff fires have accumulated since the last
+     retransmission, and every pulse advance resets the backoff. Lossy
+     channels still recover (the retransmission always eventually fires —
+     idle networks fire timers on every step) without the chatter of
+     unconditional republishing under duplication/reordering. *)
   let timeout ~self (proc : proc) =
-    let msg = Snapshot (proc.pulse, public_of proc.core) in
-    ( proc,
-      List.map (fun q -> (q, msg)) (Topology.Graph.neighbors graph self) )
+    let threshold = 1 lsl min proc.backoff 6 in
+    if proc.ticks + 1 >= threshold then
+      let msg = Snapshot (proc.pulse, public_of proc.core) in
+      ( { proc with ticks = 0; backoff = min (proc.backoff + 1) 6 },
+        List.map (fun q -> (q, msg)) (Topology.Graph.neighbors graph self) )
+    else ({ proc with ticks = proc.ticks + 1 }, [])
   in
-  let net = Network.create ~loss ~timeout ~init ~handler graph in
+  (* Crash–recovery amnesia: the synchronizer's volatile state (neighbor
+     mirrors, timers) is lost; the SSMFP core and the pulse counter are
+     on stable storage. The next timer fire republishes and the barriers
+     rebuild the mirrors. *)
+  let on_recover ~self:_ proc =
+    { proc with snaps = []; backoff = 0; ticks = 0 }
+  in
+  let net =
+    Network.create ~loss ~duplication ~reorder ~timeout ~on_recover ~init
+      ~handler graph
+  in
   (* Bootstrap: everyone publishes its pulse-0 snapshot. *)
   Topology.Graph.iter_vertices
     (fun p ->
@@ -210,6 +243,28 @@ let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
     max_pulse;
   }
 
+let graph (t : t) = t.graph
+let oracle (t : t) = t.oracle
+let expected_valid (t : t) = t.expected_valid
+let max_pulse (t : t) = !(t.max_pulse)
+let channel_deliveries (t : t) = Network.deliveries t.net
+let core (t : t) p = (Network.state t.net p).core
+
+let set_core t p core =
+  let proc = Network.state t.net p in
+  Network.set_state t.net p { proc with core }
+
+let crash_process t p ~down_for = Network.crash t.net p ~down_for
+
+let channel_stats t =
+  {
+    delivered = Network.deliveries t.net;
+    lost = Network.dropped t.net;
+    duplicated = Network.duplicated t.net;
+    reordered = Network.reordered t.net;
+    dropped_while_down = Network.dropped_while_down t.net;
+  }
+
 let all_drained t =
   let quiet p =
     let proc = Network.state t.net p in
@@ -218,9 +273,12 @@ let all_drained t =
   in
   List.for_all quiet (Topology.Graph.vertices t.graph)
 
+let drive ?(max_deliveries = 2_000_000) ?stop t =
+  let stop = match stop with Some f -> fun _ -> f t | None -> fun _ -> false in
+  Network.run ~max_deliveries ~stop t.net t.rng
+
 let run ?(max_deliveries = 2_000_000) t =
-  let stop _ = all_drained t in
-  let status = Network.run ~max_deliveries ~stop t.net t.rng in
+  let status = drive ~max_deliveries ~stop:all_drained t in
   let outcome =
     match status with
     | `Stopped -> `All_done

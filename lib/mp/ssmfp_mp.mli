@@ -38,6 +38,14 @@ type payload = Snapshot of int * public  (** (pulse, readable state) *)
 
 type t
 
+type channel_stats = {
+  delivered : int;
+  lost : int;  (** dropped by [loss] *)
+  duplicated : int;
+  reordered : int;
+  dropped_while_down : int;  (** evaporated at a crashed process *)
+}
+
 type result = {
   outcome : [ `All_done | `Max_deliveries ];
   channel_deliveries : int;  (** messages the network delivered *)
@@ -51,6 +59,8 @@ val create :
   ?spec:Harness.Fault.spec ->
   ?channel_garbage:int ->
   ?loss:float ->
+  ?duplication:float ->
+  ?reorder:float ->
   ?seed:int ->
   Topology.Graph.t ->
   Harness.Workload.t ->
@@ -58,12 +68,59 @@ val create :
 (** [channel_garbage] (default 0) random snapshot messages (random pulses,
     random buffer contents) are planted in random channels; [spec]
     (default pristine) corrupts the process states as in the state-model
-    runs; [loss] (default 0.) drops each sent snapshot with that
-    probability — timeout-driven retransmission (each process republishes
-    its current pulse's snapshot when its timer fires) keeps the barriers
-    completing. *)
+    runs; [loss]/[duplication]/[reorder] (default 0.) are the
+    {!Network.create} unreliability knobs applied to every sent snapshot.
+    Retransmission with exponential backoff keeps barriers completing
+    under loss: a process's timer republishes its current pulse's
+    snapshot only once [2^backoff] timer fires have accumulated, the
+    backoff growing (capped at [2^6]) with each retransmission and
+    resetting whenever the pulse advances. Snapshots are idempotent for
+    receivers, so duplication and reordering are tolerated by
+    construction; crashes ({!crash_process}) lose the synchronizer's
+    volatile state (mirrors, timers) while the SSMFP core and pulse
+    counter survive on stable storage. *)
 
 val run : ?max_deliveries:int -> t -> result
 (** Deliver channel messages under the fair random scheduler until every
     buffer and outbox is empty (then verify SP), or the budget (default
     2_000_000) runs out. *)
+
+(** {2 Chaos access}
+
+    Hooks for the chaos layer: segmented driving, mid-run core
+    corruption, crash injection and the run's observables. *)
+
+val graph : t -> Topology.Graph.t
+val oracle : t -> Harness.Oracle.t
+val expected_valid : t -> int
+
+val max_pulse : t -> int
+(** Highest pulse reached so far (the mp-model round counter). *)
+
+val channel_deliveries : t -> int
+
+val core : t -> int -> Ssmfp.State.t
+(** Process [p]'s SSMFP core state (snapshot mirrors excluded). *)
+
+val set_core : t -> int -> Ssmfp.State.t -> unit
+(** Overwrite [p]'s core, keeping its pulse and mirrors — the mp-model
+    analogue of [Sim.Engine.set_state] for fault injection. *)
+
+val crash_process : t -> int -> down_for:int -> unit
+(** Take a process down for [down_for] scheduler steps (see
+    {!Network.crash}); on recovery it forgets mirrors and timers. *)
+
+val channel_stats : t -> channel_stats
+
+val all_drained : t -> bool
+(** Every outbox and buffer is empty — the mp-model quiescence test. *)
+
+val drive :
+  ?max_deliveries:int ->
+  ?stop:(t -> bool) ->
+  t ->
+  [ `Idle | `Stopped | `Max_deliveries ]
+(** Run the scheduler until [stop] holds (checked before each step), the
+    channels drain with no timer installed, or the budget runs out —
+    the segmented form of {!run} the chaos layer interleaves with
+    injections. *)

@@ -6,6 +6,7 @@ type kind =
   | Erased_after_forward
   | Erased_duplicate
   | Routing_update
+  | Fault_injected
 
 let kind_to_string = function
   | Generated -> "generated"
@@ -15,11 +16,12 @@ let kind_to_string = function
   | Erased_after_forward -> "erased_after_forward"
   | Erased_duplicate -> "erased_duplicate"
   | Routing_update -> "routing_update"
+  | Fault_injected -> "fault_injected"
 
 let all_kinds =
   [
     Generated; Internal_forward; Copied; Delivered; Erased_after_forward;
-    Erased_duplicate; Routing_update;
+    Erased_duplicate; Routing_update; Fault_injected;
   ]
 
 let kind_of_string s =
@@ -73,6 +75,24 @@ let create () = { rev_entries = []; n = 0 }
 
 let record t ~step ~round ~pid ev =
   t.rev_entries <- of_protocol_event ~step ~round ~pid ev :: t.rev_entries;
+  t.n <- t.n + 1
+
+let record_fault t ~step ~round ~pid ~detail =
+  t.rev_entries <-
+    {
+      step;
+      round;
+      pid;
+      kind = Fault_injected;
+      dest = -1;
+      gid = None;
+      valid = false;
+      info = detail;
+      last = None;
+      color = None;
+      src = None;
+    }
+    :: t.rev_entries;
   t.n <- t.n + 1
 
 let length t = t.n

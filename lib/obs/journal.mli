@@ -25,6 +25,10 @@ type kind =
   | Erased_after_forward
   | Erased_duplicate
   | Routing_update
+  | Fault_injected
+      (** A chaos-layer injection, not a protocol move: the entry's [info]
+          describes the corrupted domain (routing, buffers, queues, flags,
+          crash) and [pid] the victim. *)
 
 val kind_to_string : kind -> string
 (** Lower-snake names, e.g. ["internal_forward"]. *)
@@ -52,6 +56,11 @@ type t
 
 val create : unit -> t
 val record : t -> step:int -> round:int -> pid:int -> Ssmfp.Protocol.event -> unit
+
+val record_fault : t -> step:int -> round:int -> pid:int -> detail:string -> unit
+(** Append a [Fault_injected] entry ([dest] = -1, no ghost fields) so
+    traces show the cause of each recovery episode inline. *)
+
 val length : t -> int
 
 val entries : t -> entry list

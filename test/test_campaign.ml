@@ -90,7 +90,7 @@ let test_run_one_deterministic () =
   let summary o =
     match o.Pool.status with
     | Pool.Done s -> s
-    | Pool.Crashed msg -> Alcotest.fail ("crashed: " ^ msg)
+    | Pool.Crashed c -> Alcotest.fail ("crashed: " ^ c.Pool.crash_msg)
   in
   let a = summary (Pool.run_one sc) and b = summary (Pool.run_one sc) in
   Alcotest.(check bool) "identical summaries" true (a = b)

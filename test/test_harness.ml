@@ -385,6 +385,60 @@ let test_oracle_deliveries_by_round () =
   Alcotest.(check (list (pair int int))) "cumulative" [ (2, 1); (5, 2) ]
     (Harness.Oracle.deliveries_by_round o)
 
+let test_oracle_duplicate_vs_invalid () =
+  (* Redundant deliveries of a valid message and deliveries of invalid
+     ones are different failures with different budgets: the former must
+     never inflate Proposition 4's 2n count, and vice versa. *)
+  let o = Harness.Oracle.create () in
+  let m = Ssmfp.Message.fresh_valid ~src:0 "m" in
+  Harness.Oracle.observe o ~round:1 ~pid:0 (Ssmfp.Protocol.Generated (m, 1));
+  Harness.Oracle.observe o ~round:2 ~pid:1 (Ssmfp.Protocol.Delivered m);
+  Harness.Oracle.observe o ~round:3 ~pid:1 (Ssmfp.Protocol.Delivered m);
+  Harness.Oracle.observe o ~round:4 ~pid:1 (Ssmfp.Protocol.Delivered m);
+  Alcotest.(check int) "two redundant copies" 2
+    (Harness.Oracle.duplicate_delivered_total o);
+  Alcotest.(check int) "no invalid yet" 0
+    (Harness.Oracle.invalid_delivered_total o);
+  let inv () = Ssmfp.Message.fresh_invalid ~at:2 ~last:2 ~color:0 "x" in
+  Harness.Oracle.observe o ~round:5 ~pid:2 (Ssmfp.Protocol.Delivered (inv ()));
+  Harness.Oracle.observe o ~round:7 ~pid:2 (Ssmfp.Protocol.Delivered (inv ()));
+  Alcotest.(check int) "invalid counted apart" 2
+    (Harness.Oracle.invalid_delivered_total o);
+  Alcotest.(check int) "duplicates unchanged" 2
+    (Harness.Oracle.duplicate_delivered_total o);
+  Alcotest.(check (list (pair int int))) "chronological invalid log"
+    [ (5, 2); (7, 2) ]
+    (Harness.Oracle.invalid_delivery_log o)
+
+let prop_random_spec_in_domain =
+  QCheck.Test.make
+    ~name:"random_spec corruption stays inside variable domains" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g = Topology.Builders.ring 6 in
+      let n = Topology.Graph.n g in
+      let delta = Topology.Graph.max_degree g in
+      let rng = Prng.Splitmix.of_int seed in
+      let spec = Harness.Fault.random_spec rng in
+      let wl = Harness.Workload.empty ~n in
+      List.for_all
+        (fun p ->
+          let st = Harness.Fault.initial_states ~rng spec g ~workload:wl p in
+          let allowed = p :: Topology.Graph.neighbors g p in
+          List.for_all
+            (fun (_, _, m) ->
+              m.Ssmfp.Message.color >= 0
+              && m.Ssmfp.Message.color <= delta
+              && List.mem m.Ssmfp.Message.last allowed)
+            (Ssmfp.State.occupied_buffers st)
+          && Array.for_all
+               (fun (e : Routing.Selfstab.entry) ->
+                 e.Routing.Selfstab.dist >= 0
+                 && e.Routing.Selfstab.dist <= n
+                 && List.mem e.Routing.Selfstab.via allowed)
+               st.Ssmfp.State.routing)
+        (List.init n Fun.id))
+
 let test_daemon_kind_strings () =
   List.iter
     (fun k ->
@@ -439,6 +493,7 @@ let () =
             test_fault_adversarial_domains;
           Alcotest.test_case "needs rng" `Quick test_fault_needs_rng;
           Alcotest.test_case "fill component" `Quick test_fill_component;
+          QCheck_alcotest.to_alcotest prop_random_spec_in_domain;
         ] );
       ( "oracle",
         [
@@ -446,6 +501,8 @@ let () =
           Alcotest.test_case "detects duplicate" `Quick test_oracle_detects_duplicate;
           Alcotest.test_case "detects loss" `Quick test_oracle_detects_loss;
           Alcotest.test_case "invalid bound" `Quick test_oracle_invalid_bound;
+          Alcotest.test_case "duplicate vs invalid" `Quick
+            test_oracle_duplicate_vs_invalid;
           Alcotest.test_case "daemon strings" `Quick test_daemon_kind_strings;
           Alcotest.test_case "responder round trip" `Quick test_responder_round_trip;
           Alcotest.test_case "responder chain" `Quick test_responder_chain_terminates;

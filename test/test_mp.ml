@@ -126,6 +126,138 @@ let test_port_pulses_advance () =
   let r, _ = port_ok ~seed:4 (Topology.Builders.path 3) 1 in
   Alcotest.(check bool) "pulses advanced" true (r.Mp.Ssmfp_mp.max_pulse > 0)
 
+(* ---------------- unreliable-channel hardening ---------------- *)
+
+(* On a trigger, processor 0 fans 20 numbered messages to 1; processor 1
+   records arrivals in order. Everything 0 sends crosses the unreliable
+   link. *)
+let fanout_net ~loss ~duplication ~reorder =
+  Mp.Network.create ~loss ~duplication ~reorder
+    ~init:(fun _ -> [])
+    ~handler:(fun ~self ~from:_ seen msg ->
+      if self = 0 then (seen, List.init 20 (fun i -> (1, i + 1)))
+      else (msg :: seen, []))
+    (Topology.Builders.path 2)
+
+let test_network_unreliable_deterministic () =
+  let once seed =
+    let net = fanout_net ~loss:0.3 ~duplication:0.3 ~reorder:0.3 in
+    Mp.Network.inject net ~from:1 ~into:0 0;
+    ignore (Mp.Network.run net (Prng.Splitmix.of_int seed));
+    ( Mp.Network.state net 1,
+      Mp.Network.deliveries net,
+      Mp.Network.dropped net,
+      Mp.Network.duplicated net,
+      Mp.Network.reordered net )
+  in
+  let a = once 21 and b = once 21 in
+  Alcotest.(check bool) "same seed, same run" true (a = b);
+  let received, delivered, lost, dup, _ = a in
+  Alcotest.(check bool) "loss bit" true (lost > 0);
+  Alcotest.(check bool) "duplication bit" true (dup > 0);
+  (* the trigger plus every surviving copy of the 20 sends *)
+  Alcotest.(check int) "conservation" delivered
+    (1 + 20 + dup - lost);
+  Alcotest.(check int) "receiver saw the survivors" (delivered - 1)
+    (List.length received)
+
+let test_network_reorder_overtakes () =
+  let net = fanout_net ~loss:0. ~duplication:0. ~reorder:1.0 in
+  Mp.Network.inject net ~from:1 ~into:0 0;
+  ignore (Mp.Network.run net (Prng.Splitmix.of_int 5));
+  let arrival = List.rev (Mp.Network.state net 1) in
+  Alcotest.(check bool) "every overtake counted" true
+    (Mp.Network.reordered net > 0);
+  Alcotest.(check (list int)) "nothing lost"
+    (List.init 20 (fun i -> i + 1))
+    (List.sort compare arrival);
+  Alcotest.(check bool) "FIFO violated" true
+    (arrival <> List.init 20 (fun i -> i + 1))
+
+let test_network_total_loss () =
+  let net = fanout_net ~loss:1.0 ~duplication:0. ~reorder:0. in
+  Mp.Network.inject net ~from:1 ~into:0 0;
+  let status = Mp.Network.run net (Prng.Splitmix.of_int 8) in
+  Alcotest.(check bool) "drains (nothing survives the link)" true
+    (status = `Idle);
+  Alcotest.(check int) "only the injected trigger" 1 (Mp.Network.deliveries net);
+  Alcotest.(check int) "all sends dropped" 20 (Mp.Network.dropped net);
+  Alcotest.(check (list int)) "receiver starved" [] (Mp.Network.state net 1)
+
+let test_network_crash_recovery () =
+  let recovered = ref false in
+  let net =
+    Mp.Network.create
+      ~on_recover:(fun ~self:_ _ ->
+        recovered := true;
+        100)
+      ~init:(fun _ -> 0)
+      ~handler:(fun ~self:_ ~from:_ s m -> (s + m, []))
+      (Topology.Builders.path 2)
+  in
+  Mp.Network.crash net 1 ~down_for:1;
+  Alcotest.(check bool) "down" true (Mp.Network.is_down net 1);
+  Mp.Network.inject net ~from:0 ~into:1 5;
+  ignore (Mp.Network.run net (Prng.Splitmix.of_int 12));
+  Alcotest.(check int) "evaporated at the interface" 1
+    (Mp.Network.dropped_while_down net);
+  Alcotest.(check bool) "recovery hook ran" true !recovered;
+  Alcotest.(check bool) "back up" false (Mp.Network.is_down net 1);
+  Mp.Network.inject net ~from:0 ~into:1 7;
+  ignore (Mp.Network.run net (Prng.Splitmix.of_int 13));
+  Alcotest.(check int) "deliveries resume on the rewritten state" 107
+    (Mp.Network.state net 1)
+
+let test_port_seeded_determinism () =
+  let once () =
+    Ssmfp.Message.reset_ghost_counter ();
+    let rng = Prng.Splitmix.of_int 31 in
+    let wl = Harness.Workload.uniform_random rng ~n:5 ~per_processor:2 in
+    let t =
+      Mp.Ssmfp_mp.create ~spec:Harness.Fault.adversarial ~channel_garbage:10
+        ~loss:0.2 ~duplication:0.1 ~reorder:0.1 ~seed:44
+        (Topology.Builders.ring 5) wl
+    in
+    let r = Mp.Ssmfp_mp.run t in
+    ( r.Mp.Ssmfp_mp.outcome,
+      r.Mp.Ssmfp_mp.channel_deliveries,
+      r.Mp.Ssmfp_mp.max_pulse,
+      r.Mp.Ssmfp_mp.verdict,
+      Mp.Ssmfp_mp.channel_stats t )
+  in
+  let a = once () and b = once () in
+  Alcotest.(check bool) "identical runs" true (a = b);
+  let outcome, _, _, verdict, stats = a in
+  Alcotest.(check bool) "still drains and satisfies SP" true
+    (outcome = `All_done && verdict.Harness.Oracle.ok);
+  Alcotest.(check bool) "channel actually misbehaved" true
+    (stats.Mp.Ssmfp_mp.lost > 0)
+
+let test_port_total_loss_starves () =
+  Ssmfp.Message.reset_ghost_counter ();
+  let rng = Prng.Splitmix.of_int 5 in
+  let wl = Harness.Workload.uniform_random rng ~n:4 ~per_processor:1 in
+  let t =
+    Mp.Ssmfp_mp.create ~loss:1.0 ~seed:9 (Topology.Builders.ring 4) wl
+  in
+  let r = Mp.Ssmfp_mp.run ~max_deliveries:20_000 t in
+  Alcotest.(check bool) "never drains" true
+    (r.Mp.Ssmfp_mp.outcome = `Max_deliveries);
+  Alcotest.(check int) "no valid message gets through" 0
+    (Harness.Oracle.valid_delivered r.Mp.Ssmfp_mp.oracle)
+
+let test_port_crash_recovery () =
+  Ssmfp.Message.reset_ghost_counter ();
+  let rng = Prng.Splitmix.of_int 6 in
+  let wl = Harness.Workload.uniform_random rng ~n:5 ~per_processor:1 in
+  let t = Mp.Ssmfp_mp.create ~seed:14 (Topology.Builders.ring 5) wl in
+  Mp.Ssmfp_mp.crash_process t 2 ~down_for:50;
+  let r = Mp.Ssmfp_mp.run t in
+  Alcotest.(check bool) "drains after the crash span" true
+    (r.Mp.Ssmfp_mp.outcome = `All_done);
+  Alcotest.(check bool) "SP despite the crash" true
+    r.Mp.Ssmfp_mp.verdict.Harness.Oracle.ok
+
 let prop_port_sp =
   QCheck.Test.make ~name:"MP port satisfies SP from random corruption"
     ~count:15
@@ -148,6 +280,12 @@ let () =
           Alcotest.test_case "in flight" `Quick test_network_in_flight;
           Alcotest.test_case "delivery budget" `Quick test_network_budget;
           Alcotest.test_case "loss + timeout" `Quick test_network_loss_and_timeout;
+          Alcotest.test_case "unreliable deterministic" `Quick
+            test_network_unreliable_deterministic;
+          Alcotest.test_case "reorder overtakes" `Quick
+            test_network_reorder_overtakes;
+          Alcotest.test_case "total loss" `Quick test_network_total_loss;
+          Alcotest.test_case "crash recovery" `Quick test_network_crash_recovery;
         ] );
       ( "ssmfp port",
         [
@@ -156,6 +294,11 @@ let () =
           Alcotest.test_case "channel garbage" `Quick test_port_channel_garbage;
           Alcotest.test_case "lossy channels" `Quick test_port_lossy_channels;
           Alcotest.test_case "pulses advance" `Quick test_port_pulses_advance;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_port_seeded_determinism;
+          Alcotest.test_case "total loss starves" `Quick
+            test_port_total_loss_starves;
+          Alcotest.test_case "crash recovery" `Quick test_port_crash_recovery;
           QCheck_alcotest.to_alcotest prop_port_sp;
         ] );
     ]
