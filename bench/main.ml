@@ -414,6 +414,75 @@ let run_b2 () =
   print_newline ();
   timings
 
+(* B3: model-checker throughput and memory — the compact binary codec
+   against the historical string keys on the same sampled three-chain
+   search, plus the parallel driver at 2 and 4 workers. Configs/s is
+   explored states over wall clock; resident bytes is the visited store's
+   key payloads plus its slot arrays. The b3-codec-w1 gate asserts the
+   codec is at least 2x faster and strictly smaller; the w2/w4 gates
+   assert the *reports* are identical to w1 — determinism, not speed:
+   on a single-core host the extra domains only add overhead. *)
+let run_b3 () =
+  Harness.Report.section
+    "B3: mc throughput, string keys vs codec keys vs workers (3chain)";
+  let sc = Mc.Explore.three_chain in
+  let inits =
+    Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:600 sc
+  in
+  let timed key workers =
+    let t0 = Unix.gettimeofday () in
+    let r = Mc.Explore.check_safety ~key ~workers sc inits in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let throughput (r : Mc.Explore.safety_report) s =
+    float_of_int r.Mc.Explore.explored /. max 1e-9 s
+  in
+  let resident (r : Mc.Explore.safety_report) =
+    r.Mc.Explore.visited.Mc.Store.key_bytes
+    + r.Mc.Explore.visited.Mc.Store.table_bytes
+  in
+  let reports_agree (a : Mc.Explore.safety_report)
+      (b : Mc.Explore.safety_report) =
+    a.Mc.Explore.explored = b.Mc.Explore.explored
+    && a.Mc.Explore.transitions = b.Mc.Explore.transitions
+    && a.Mc.Explore.duplicate_delivery = b.Mc.Explore.duplicate_delivery
+    && a.Mc.Explore.lost_valid = b.Mc.Explore.lost_valid
+    && a.Mc.Explore.deadlock = b.Mc.Explore.deadlock
+  in
+  let rs, ss = timed Mc.Par.String_keys 1 in
+  let rc1, sc1 = timed Mc.Par.Codec_keys 1 in
+  let rc2, sc2 = timed Mc.Par.Codec_keys 2 in
+  let rc4, sc4 = timed Mc.Par.Codec_keys 4 in
+  let speedup = throughput rc1 sc1 /. throughput rs ss in
+  let entry id title seconds ok notes =
+    List.iter (fun s -> Harness.Report.note (Printf.sprintf "%s %s" id s)) notes;
+    { id; title; seconds; ok; notes }
+  in
+  let line r s =
+    Printf.sprintf "%d configs, %.0f configs/s, %d resident bytes"
+      r.Mc.Explore.explored (throughput r s) (resident r)
+  in
+  [
+    entry "b3-string-w1" "B3: mc search, string keys, 1 worker (3chain)" ss
+      true [ line rs ss ];
+    entry "b3-codec-w1" "B3: mc search, codec keys, 1 worker (3chain)" sc1
+      (reports_agree rs rc1 && speedup >= 2.0 && resident rc1 < resident rs)
+      [
+        line rc1 sc1;
+        Printf.sprintf "speedup: %.1fx (threshold 2.0x)" speedup;
+        Printf.sprintf "resident bytes: %d vs %d string" (resident rc1)
+          (resident rs);
+      ];
+    entry "b3-codec-w2" "B3: mc search, codec keys, 2 workers (3chain)" sc2
+      (reports_agree rc1 rc2
+      && resident rc2 = resident rc1)
+      [ line rc2 sc2; "gate: report identical to 1 worker" ];
+    entry "b3-codec-w4" "B3: mc search, codec keys, 4 workers (3chain)" sc4
+      (reports_agree rc1 rc4
+      && resident rc4 = resident rc1)
+      [ line rc4 sc4; "gate: report identical to 1 worker" ];
+  ]
+
 (* Drain curve: how the buffered-message population falls while the
    network digests a fully adversarial configuration. *)
 let run_drain_chart () =
@@ -581,6 +650,7 @@ let () =
   if want "campaign" then timings := !timings @ [ run_campaign_bench () ];
   if want "b1" then timings := !timings @ run_b1 ();
   if want "b2" then timings := !timings @ run_b2 ();
+  if want "b3" then timings := !timings @ run_b3 ();
   if want "figures" then run_figures ();
   if want "charts" then begin
     run_charts ();

@@ -491,7 +491,33 @@ let mc_cmd =
       value & opt int 2000
       & info [ "samples" ] ~docv:"N" ~doc:"Initial configurations for 3chain.")
   in
-  let run scenario samples =
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Domains sharding each BFS frontier level. The report is \
+             identical for any worker count.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the visited-store footprint after the safety search.")
+  in
+  let key =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("codec", Mc.Par.Codec_keys); ("string", Mc.Par.String_keys) ])
+          Mc.Par.Codec_keys
+      & info [ "key" ] ~docv:"KEY"
+          ~doc:
+            "Visited-set keys: codec (compact binary, default) or string \
+             (the historical rendering, kept as differential baseline).")
+  in
+  let run scenario samples workers stats key =
     let sc, inits =
       match scenario with
       | `Two ->
@@ -502,7 +528,7 @@ let mc_cmd =
           (sc, Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:samples sc)
     in
     Printf.printf "initial configurations: %d\n%!" (List.length inits);
-    let sr = Mc.Explore.check_safety sc inits in
+    let sr = Mc.Explore.check_safety ~workers ~key sc inits in
     Printf.printf "safety: %d configurations, %d transitions\n"
       sr.Mc.Explore.explored sr.Mc.Explore.transitions;
     Printf.printf "  duplicate delivery: %b\n" sr.Mc.Explore.duplicate_delivery;
@@ -510,6 +536,13 @@ let mc_cmd =
       (Option.value ~default:"none" sr.Mc.Explore.lost_valid);
     Printf.printf "  deadlock: %s\n"
       (Option.value ~default:"none" sr.Mc.Explore.deadlock);
+    if stats then begin
+      let v = sr.Mc.Explore.visited in
+      Printf.printf
+        "  visited store: %d entries, %d key bytes, %d table bytes, load %.2f\n"
+        v.Mc.Store.entries v.Mc.Store.key_bytes v.Mc.Store.table_bytes
+        v.Mc.Store.load
+    end;
     let lr = Mc.Explore.check_liveness sc inits in
     Printf.printf "liveness: %d runs, worst %d steps, %d failures\n"
       lr.Mc.Explore.checked lr.Mc.Explore.max_steps_seen
@@ -527,7 +560,7 @@ let mc_cmd =
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"Model-check SP on small networks.")
-    Term.(const run $ scenario $ samples)
+    Term.(const run $ scenario $ samples $ workers $ stats $ key)
 
 (* ---------------- chaos command ---------------- *)
 

@@ -32,6 +32,131 @@ type outcome = {
 
 let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
+(* ------------------------------------------------------------------ *)
+(* Persistent fan-out pool.
+
+   [run_list] spawns fresh domains per call, which is fine for campaign
+   grids (seconds per scenario) but too heavy for callers that fan out
+   many times over small task batches — the model checker dispatches one
+   batch per BFS level. A [fanout] keeps [workers - 1] helper domains
+   parked on a condition variable; each [fanout_run] publishes a job
+   (task count + body), wakes them, participates from the calling domain,
+   and returns once every index has been claimed and finished. Indices
+   are handed out by a shared atomic cursor, so the work steals itself
+   across domains; the caller's job body must write any results into
+   per-index cells (the join barrier makes them safely readable after
+   [fanout_run] returns). *)
+
+type fanout = {
+  f_mutex : Mutex.t;
+  f_ready : Condition.t;  (* a new job was published, or shutdown *)
+  f_done : Condition.t;  (* a helper finished the current job *)
+  mutable f_job : (int -> unit) option;
+  mutable f_count : int;
+  f_next : int Atomic.t;
+  mutable f_active : int;  (* helpers still inside the current job *)
+  mutable f_seq : int;  (* job sequence number, for wakeup filtering *)
+  mutable f_stop : bool;
+  mutable f_domains : unit Domain.t list;
+}
+
+let fanout_helper f =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock f.f_mutex;
+    while f.f_seq = !seen && not f.f_stop do
+      Condition.wait f.f_ready f.f_mutex
+    done;
+    if f.f_stop then Mutex.unlock f.f_mutex
+    else begin
+      seen := f.f_seq;
+      let job = Option.get f.f_job and count = f.f_count in
+      Mutex.unlock f.f_mutex;
+      let rec grab () =
+        let i = Atomic.fetch_and_add f.f_next 1 in
+        if i < count then begin
+          job i;
+          grab ()
+        end
+      in
+      grab ();
+      Mutex.lock f.f_mutex;
+      f.f_active <- f.f_active - 1;
+      if f.f_active = 0 then Condition.broadcast f.f_done;
+      Mutex.unlock f.f_mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let fanout_create ~workers =
+  let f =
+    {
+      f_mutex = Mutex.create ();
+      f_ready = Condition.create ();
+      f_done = Condition.create ();
+      f_job = None;
+      f_count = 0;
+      f_next = Atomic.make 0;
+      f_active = 0;
+      f_seq = 0;
+      f_stop = false;
+      f_domains = [];
+    }
+  in
+  f.f_domains <-
+    List.init (max 0 (workers - 1)) (fun _ -> Domain.spawn (fun () -> fanout_helper f));
+  f
+
+let fanout_workers f = 1 + List.length f.f_domains
+
+let fanout_run f ~tasks job =
+  if tasks > 0 then
+    if f.f_domains = [] then
+      for i = 0 to tasks - 1 do
+        job i
+      done
+    else begin
+      (* A raising task must not strand a helper mid-job: trap the first
+         exception and re-raise it on the calling domain after the join. *)
+      let failure = Atomic.make None in
+      let safe i =
+        try job i
+        with e -> ignore (Atomic.compare_and_set failure None (Some e))
+      in
+      Mutex.lock f.f_mutex;
+      f.f_job <- Some safe;
+      f.f_count <- tasks;
+      Atomic.set f.f_next 0;
+      f.f_active <- List.length f.f_domains;
+      f.f_seq <- f.f_seq + 1;
+      Condition.broadcast f.f_ready;
+      Mutex.unlock f.f_mutex;
+      let rec grab () =
+        let i = Atomic.fetch_and_add f.f_next 1 in
+        if i < tasks then begin
+          safe i;
+          grab ()
+        end
+      in
+      grab ();
+      Mutex.lock f.f_mutex;
+      while f.f_active > 0 do
+        Condition.wait f.f_done f.f_mutex
+      done;
+      f.f_job <- None;
+      Mutex.unlock f.f_mutex;
+      match Atomic.get failure with Some e -> raise e | None -> ()
+    end
+
+let fanout_close f =
+  Mutex.lock f.f_mutex;
+  f.f_stop <- true;
+  Condition.broadcast f.f_ready;
+  Mutex.unlock f.f_mutex;
+  List.iter Domain.join f.f_domains;
+  f.f_domains <- []
+
 let run_list ?(workers = 1) thunks =
   let arr = Array.of_list thunks in
   let total = Array.length arr in

@@ -76,6 +76,31 @@ val chaos_verdict :
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], clamped to [1..8]. *)
 
+type fanout
+(** A persistent work-stealing pool: [workers - 1] helper domains parked
+    between jobs, so callers that fan out many small batches (the model
+    checker dispatches one per BFS level) pay the domain-spawn cost once
+    instead of per batch. *)
+
+val fanout_create : workers:int -> fanout
+(** Spawn the helpers. [workers <= 1] creates a pool with no helper
+    domains; {!fanout_run} then executes inline on the calling domain. *)
+
+val fanout_workers : fanout -> int
+(** Number of domains that execute a job: the helpers plus the caller. *)
+
+val fanout_run : fanout -> tasks:int -> (int -> unit) -> unit
+(** Execute [job 0 .. job (tasks - 1)] across the helpers and the calling
+    domain, indices handed out by a shared cursor; returns when all are
+    done. The job must communicate through per-index cells — the join
+    barrier makes every write visible to the caller afterwards. If a task
+    raises, one such exception is re-raised on the calling domain after
+    the join (the remaining tasks still run). Not reentrant: one
+    [fanout_run] at a time per pool. *)
+
+val fanout_close : fanout -> unit
+(** Shut the helpers down and join them. The pool must be idle. *)
+
 val run_list : ?workers:int -> (unit -> 'a) list -> ('a, string) result list
 (** The bare fan-out primitive: evaluate every thunk, at most [workers]
     (default 1) domains at a time, and return results in input order. A

@@ -1,0 +1,66 @@
+(** Compact binary canonical keys for model-checker configurations.
+
+    A value of type {!t} is a reusable scratch encoder: {!encode} resets
+    it and serializes a canonical configuration — the same abstraction the
+    historical string key rendered (ghost identities and the [rr] cursor
+    absent, message occurrences reduced to the visible (info, last,
+    color) triple plus validity, the delivery counter clamped at 2) —
+    into a growable [Bytes] buffer with varint fields, maintaining a
+    64-bit FNV-1a hash incrementally as bytes are written. Between two
+    {!encode} calls nothing is allocated once the buffer has grown to the
+    size of the largest configuration, so keying a successor costs only
+    the serialization walk.
+
+    Every field is a tagged byte or length-prefixed, and the state and
+    slot counts are fixed by the network, so the encoding is injective:
+    two configurations produce equal key bytes iff they are equal under
+    the canonical abstraction. The equivalence classes coincide with
+    those of {!string_key} (pinned by the differential test in
+    [test_mc_core.ml]). *)
+
+type t
+(** A scratch encoder. Not thread-safe: use one per domain. *)
+
+val create : unit -> t
+(** A fresh encoder with a 256-byte buffer. *)
+
+val reset : t -> unit
+(** Empty the encoder (keeps the buffer). {!encode} calls this itself. *)
+
+val encode : t -> Ssmfp.State.t array -> delivered:int -> unit
+(** Serialize a configuration and its (clamped) valid-delivery counter,
+    replacing the encoder's previous contents. *)
+
+val length : t -> int
+(** Bytes written since the last {!reset}. *)
+
+val raw : t -> Bytes.t
+(** The scratch buffer; only the first {!length} bytes are meaningful,
+    and the next {!encode} invalidates them. *)
+
+val key : t -> string
+(** An immutable copy of the encoded key (allocates). *)
+
+val hash : t -> int
+(** The incremental FNV-1a hash of the encoded bytes. Equal keys have
+    equal hashes; the converse holds modulo 63-bit collisions, so stores
+    must compare keys after matching hashes. *)
+
+val add_byte : t -> int -> unit
+(** Append one byte (low 8 bits). Exposed for tests and custom keys. *)
+
+val add_int : t -> int -> unit
+(** Append a native int as unsigned LEB128 (a bijection on ints;
+    negative values take the maximal 9 bytes). *)
+
+val add_string : t -> string -> unit
+(** Append a length-prefixed string. *)
+
+val string_key : Ssmfp.State.t array -> delivered:int -> string
+(** The historical string rendering of the same canonical abstraction —
+    manual buffer writes, no [Printf] — kept as the differential baseline
+    for the codec ({!Par.String_keys}). *)
+
+val hash_string : string -> int
+(** FNV-1a over a string, for keying {!string_key} values in a
+    {!Store.t}. *)

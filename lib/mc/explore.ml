@@ -21,46 +21,10 @@ let three_chain =
     payload_pool = [ "v" ];
   }
 
-(* ------------------------------------------------------------------ *)
-(* Canonical keys: ghost ids and the rr cursor are abstracted away.    *)
-
-let canon_msg (m : Ssmfp.Message.t option) =
-  match m with
-  | None -> "-"
-  | Some m ->
-      Printf.sprintf "%s.%d.%d.%c" m.Ssmfp.Message.info m.Ssmfp.Message.last
-        m.Ssmfp.Message.color
-        (if Ssmfp.Message.is_valid m then 'V' else 'I')
-
-let canon_key states delivered =
-  let buf = Buffer.create 128 in
-  Array.iter
-    (fun (st : Ssmfp.State.t) ->
-      Buffer.add_char buf (if st.Ssmfp.State.request then 'R' else 'r');
-      Array.iter
-        (fun (e : Routing.Selfstab.entry) ->
-          Buffer.add_string buf (string_of_int e.Routing.Selfstab.dist);
-          Buffer.add_char buf '.';
-          Buffer.add_string buf (string_of_int e.Routing.Selfstab.via);
-          Buffer.add_char buf ',')
-        st.Ssmfp.State.routing;
-      Buffer.add_string buf (string_of_int (List.length st.Ssmfp.State.outbox));
-      Array.iter
-        (fun (sl : Ssmfp.State.slot) ->
-          Buffer.add_char buf '[';
-          Buffer.add_string buf (canon_msg sl.Ssmfp.State.buf_r);
-          Buffer.add_char buf '|';
-          Buffer.add_string buf (canon_msg sl.Ssmfp.State.buf_e);
-          Buffer.add_char buf '|';
-          List.iter
-            (fun q -> Buffer.add_string buf (string_of_int q))
-            sl.Ssmfp.State.queue;
-          Buffer.add_char buf ']')
-        st.Ssmfp.State.slots;
-      Buffer.add_char buf ';')
-    states;
-  Buffer.add_string buf (string_of_int (min delivered 2));
-  Buffer.contents buf
+(* Canonical keys (ghost ids and the rr cursor abstracted away) live in
+   Codec: the compact binary encoding is the default visited-set key and
+   Codec.string_key keeps the historical rendering as the differential
+   baseline. *)
 
 (* ------------------------------------------------------------------ *)
 (* Initial configurations                                              *)
@@ -154,184 +118,24 @@ let sample_initials_corrupted rng ~count scenario =
     (sample_initials rng ~count scenario)
 
 (* ------------------------------------------------------------------ *)
-(* Safety: BFS over all central-daemon choices                         *)
+(* Safety: BFS over all central-daemon choices. The search engine —
+   codec keys, open-addressing visited store, level-synchronized domain
+   sharding — lives in Par; this is the scenario-level entry point.     *)
 
-type safety_report = {
+type safety_report = Par.safety_report = {
   initial_count : int;
   explored : int;
   transitions : int;
   duplicate_delivery : bool;
   lost_valid : string option;
   deadlock : string option;
+  visited : Store.stats;
 }
 
-let render_config states =
-  String.concat " / "
-    (Array.to_list
-       (Array.mapi
-          (fun p st -> Format.asprintf "p%d %a" p Ssmfp.State.pp st)
-          states))
-
-let has_traffic states =
-  Array.exists
-    (fun st ->
-      st.Ssmfp.State.outbox <> [] || Ssmfp.State.occupied_buffers st <> [])
-    states
-
-let copy_states states = Array.map (fun s -> s) states
-
-let valid_present states =
-  Array.exists
-    (fun st ->
-      List.exists
-        (fun (_, _, m) -> Ssmfp.Message.is_valid m)
-        (Ssmfp.State.occupied_buffers st))
-    states
-
-(* All non-empty selections of at most one enabled action per processor:
-   the distributed daemon's composite steps. [per_proc] lists each
-   processor's enabled actions. *)
-let selections per_proc =
-  let rec build = function
-    | [] -> [ [] ]
-    | (p, actions) :: rest ->
-        let tails = build rest in
-        let without = tails in
-        let with_p =
-          List.concat_map
-            (fun a -> List.map (fun tl -> (p, a) :: tl) tails)
-            actions
-        in
-        without @ with_p
-  in
-  List.filter (fun sel -> sel <> []) (build per_proc)
-
-let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
-    ?(run_routing = false) ?(max_configs = 2_000_000) scenario initials =
-  let g = scenario.graph in
-  let n = Topology.Graph.n g in
-  let proto = Ssmfp.Protocol.make ~variant ~run_routing g in
-  let visited = Hashtbl.create 65536 in
-  (* Frontier entries carry the parent's per-processor enabled table plus
-     the pids the transition wrote ([None] for roots), so popping a
-     configuration re-evaluates guards only over the dirty set — SSMFP
-     declares Neighborhood locality, a move at p can only flip guards in
-     N[p]. *)
-  let frontier = Queue.create () in
-  let explored = ref 0 and transitions = ref 0 in
-  let duplicate = ref false and deadlock = ref None in
-  let lost = ref None in
-  (* A state is keyed together with its valid-delivery counter; whether the
-     valid message has been generated is recoverable from the outboxes. *)
-  let generated states =
-    Array.for_all (fun (st : Ssmfp.State.t) -> st.Ssmfp.State.outbox = []) states
-  in
-  let push states delivered origin =
-    (* Loss: the valid message was generated, never delivered, and no
-       buffer holds a valid occurrence any more. *)
-    if
-      delivered = 0 && generated states
-      && (not (valid_present states))
-      && !lost = None
-    then lost := Some (render_config states);
-    let key = canon_key states delivered in
-    if not (Hashtbl.mem visited key) then begin
-      Hashtbl.replace visited key ();
-      if Hashtbl.length visited > max_configs then
-        failwith "Explore.check_safety: configuration budget exhausted";
-      Queue.add (states, delivered, origin) frontier
-    end
-  in
-  let enabled_table net origin =
-    match origin with
-    | Some (parent_tbl, written)
-      when proto.Sim.Engine.locality = Sim.Engine.Neighborhood ->
-        let tbl = Array.copy parent_tbl in
-        let seen = Array.make n false in
-        let touch q =
-          if not seen.(q) then begin
-            seen.(q) <- true;
-            tbl.(q) <- proto.Sim.Engine.enabled net q
-          end
-        in
-        List.iter
-          (fun p ->
-            touch p;
-            List.iter touch (Topology.Graph.neighbors g p))
-          written;
-        tbl
-    | Some _ | None -> Array.init n (fun p -> proto.Sim.Engine.enabled net p)
-  in
-  List.iter (fun states -> push states 0 None) initials;
-  while not (Queue.is_empty frontier) && not !duplicate do
-    let states, delivered, origin = Queue.pop frontier in
-    incr explored;
-    let net = Sim.Engine.synthetic ~graph:g ~states in
-    let tbl = enabled_table net origin in
-    let moves = ref 0 in
-    (* Higher-layer transitions: raising a request flag. *)
-    Array.iteri
-      (fun p (st : Ssmfp.State.t) ->
-        if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then begin
-          incr moves;
-          incr transitions;
-          let states' = copy_states states in
-          states'.(p) <- { st with Ssmfp.State.request = true };
-          push states' delivered (Some (tbl, [ p ]))
-        end)
-      states;
-    (* Protocol transitions. Central daemon: every enabled (processor,
-       action) pair; with [simultaneity], additionally every composite
-       step of the distributed daemon (a non-empty selection of at most
-       one enabled action per processor, all reading the pre-step
-       configuration) — the setting in which erasure races would show. *)
-    let per_proc =
-      List.concat
-        (List.init (Array.length states) (fun p ->
-             match tbl.(p) with
-             | [] -> []
-             | actions -> [ (p, actions) ]))
-    in
-    let apply_selection sel =
-      incr moves;
-      incr transitions;
-      let updates =
-        List.map (fun (p, a) -> (p, proto.Sim.Engine.apply net p a)) sel
-      in
-      let states' = copy_states states in
-      let delivered' =
-        List.fold_left
-          (fun acc (p, (st', events)) ->
-            states'.(p) <- st';
-            List.fold_left
-              (fun acc ev ->
-                match ev with
-                | Ssmfp.Protocol.Delivered m when Ssmfp.Message.is_valid m ->
-                    acc + 1
-                | _ -> acc)
-              acc events)
-          delivered updates
-      in
-      if delivered' >= 2 then duplicate := true;
-      push states' delivered' (Some (tbl, List.map fst sel))
-    in
-    if simultaneity then List.iter apply_selection (selections per_proc)
-    else
-      List.iter
-        (fun (p, actions) ->
-          List.iter (fun a -> apply_selection [ (p, a) ]) actions)
-        per_proc;
-    if !moves = 0 && has_traffic states && !deadlock = None then
-      deadlock := Some (render_config states)
-  done;
-  {
-    initial_count = List.length initials;
-    explored = !explored;
-    transitions = !transitions;
-    duplicate_delivery = !duplicate;
-    lost_valid = !lost;
-    deadlock = !deadlock;
-  }
+let check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers ?key
+    scenario initials =
+  Par.check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers
+    ?key ~graph:scenario.graph initials
 
 (* ------------------------------------------------------------------ *)
 (* Liveness under the weakly fair round-robin daemon                   *)

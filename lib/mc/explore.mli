@@ -60,7 +60,7 @@ val sample_initials_corrupted :
     routing tables as well — for checks that run the routing protocol [A]
     inside the search. *)
 
-type safety_report = {
+type safety_report = Par.safety_report = {
   initial_count : int;
   explored : int;  (** distinct canonical configurations visited *)
   transitions : int;
@@ -70,6 +70,9 @@ type safety_report = {
           undelivered, if one is reachable (this is how the checker caught
           the [q = p] reading of rule R5 — see DESIGN.md §5) *)
   deadlock : string option;  (** a rendering of a stuck configuration *)
+  visited : Store.stats;
+      (** resident footprint of the visited set (key bytes, slot-array
+          bytes, load factor) at the end of the search *)
 }
 
 val check_safety :
@@ -77,11 +80,14 @@ val check_safety :
   ?simultaneity:bool ->
   ?run_routing:bool ->
   ?max_configs:int ->
+  ?workers:int ->
+  ?key:Par.key_mode ->
   scenario ->
   Ssmfp.State.t array list ->
   safety_report
 (** BFS over the union of reachable spaces (bound: [max_configs], default
-    2_000_000 — hitting it raises [Failure]). [variant] lets the checker
+    2_000_000 — a key that would exceed it raises [Failure] before being
+    inserted, so the bound is exact). [variant] lets the checker
     explore ablated protocols — notably [literal_r5], whose reachable
     valid-message loss this checker discovered. [simultaneity] (default
     false) additionally branches over every composite step of the
@@ -92,7 +98,12 @@ val check_safety :
     small. [run_routing] (default false) includes the routing protocol
     [A]'s repair actions in the searched transition system — use with
     {!sample_initials_corrupted} to check SP while tables are being
-    repaired; the routing entries then join the canonical key. *)
+    repaired; the routing entries then join the canonical key.
+
+    [workers] (default 1) shards each frontier level across that many
+    domains; [key] (default {!Par.Codec_keys}) selects the visited-set
+    representation. Every report field is independent of both — see
+    {!Par.check_safety} for the determinism rules. *)
 
 type liveness_report = {
   checked : int;

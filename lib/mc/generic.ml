@@ -20,7 +20,11 @@ let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
     Buffer.add_string buf (monitor_canon m);
     Buffer.contents buf
   in
-  let visited = Hashtbl.create 4096 in
+  (* The visited set is an open-addressing Store keyed by the rendered
+     canonical string (FNV-hashed): inline fingerprints, no bucket
+     lists. The budget is enforced before insertion, so [max_configs] is
+     an exact bound on the store and the frontier. *)
+  let visited = Store.create () in
   (* A frontier entry carries how its configuration was derived: [None]
      for roots (full enabled sweep at pop time), [Some (parent_tbl,
      written)] for a transition — the parent's per-processor enabled
@@ -36,22 +40,30 @@ let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
         raise Found
     | _ -> ());
     let k = key states m in
-    if not (Hashtbl.mem visited k) then begin
-      Hashtbl.replace visited k ();
-      if Hashtbl.length visited > max_configs then
-        failwith "Generic.explore: configuration budget exhausted";
+    let h = Codec.hash_string k in
+    if
+      Store.cardinal visited >= max_configs
+      && not (Store.mem_string visited ~hash:h k)
+    then
+      failwith
+        (Printf.sprintf
+           "Generic.explore: configuration budget exhausted (max_configs = %d)"
+           max_configs);
+    if Store.add_string_if_absent visited ~hash:h k then
       Queue.add (states, m, origin) frontier
-    end
   in
+  (* Dirty-set deduplication scratch, all-false between configurations. *)
+  let seen = Array.make n false in
   let enabled_table net origin =
     match origin with
     | Some (parent_tbl, written)
       when protocol.Sim.Engine.locality = Sim.Engine.Neighborhood ->
         let tbl = Array.copy parent_tbl in
-        let seen = Array.make n false in
+        let touched = ref [] in
         let touch q =
           if not seen.(q) then begin
             seen.(q) <- true;
+            touched := q :: !touched;
             tbl.(q) <- protocol.Sim.Engine.enabled net q
           end
         in
@@ -60,6 +72,7 @@ let explore ?(max_configs = 2_000_000) ?(simultaneity = false) ~graph
             touch p;
             List.iter touch (Topology.Graph.neighbors graph p))
           written;
+        List.iter (fun q -> seen.(q) <- false) !touched;
         tbl
     | Some _ | None -> Array.init n (fun p -> protocol.Sim.Engine.enabled net p)
   in

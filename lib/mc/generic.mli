@@ -47,6 +47,8 @@ val explore :
     abstraction); [monitor] absorbs each emitted event; [check] returns
     [Some message] on a violated property. [externals] returns each
     higher-layer successor together with the pids it wrote (the dirty-set
-    seed for incremental guard evaluation). The search stops at the first
-    violation or after [max_configs] (default 2_000_000) distinct pairs
-    ([Failure] on exhaustion). *)
+    seed for incremental guard evaluation). The visited set is an
+    FNV-hashed {!Store.t}; the budget is checked before insertion, so the
+    search stops at the first violation or raises [Failure] (message
+    includes [max_configs], default 2_000_000) on the pair that would
+    exceed the budget — which is never stored or enqueued. *)

@@ -1,0 +1,410 @@
+(* The safety-BFS core shared by Mc.Explore's sequential and parallel
+   paths.
+
+   The search is the same transition system Explore.check_safety always
+   explored — every enabled (processor, action) choice of the central
+   daemon (or every composite distributed-daemon selection under
+   [simultaneity]), plus the higher layer raising request flags — but the
+   frontier is processed level by level so it can be sharded across a
+   domain pool while keeping every report field a pure function of the
+   initial configurations:
+
+   - a level is an array of configurations in discovery order; workers
+     process disjoint index ranges (chunks) and only ever read shared
+     state, accumulating successors, counters and first-witness
+     candidates locally;
+   - the merge walks the chunk results in index order, deduplicating
+     against the shared visited store and picking first witnesses, so the
+     visited set, the counters and the witnesses come out identical to a
+     single-domain run whatever the worker count or chunk boundaries;
+   - a level in which a duplicate delivery is found is still completed
+     (its remaining configurations are processed and merged) before the
+     search stops — finishing the level is what makes "how far did we
+     get" independent of scheduling.
+
+   Keys are either the compact binary codec (default; per-domain scratch
+   encoders, hash-first store probes, key bytes copied only on insertion)
+   or the historical string rendering kept as a differential baseline. *)
+
+type key_mode = String_keys | Codec_keys
+
+type safety_report = {
+  initial_count : int;
+  explored : int;
+  transitions : int;
+  duplicate_delivery : bool;
+  lost_valid : string option;
+  deadlock : string option;
+  visited : Store.stats;
+}
+
+(* How a configuration was derived: roots get a full enabled sweep at
+   processing time; derived configurations carry their parent's enabled
+   table plus the pids the transition wrote, so only the dirty set is
+   re-evaluated (SSMFP declares Neighborhood locality). *)
+type origin =
+  | Root
+  | Derived of Ssmfp.Protocol.action list array * int list
+
+type entry = {
+  e_states : Ssmfp.State.t array;
+  e_delivered : int;
+  e_origin : origin;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Predicates shared with the historical sequential checker             *)
+
+let render_config states =
+  String.concat " / "
+    (Array.to_list
+       (Array.mapi
+          (fun p st -> Format.asprintf "p%d %a" p Ssmfp.State.pp st)
+          states))
+
+let has_traffic states =
+  Array.exists
+    (fun st ->
+      st.Ssmfp.State.outbox <> [] || Ssmfp.State.occupied_buffers st <> [])
+    states
+
+let valid_present states =
+  Array.exists
+    (fun st ->
+      List.exists
+        (fun (_, _, m) -> Ssmfp.Message.is_valid m)
+        (Ssmfp.State.occupied_buffers st))
+    states
+
+(* The valid message was generated (every outbox is drained), never
+   delivered, and no buffer holds a valid occurrence any more. *)
+let lost_witness states delivered =
+  if
+    delivered = 0
+    && Array.for_all
+         (fun (st : Ssmfp.State.t) -> st.Ssmfp.State.outbox = [])
+         states
+    && not (valid_present states)
+  then Some (render_config states)
+  else None
+
+(* All non-empty selections of at most one enabled action per processor:
+   the distributed daemon's composite steps. *)
+let selections per_proc =
+  let rec build = function
+    | [] -> [ [] ]
+    | (p, actions) :: rest ->
+        let tails = build rest in
+        tails
+        @ List.concat_map
+            (fun a -> List.map (fun tl -> (p, a) :: tl) tails)
+            actions
+  in
+  List.filter (fun sel -> sel <> []) (build per_proc)
+
+(* ------------------------------------------------------------------ *)
+(* Successor generation (pure in the shared state: reads only [entry]
+   and the protocol, writes only through [emit])                        *)
+
+type ctx = {
+  graph : Topology.Graph.t;
+  n : int;
+  proto :
+    (Ssmfp.State.t, Ssmfp.Protocol.action, Ssmfp.Protocol.event)
+    Sim.Engine.protocol;
+  simultaneity : bool;
+  (* dirty-set deduplication scratch, all-false between configurations —
+     one per domain, reused across every configuration it processes *)
+  seen : bool array;
+}
+
+let make_ctx ~graph ~proto ~simultaneity =
+  { graph; n = Topology.Graph.n graph; proto; simultaneity;
+    seen = Array.make (Topology.Graph.n graph) false }
+
+let enabled_table ctx net origin =
+  match origin with
+  | Derived (parent_tbl, written)
+    when ctx.proto.Sim.Engine.locality = Sim.Engine.Neighborhood ->
+      let tbl = Array.copy parent_tbl in
+      let touched = ref [] in
+      let touch q =
+        if not ctx.seen.(q) then begin
+          ctx.seen.(q) <- true;
+          touched := q :: !touched;
+          tbl.(q) <- ctx.proto.Sim.Engine.enabled net q
+        end
+      in
+      List.iter
+        (fun p ->
+          touch p;
+          List.iter touch (Topology.Graph.neighbors ctx.graph p))
+        written;
+      List.iter (fun q -> ctx.seen.(q) <- false) !touched;
+      tbl
+  | Derived _ | Root ->
+      Array.init ctx.n (fun p -> ctx.proto.Sim.Engine.enabled net p)
+
+(* Generate every successor of [entry] in the canonical order (request
+   transitions in pid order, then protocol transitions in pid/action
+   order), calling [emit states' delivered' origin'] for each; returns
+   the number of successors (0 = the configuration is terminal). *)
+let successors ctx entry ~emit =
+  let states = entry.e_states and delivered = entry.e_delivered in
+  let net = Sim.Engine.synthetic ~graph:ctx.graph ~states in
+  let tbl = enabled_table ctx net entry.e_origin in
+  let moves = ref 0 in
+  (* Higher-layer transitions: raising a request flag. *)
+  Array.iteri
+    (fun p (st : Ssmfp.State.t) ->
+      if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then begin
+        incr moves;
+        let states' = Array.copy states in
+        states'.(p) <- { st with Ssmfp.State.request = true };
+        emit states' delivered (Derived (tbl, [ p ]))
+      end)
+    states;
+  (* Protocol transitions: central daemon by default, every composite
+     distributed-daemon step under [simultaneity]. *)
+  let per_proc =
+    List.concat
+      (List.init ctx.n (fun p ->
+           match tbl.(p) with [] -> [] | actions -> [ (p, actions) ]))
+  in
+  let apply_selection sel =
+    incr moves;
+    let states' = Array.copy states in
+    let delivered' =
+      List.fold_left
+        (fun acc (p, a) ->
+          let st', events = ctx.proto.Sim.Engine.apply net p a in
+          states'.(p) <- st';
+          List.fold_left
+            (fun acc ev ->
+              match ev with
+              | Ssmfp.Protocol.Delivered m when Ssmfp.Message.is_valid m ->
+                  acc + 1
+              | _ -> acc)
+            acc events)
+        delivered sel
+    in
+    emit states' delivered' (Derived (tbl, List.map fst sel))
+  in
+  if ctx.simultaneity then List.iter apply_selection (selections per_proc)
+  else
+    List.iter
+      (fun (p, actions) ->
+        List.iter (fun a -> apply_selection [ (p, a) ]) actions)
+      per_proc;
+  !moves
+
+(* ------------------------------------------------------------------ *)
+(* Parallel chunk output                                                *)
+
+type chunk_out = {
+  c_succs : entry list;  (* discovery order *)
+  c_keys : (int * string) list;  (* (hash, key) aligned with c_succs *)
+  c_transitions : int;
+  c_duplicate : bool;
+  c_lost : string option;  (* first in chunk order *)
+  c_deadlock : string option;  (* first in chunk order *)
+}
+
+let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
+    ?(run_routing = false) ?(max_configs = 2_000_000) ?(workers = 1)
+    ?(key = Codec_keys) ~graph initials =
+  let proto = Ssmfp.Protocol.make ~variant ~run_routing graph in
+  let store = Store.create () in
+  let explored = ref 0 and transitions = ref 0 in
+  let duplicate = ref false in
+  let lost = ref None and deadlock = ref None in
+  let budget_fail () =
+    failwith
+      (Printf.sprintf
+         "Mc.check_safety: configuration budget exhausted (max_configs = %d)"
+         max_configs)
+  in
+  (* Budget discipline: a key that would become the [max_configs + 1]-th
+     entry fails *before* it is inserted or enqueued, so the bound is
+     exact. The boundary probe costs a lookup only once the store is
+     full. *)
+  let codec = Codec.create () in
+  let insert_scratch states delivered =
+    match key with
+    | Codec_keys ->
+        Codec.encode codec states ~delivered;
+        let h = Codec.hash codec in
+        let buf = Codec.raw codec and len = Codec.length codec in
+        if
+          Store.cardinal store >= max_configs
+          && not (Store.mem store ~hash:h buf ~len)
+        then budget_fail ();
+        Store.add_if_absent store ~hash:h buf ~len
+    | String_keys ->
+        let k = Codec.string_key states ~delivered in
+        let h = Codec.hash_string k in
+        if
+          Store.cardinal store >= max_configs
+          && not (Store.mem_string store ~hash:h k)
+        then budget_fail ();
+        Store.add_string_if_absent store ~hash:h k
+  in
+  let insert_extracted h k =
+    if
+      Store.cardinal store >= max_configs
+      && not (Store.mem_string store ~hash:h k)
+    then budget_fail ();
+    Store.add_string_if_absent store ~hash:h k
+  in
+  (* Roots: loss check and dedup in list order, no transition counted. *)
+  let next = ref [] in
+  List.iter
+    (fun states ->
+      (match lost_witness states 0 with
+      | Some w when !lost = None -> lost := Some w
+      | _ -> ());
+      if insert_scratch states 0 then
+        next := { e_states = states; e_delivered = 0; e_origin = Root } :: !next)
+    initials;
+  let workers = max 1 workers in
+  let fanout =
+    if workers > 1 then Some (Campaign.Pool.fanout_create ~workers) else None
+  in
+  let seq_ctx = make_ctx ~graph ~proto ~simultaneity in
+  (* One level, sequentially: successors go straight through the scratch
+     codec into the store — duplicate keys never materialize a string. *)
+  let run_level_seq level =
+    Array.iter
+      (fun entry ->
+        incr explored;
+        let moves =
+          successors seq_ctx entry ~emit:(fun states delivered origin ->
+              incr transitions;
+              if delivered >= 2 then duplicate := true;
+              (match lost_witness states delivered with
+              | Some w when !lost = None -> lost := Some w
+              | _ -> ());
+              if insert_scratch states delivered then
+                next :=
+                  { e_states = states; e_delivered = delivered;
+                    e_origin = origin }
+                  :: !next)
+        in
+        if moves = 0 && has_traffic entry.e_states && !deadlock = None then
+          deadlock := Some (render_config entry.e_states))
+      level
+  in
+  (* One level, sharded: workers emit (key, successor) pairs and local
+     counters; the merge below replays them in index order.
+
+     While a level is being generated the shared store is frozen — every
+     insertion happens in the merge, after [fanout_run] returns, and the
+     mutex handshake publishing the job orders the previous merge's
+     writes before the workers' reads — so workers probe it read-only,
+     race-free, and drop successors whose keys are already resident
+     without materializing a key string or an entry. Only within-level
+     duplicates survive to the merge, where the in-order store insertion
+     resolves them exactly as the sequential path would. *)
+  let run_level_par fanout level =
+    let len = Array.length level in
+    let chunks = min len (Campaign.Pool.fanout_workers fanout * 4) in
+    let results = Array.make chunks None in
+    let lost_known = !lost <> None in
+    Campaign.Pool.fanout_run fanout ~tasks:chunks (fun ci ->
+        let lo = len * ci / chunks and hi = len * (ci + 1) / chunks in
+        let ctx = make_ctx ~graph ~proto ~simultaneity in
+        let codec = Codec.create () in
+        let succs = ref [] and keys = ref [] in
+        let trans = ref 0 and dup = ref false in
+        let lw = ref None and dw = ref None in
+        for i = lo to hi - 1 do
+          let entry = level.(i) in
+          let moves =
+            successors ctx entry ~emit:(fun states delivered origin ->
+                incr trans;
+                if delivered >= 2 then dup := true;
+                if (not lost_known) && !lw = None then
+                  (match lost_witness states delivered with
+                  | Some w -> lw := Some w
+                  | None -> ());
+                let hk =
+                  match key with
+                  | Codec_keys ->
+                      Codec.encode codec states ~delivered;
+                      let h = Codec.hash codec in
+                      if
+                        Store.mem store ~hash:h (Codec.raw codec)
+                          ~len:(Codec.length codec)
+                      then None
+                      else Some (h, Codec.key codec)
+                  | String_keys ->
+                      let k = Codec.string_key states ~delivered in
+                      let h = Codec.hash_string k in
+                      if Store.mem_string store ~hash:h k then None
+                      else Some (h, k)
+                in
+                match hk with
+                | None -> ()
+                | Some hk ->
+                    succs :=
+                      { e_states = states; e_delivered = delivered;
+                        e_origin = origin }
+                      :: !succs;
+                    keys := hk :: !keys)
+          in
+          if moves = 0 && has_traffic entry.e_states && !dw = None then
+            dw := Some (render_config entry.e_states)
+        done;
+        results.(ci) <-
+          Some
+            {
+              c_succs = List.rev !succs;
+              c_keys = List.rev !keys;
+              c_transitions = !trans;
+              c_duplicate = !dup;
+              c_lost = !lw;
+              c_deadlock = !dw;
+            });
+    explored := !explored + len;
+    Array.iter
+      (fun r ->
+        let co = match r with Some co -> co | None -> assert false in
+        transitions := !transitions + co.c_transitions;
+        if co.c_duplicate then duplicate := true;
+        (match co.c_lost with
+        | Some w when !lost = None -> lost := Some w
+        | _ -> ());
+        (match co.c_deadlock with
+        | Some w when !deadlock = None -> deadlock := Some w
+        | _ -> ());
+        List.iter2
+          (fun entry (h, k) ->
+            if insert_extracted h k then next := entry :: !next)
+          co.c_succs co.c_keys)
+      results
+  in
+  let run () =
+    let rec loop () =
+      let level = Array.of_list (List.rev !next) in
+      next := [];
+      if Array.length level > 0 && not !duplicate then begin
+        (match fanout with
+        | Some f when Array.length level > 1 -> run_level_par f level
+        | Some _ | None -> run_level_seq level);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (match fanout with
+  | Some f -> Fun.protect ~finally:(fun () -> Campaign.Pool.fanout_close f) run
+  | None -> run ());
+  {
+    initial_count = List.length initials;
+    explored = !explored;
+    transitions = !transitions;
+    duplicate_delivery = !duplicate;
+    lost_valid = !lost;
+    deadlock = !deadlock;
+    visited = Store.stats store;
+  }

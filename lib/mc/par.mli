@@ -1,0 +1,66 @@
+(** The safety-BFS core of the SSMFP model checker: compact keys, an
+    open-addressing visited store, and a level-synchronized parallel
+    frontier.
+
+    {!Explore.check_safety} delegates here. The transition system is
+    unchanged — every enabled (processor, action) choice of the central
+    daemon branches, the higher layer raising [request_p] is itself a
+    transition, [simultaneity] adds every composite distributed-daemon
+    selection — but the frontier is processed {e level by level} so it
+    can be sharded across a {!Campaign.Pool.fanout} domain pool while
+    staying deterministic:
+
+    - workers process disjoint index ranges of the level and only read
+      shared state, each with its own scratch {!Codec.t} and dirty-set
+      arrays; successors, transition counts and first-witness candidates
+      accumulate locally;
+    - the merge walks chunk results in index order, deduplicating against
+      the shared {!Store.t} and electing first witnesses, so visited
+      counts, transition counts and witness strings are identical for any
+      worker count (and identical to the sequential path, which skips key
+      extraction for already-visited successors);
+    - a level in which a duplicate delivery is found is completed before
+      the search stops, making the stopping point schedule-independent.
+
+    The visited budget is enforced {e before} insertion: the key that
+    would become entry [max_configs + 1] raises [Failure] (message
+    ["Mc.check_safety: configuration budget exhausted (max_configs =
+    <n>)"]) without being stored or enqueued, so [max_configs] is an
+    exact bound on both the store and the frontier. *)
+
+type key_mode =
+  | String_keys
+      (** the historical string rendering ({!Codec.string_key}),
+          kept as the differential baseline *)
+  | Codec_keys  (** compact binary codec keys (default) *)
+
+type safety_report = {
+  initial_count : int;
+  explored : int;  (** distinct canonical configurations visited *)
+  transitions : int;
+  duplicate_delivery : bool;  (** true = violation found *)
+  lost_valid : string option;
+      (** a configuration where the generated valid message vanished
+          undelivered, if one is reachable *)
+  deadlock : string option;  (** a rendering of a stuck configuration *)
+  visited : Store.stats;
+      (** resident footprint of the visited set at the end of the
+          search *)
+}
+
+val check_safety :
+  ?variant:Ssmfp.Protocol.variant ->
+  ?simultaneity:bool ->
+  ?run_routing:bool ->
+  ?max_configs:int ->
+  ?workers:int ->
+  ?key:key_mode ->
+  graph:Topology.Graph.t ->
+  Ssmfp.State.t array list ->
+  safety_report
+(** BFS over the union of reachable spaces from the given initial
+    configurations. [workers] (default 1) shards each frontier level
+    across that many domains (helpers are spawned once and parked between
+    levels); every report field is independent of [workers]. [key]
+    selects the visited-set representation. [max_configs] defaults to
+    2_000_000; exceeding it raises [Failure] as described above. *)

@@ -1,0 +1,134 @@
+(* Open-addressing visited set specialized for codec keys.
+
+   Linear probing over two parallel arrays: [hashes] (0 = empty slot,
+   hashes are normalized to be nonzero) and [keys]. Lookups compare the
+   inline hash first — a 63-bit fingerprint — and touch the key bytes
+   only on a hash match, so a probe over a displaced cluster costs one
+   int comparison per slot. Membership tests take the candidate key as a
+   [Bytes] scratch (the codec's buffer): the key is copied into an
+   immutable string only when it is actually inserted. *)
+
+type t = {
+  mutable hashes : int array;
+  mutable keys : string array;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+  mutable key_bytes : int;
+}
+
+type stats = {
+  entries : int;
+  capacity : int;
+  key_bytes : int;
+  table_bytes : int;
+  load : float;
+}
+
+let norm h = if h = 0 then 1 else h
+
+let rec power_of_two n c = if c >= n then c else power_of_two n (c * 2)
+
+let create ?(capacity = 4096) () =
+  let cap = power_of_two (max 16 capacity) 16 in
+  {
+    hashes = Array.make cap 0;
+    keys = Array.make cap "";
+    mask = cap - 1;
+    count = 0;
+    key_bytes = 0;
+  }
+
+let cardinal t = t.count
+
+let stats t =
+  let capacity = t.mask + 1 in
+  {
+    entries = t.count;
+    capacity;
+    key_bytes = t.key_bytes;
+    table_bytes = capacity * 2 * (Sys.word_size / 8);
+    load = float_of_int t.count /. float_of_int capacity;
+  }
+
+(* Does the stored key equal the first [len] bytes of [buf]? *)
+let key_matches key buf len =
+  String.length key = len
+  &&
+  let rec go i =
+    i >= len || (String.unsafe_get key i = Bytes.unsafe_get buf i && go (i + 1))
+  in
+  go 0
+
+let insert_fresh t h key =
+  let rec probe i =
+    if t.hashes.(i) = 0 then begin
+      t.hashes.(i) <- h;
+      t.keys.(i) <- key
+    end
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let grow t =
+  let old_hashes = t.hashes and old_keys = t.keys in
+  let cap = (t.mask + 1) * 2 in
+  t.hashes <- Array.make cap 0;
+  t.keys <- Array.make cap "";
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i h -> if h <> 0 then insert_fresh t h old_keys.(i))
+    old_hashes
+
+let record_insert t i h key len =
+  t.hashes.(i) <- h;
+  t.keys.(i) <- key;
+  t.count <- t.count + 1;
+  t.key_bytes <- t.key_bytes + len;
+  (* grow at 3/4 load so fingerprint-first probes stay short *)
+  if t.count * 4 > (t.mask + 1) * 3 then grow t
+
+let mem t ~hash buf ~len =
+  let h = norm hash in
+  let rec probe i =
+    let hi = t.hashes.(i) in
+    if hi = 0 then false
+    else if hi = h && key_matches t.keys.(i) buf len then true
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let add_if_absent t ~hash buf ~len =
+  let h = norm hash in
+  let rec probe i =
+    let hi = t.hashes.(i) in
+    if hi = 0 then begin
+      record_insert t i h (Bytes.sub_string buf 0 len) len;
+      true
+    end
+    else if hi = h && key_matches t.keys.(i) buf len then false
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let mem_string t ~hash key =
+  let h = norm hash in
+  let rec probe i =
+    let hi = t.hashes.(i) in
+    if hi = 0 then false
+    else if hi = h && String.equal t.keys.(i) key then true
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let add_string_if_absent t ~hash key =
+  let h = norm hash in
+  let rec probe i =
+    let hi = t.hashes.(i) in
+    if hi = 0 then begin
+      record_insert t i h key (String.length key);
+      true
+    end
+    else if hi = h && String.equal t.keys.(i) key then false
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)

@@ -1,0 +1,48 @@
+(** Open-addressing visited set for model-checker keys.
+
+    A hash set specialized for the BFS visited table: linear probing over
+    two parallel power-of-two arrays holding the (nonzero-normalized)
+    64-bit hash inline next to the key. Lookups compare the inline hash
+    first and touch key bytes only on a fingerprint match; insertion from
+    a {!Codec.t} scratch buffer copies the key into an immutable string
+    only when it is genuinely new. Grows by doubling at 3/4 load.
+
+    Replaces the [Hashtbl.t] visited tables of {!Explore} and {!Generic}:
+    no bucket lists, no per-lookup allocation, and {!stats} reports the
+    resident footprint so the checker can expose memory alongside
+    throughput. *)
+
+type t
+
+type stats = {
+  entries : int;  (** distinct keys stored *)
+  capacity : int;  (** slots allocated (power of two) *)
+  key_bytes : int;  (** total bytes of stored key payloads *)
+  table_bytes : int;
+      (** bytes of the two slot arrays (hash word + key pointer per
+          slot) — the table's own footprint, excluding key payloads *)
+  load : float;  (** [entries / capacity], kept below 0.75 *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** An empty store. [capacity] (default 4096) is rounded up to a power of
+    two, minimum 16. *)
+
+val cardinal : t -> int
+(** Number of distinct keys stored. *)
+
+val stats : t -> stats
+
+val mem : t -> hash:int -> Bytes.t -> len:int -> bool
+(** Is the key given by the first [len] bytes of the scratch present?
+    [hash] must be the key's {!Codec.hash}. Never allocates. *)
+
+val add_if_absent : t -> hash:int -> Bytes.t -> len:int -> bool
+(** Insert the key if absent; [true] iff it was inserted. Copies the
+    scratch bytes into an owned string only on insertion. *)
+
+val mem_string : t -> hash:int -> string -> bool
+(** {!mem} for string keys ({!Codec.hash_string} hashes). *)
+
+val add_string_if_absent : t -> hash:int -> string -> bool
+(** {!add_if_absent} for string keys; stores the string itself. *)

@@ -59,6 +59,12 @@ type ('s, 'a, 'e) t = {
      once between state writes (from [cand_tbl] in incremental mode, by a
      full guard sweep in full-sweep mode). Invalidated by every write. *)
   mutable cands_cache : 'a candidate list option;
+  (* Selection-validation scratch, reset between steps: [sel_offered.(p)]
+     holds p's offered actions while a daemon selection is being checked,
+     [sel_seen.(p)] marks processors already selected. Engine-owned so a
+     step validates without allocating lookup tables. *)
+  sel_offered : 'a list option array;
+  sel_seen : bool array;
   mutable probe : probe option;
   (* Move counter at the start of the current round, for per-round move
      counts reported through [probe.on_round]. *)
@@ -212,6 +218,8 @@ let make ?(mode = Incremental) ~graph ~protocol init =
       cand_tbl = Array.make n [];
       dirty_mark = Array.make n false;
       cands_cache = None;
+      sel_offered = Array.make n None;
+      sel_seen = Array.make n false;
       probe = None;
       round_move_mark = 0;
     }
@@ -242,17 +250,29 @@ let candidates t = current_cands t
 
 let is_terminal t = current_cands t = []
 
-let check_selection cands selection =
+(* Validate a daemon selection against the offered candidates using the
+   engine's scratch arrays — no lookup-table allocation per step. The
+   scratch is restored to all-None/all-false on every exit, including a
+   raised [Invalid_selection], so a caught misbehaving daemon leaves the
+   engine reusable. *)
+let check_selection t cands selection =
   if selection = [] then
     raise (Invalid_selection "daemon returned an empty selection");
-  let offered = Hashtbl.create 16 in
-  List.iter (fun c -> Hashtbl.replace offered c.cand_pid c.cand_actions) cands;
-  let seen = Hashtbl.create 16 in
+  let n = Array.length t.sel_seen in
+  List.iter (fun c -> t.sel_offered.(c.cand_pid) <- Some c.cand_actions) cands;
+  let cleanup () =
+    List.iter (fun c -> t.sel_offered.(c.cand_pid) <- None) cands;
+    List.iter
+      (fun (p, _) -> if p >= 0 && p < n then t.sel_seen.(p) <- false)
+      selection
+  in
   let check (p, a) =
-    if Hashtbl.mem seen p then
+    if p < 0 || p >= n then
+      raise (Invalid_selection (Printf.sprintf "processor %d is not enabled" p));
+    if t.sel_seen.(p) then
       raise (Invalid_selection (Printf.sprintf "processor %d selected twice" p));
-    Hashtbl.replace seen p ();
-    match Hashtbl.find_opt offered p with
+    t.sel_seen.(p) <- true;
+    match t.sel_offered.(p) with
     | None ->
         raise
           (Invalid_selection (Printf.sprintf "processor %d is not enabled" p))
@@ -265,14 +285,18 @@ let check_selection cands selection =
             (Invalid_selection
                (Printf.sprintf "action not offered by processor %d" p))
   in
-  List.iter check selection
+  match List.iter check selection with
+  | () -> cleanup ()
+  | exception e ->
+      cleanup ();
+      raise e
 
 let step t daemon =
   match current_cands t with
   | [] -> None
   | cands ->
       let selection = daemon ~step:t.steps cands in
-      check_selection cands selection;
+      check_selection t cands selection;
       (* Composite atomicity: evaluate every chosen action against the
          pre-step configuration, then commit all writes at once. *)
       let updates =

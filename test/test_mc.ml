@@ -94,8 +94,9 @@ let test_budget_guard () =
   let sc = Mc.Explore.two_chain in
   let inits = Mc.Explore.enumerate_initials sc in
   Alcotest.check_raises "budget"
-    (Failure "Explore.check_safety: configuration budget exhausted") (fun () ->
-      ignore (Mc.Explore.check_safety ~max_configs:10 sc inits))
+    (Failure
+       "Mc.check_safety: configuration budget exhausted (max_configs = 10)")
+    (fun () -> ignore (Mc.Explore.check_safety ~max_configs:10 sc inits))
 
 let test_sample_within_enumeration_space () =
   let sc = Mc.Explore.two_chain in

@@ -1,0 +1,323 @@
+(* Tests for the model-checker core: the compact binary codec, the
+   open-addressing visited store, and the parallel exploration driver.
+   The codec and the parallel driver are only trustworthy if they are
+   *observationally identical* to the historical string-keyed sequential
+   search, so most of these tests are differential. *)
+
+let two = Mc.Explore.two_chain
+let three = Mc.Explore.three_chain
+
+(* A mixed bag of configurations: sampled initials (correct routing) and
+   corrupted-routing initials, so the codec sees routing-table variety
+   too. *)
+let sample_configs count =
+  Mc.Explore.sample_initials (Prng.Splitmix.of_int 101) ~count two
+  @ Mc.Explore.sample_initials_corrupted (Prng.Splitmix.of_int 102) ~count two
+
+(* --------------- codec --------------- *)
+
+(* Codec keys and string keys must induce the same partition: two
+   (configuration, delivered) pairs collide under the codec iff they
+   collide under the string rendering. *)
+let test_codec_partition () =
+  let enc = Mc.Codec.create () in
+  let keyed =
+    List.concat_map
+      (fun states ->
+        List.map
+          (fun d ->
+            Mc.Codec.encode enc states ~delivered:d;
+            (Mc.Codec.key enc, Mc.Codec.string_key states ~delivered:d))
+          [ 0; 1; 2 ])
+      (sample_configs 80)
+  in
+  List.iter
+    (fun (ck, sk) ->
+      List.iter
+        (fun (ck', sk') ->
+          Alcotest.(check bool)
+            "codec and string keys agree on equality" (String.equal sk sk')
+            (String.equal ck ck'))
+        keyed)
+    keyed
+
+let test_codec_deterministic () =
+  let enc = Mc.Codec.create () and enc' = Mc.Codec.create () in
+  List.iter
+    (fun states ->
+      Mc.Codec.encode enc states ~delivered:1;
+      Mc.Codec.encode enc' states ~delivered:1;
+      let k = Mc.Codec.key enc in
+      Alcotest.(check string) "two encoders, same key" k (Mc.Codec.key enc');
+      Alcotest.(check int) "two encoders, same hash" (Mc.Codec.hash enc)
+        (Mc.Codec.hash enc');
+      (* the incremental hash matches the one-shot string hash *)
+      Alcotest.(check int) "incremental hash = hash of key bytes"
+        (Mc.Codec.hash_string k) (Mc.Codec.hash enc);
+      (* re-encoding reuses the scratch and reproduces the key *)
+      Mc.Codec.encode enc states ~delivered:1;
+      Alcotest.(check string) "re-encode reproduces the key" k
+        (Mc.Codec.key enc))
+    (sample_configs 20)
+
+let test_codec_sensitivity () =
+  let g = two.Mc.Explore.graph in
+  let states = Array.init 2 (fun p -> Ssmfp.State.clean g p) in
+  let enc = Mc.Codec.create () in
+  let key_of states d =
+    Mc.Codec.encode enc states ~delivered:d;
+    Mc.Codec.key enc
+  in
+  let base = key_of states 0 in
+  (* every canonical field flips the key... *)
+  let flipped = Array.map Fun.id states in
+  flipped.(0) <- { flipped.(0) with Ssmfp.State.request = true };
+  Alcotest.(check bool) "request flag changes the key" false
+    (String.equal base (key_of flipped 0));
+  let planted = Array.map Fun.id states in
+  let slot = Ssmfp.State.slot planted.(0) 1 in
+  planted.(0) <-
+    Ssmfp.State.with_slot planted.(0) 1
+      {
+        slot with
+        Ssmfp.State.buf_r =
+          Some (Ssmfp.Message.fresh_invalid ~at:0 ~last:1 ~color:2 "x");
+      };
+  Alcotest.(check bool) "buffer occupancy changes the key" false
+    (String.equal base (key_of planted 0));
+  Alcotest.(check bool) "delivery counter changes the key" false
+    (String.equal base (key_of states 1));
+  (* ...but the counter is clamped at 2 (past 2 nothing new can happen) *)
+  Alcotest.(check string) "delivered clamped at 2" (key_of states 2)
+    (key_of states 5);
+  (* and the rr cursor is canonicalized away *)
+  let rotated = Array.map Fun.id states in
+  rotated.(0) <- Ssmfp.State.with_rr rotated.(0) 1;
+  Alcotest.(check string) "rr cursor is not part of the key" base
+    (key_of rotated 0)
+
+(* --------------- store --------------- *)
+
+let test_store_grow () =
+  let s = Mc.Store.create ~capacity:16 () in
+  for i = 0 to 4_999 do
+    let k = "key-" ^ string_of_int i in
+    Alcotest.(check bool) "fresh key inserted" true
+      (Mc.Store.add_string_if_absent s ~hash:(Mc.Codec.hash_string k) k)
+  done;
+  Alcotest.(check int) "cardinal" 5_000 (Mc.Store.cardinal s);
+  for i = 0 to 4_999 do
+    let k = "key-" ^ string_of_int i in
+    Alcotest.(check bool) "still present after growth" true
+      (Mc.Store.mem_string s ~hash:(Mc.Codec.hash_string k) k);
+    Alcotest.(check bool) "duplicate rejected" false
+      (Mc.Store.add_string_if_absent s ~hash:(Mc.Codec.hash_string k) k)
+  done;
+  Alcotest.(check bool) "absent key" false
+    (Mc.Store.mem_string s ~hash:(Mc.Codec.hash_string "key-5000") "key-5000");
+  let st = Mc.Store.stats s in
+  Alcotest.(check int) "stats entries" 5_000 st.Mc.Store.entries;
+  Alcotest.(check bool) "load below 3/4" true (st.Mc.Store.load <= 0.75);
+  Alcotest.(check bool) "capacity is a power of two" true
+    (st.Mc.Store.capacity land (st.Mc.Store.capacity - 1) = 0);
+  let expected_bytes =
+    List.fold_left
+      (fun acc i -> acc + String.length ("key-" ^ string_of_int i))
+      0
+      (List.init 5_000 Fun.id)
+  in
+  Alcotest.(check int) "key bytes accounted" expected_bytes
+    st.Mc.Store.key_bytes
+
+let test_store_collisions () =
+  (* distinct keys forced onto one fingerprint must coexist (the store
+     compares bytes after the fingerprint matches) *)
+  let s = Mc.Store.create ~capacity:16 () in
+  let h = 42 in
+  Alcotest.(check bool) "first" true (Mc.Store.add_string_if_absent s ~hash:h "a");
+  Alcotest.(check bool) "second, same hash" true
+    (Mc.Store.add_string_if_absent s ~hash:h "b");
+  Alcotest.(check bool) "third, same hash" true
+    (Mc.Store.add_string_if_absent s ~hash:h "c");
+  Alcotest.(check bool) "a member" true (Mc.Store.mem_string s ~hash:h "a");
+  Alcotest.(check bool) "b member" true (Mc.Store.mem_string s ~hash:h "b");
+  Alcotest.(check bool) "d absent" false (Mc.Store.mem_string s ~hash:h "d");
+  Alcotest.(check int) "three entries" 3 (Mc.Store.cardinal s);
+  (* hash 0 is the empty sentinel; the store must normalize it away *)
+  Alcotest.(check bool) "hash 0 insert" true
+    (Mc.Store.add_string_if_absent s ~hash:0 "zero");
+  Alcotest.(check bool) "hash 0 member" true
+    (Mc.Store.mem_string s ~hash:0 "zero")
+
+let test_store_bytes_frontend () =
+  let s = Mc.Store.create () in
+  let enc = Mc.Codec.create () in
+  List.iter
+    (fun states ->
+      Mc.Codec.encode enc states ~delivered:0;
+      let hash = Mc.Codec.hash enc
+      and raw = Mc.Codec.raw enc
+      and len = Mc.Codec.length enc in
+      let fresh = not (Mc.Store.mem s ~hash raw ~len) in
+      Alcotest.(check bool) "add agrees with mem" fresh
+        (Mc.Store.add_if_absent s ~hash raw ~len);
+      Alcotest.(check bool) "present after add" true
+        (Mc.Store.mem s ~hash raw ~len);
+      (* the string front-end sees the same key *)
+      Alcotest.(check bool) "string view present" true
+        (Mc.Store.mem_string s ~hash (Mc.Codec.key enc)))
+    (sample_configs 30)
+
+(* --------------- differential exploration --------------- *)
+
+let check_reports_equal ?(stats = false) label (a : Mc.Explore.safety_report)
+    (b : Mc.Explore.safety_report) =
+  Alcotest.(check int) (label ^ ": initial_count") a.Mc.Explore.initial_count
+    b.Mc.Explore.initial_count;
+  Alcotest.(check int) (label ^ ": explored") a.Mc.Explore.explored
+    b.Mc.Explore.explored;
+  Alcotest.(check int) (label ^ ": transitions") a.Mc.Explore.transitions
+    b.Mc.Explore.transitions;
+  Alcotest.(check bool) (label ^ ": duplicate") a.Mc.Explore.duplicate_delivery
+    b.Mc.Explore.duplicate_delivery;
+  Alcotest.(check (option string)) (label ^ ": lost") a.Mc.Explore.lost_valid
+    b.Mc.Explore.lost_valid;
+  Alcotest.(check (option string)) (label ^ ": deadlock") a.Mc.Explore.deadlock
+    b.Mc.Explore.deadlock;
+  Alcotest.(check int) (label ^ ": visited entries")
+    a.Mc.Explore.visited.Mc.Store.entries b.Mc.Explore.visited.Mc.Store.entries;
+  if stats then begin
+    Alcotest.(check int) (label ^ ": visited capacity")
+      a.Mc.Explore.visited.Mc.Store.capacity
+      b.Mc.Explore.visited.Mc.Store.capacity;
+    Alcotest.(check int) (label ^ ": visited key bytes")
+      a.Mc.Explore.visited.Mc.Store.key_bytes
+      b.Mc.Explore.visited.Mc.Store.key_bytes
+  end
+
+(* String keys and codec keys must visit the *same* state space: same
+   visited count, same transition count, same verdicts. *)
+let test_differential_keys () =
+  let cases =
+    [
+      ( "2chain",
+        two,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:300 two,
+        false );
+      ( "3chain",
+        three,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:100 three,
+        false );
+      ( "2chain-simultaneity",
+        two,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 6) ~count:100 two,
+        true );
+    ]
+  in
+  List.iter
+    (fun (label, sc, inits, simultaneity) ->
+      let s =
+        Mc.Explore.check_safety ~simultaneity ~key:Mc.Par.String_keys sc inits
+      in
+      let c =
+        Mc.Explore.check_safety ~simultaneity ~key:Mc.Par.Codec_keys sc inits
+      in
+      check_reports_equal label s c;
+      Alcotest.(check bool) (label ^ ": verdict clean") false
+        (c.Mc.Explore.duplicate_delivery
+        || c.Mc.Explore.lost_valid <> None
+        || c.Mc.Explore.deadlock <> None))
+    cases
+
+(* The report must be byte-identical for any worker count, including the
+   visited-store footprint. *)
+let test_workers_determinism () =
+  let cases =
+    [
+      ( "3chain",
+        three,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:150 three,
+        false );
+      ( "2chain-simultaneity",
+        two,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 7) ~count:80 two,
+        true );
+    ]
+  in
+  List.iter
+    (fun (label, sc, inits, simultaneity) ->
+      let w1 = Mc.Explore.check_safety ~simultaneity ~workers:1 sc inits in
+      let w2 = Mc.Explore.check_safety ~simultaneity ~workers:2 sc inits in
+      let w4 = Mc.Explore.check_safety ~simultaneity ~workers:4 sc inits in
+      check_reports_equal ~stats:true (label ^ " w1=w2") w1 w2;
+      check_reports_equal ~stats:true (label ^ " w1=w4") w1 w4)
+    cases
+
+(* A violation's witness must also be schedule-independent: the literal-R5
+   loss found with 4 workers is the one found sequentially. *)
+let test_workers_witness_determinism () =
+  let inits = Mc.Explore.enumerate_initials two in
+  let variant =
+    { Ssmfp.Protocol.faithful with Ssmfp.Protocol.literal_r5 = true }
+  in
+  let w1 = Mc.Explore.check_safety ~variant ~workers:1 two inits in
+  let w4 = Mc.Explore.check_safety ~variant ~workers:4 two inits in
+  Alcotest.(check bool) "loss found" true (w1.Mc.Explore.lost_valid <> None);
+  check_reports_equal ~stats:true "literal-r5 w1=w4" w1 w4
+
+(* The budget is exact: a search of E configurations succeeds with
+   max_configs = E and fails with E - 1, naming the budget. *)
+let test_budget_exact () =
+  let inits = Mc.Explore.sample_initials (Prng.Splitmix.of_int 9) ~count:20 two in
+  let r = Mc.Explore.check_safety two inits in
+  let e = r.Mc.Explore.explored in
+  let at_budget = Mc.Explore.check_safety ~max_configs:e two inits in
+  Alcotest.(check int) "budget = explored succeeds" e
+    at_budget.Mc.Explore.explored;
+  Alcotest.check_raises "budget - 1 fails"
+    (Failure
+       (Printf.sprintf
+          "Mc.check_safety: configuration budget exhausted (max_configs = %d)"
+          (e - 1)))
+    (fun () -> ignore (Mc.Explore.check_safety ~max_configs:(e - 1) two inits));
+  (* same exactness under string keys and under workers > 1 *)
+  Alcotest.check_raises "budget - 1 fails (string keys)"
+    (Failure
+       (Printf.sprintf
+          "Mc.check_safety: configuration budget exhausted (max_configs = %d)"
+          (e - 1)))
+    (fun () ->
+      ignore
+        (Mc.Explore.check_safety ~max_configs:(e - 1) ~key:Mc.Par.String_keys
+           two inits))
+
+let () =
+  Alcotest.run "mc_core"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "codec/string partition agreement" `Quick
+            test_codec_partition;
+          Alcotest.test_case "deterministic keys and hashes" `Quick
+            test_codec_deterministic;
+          Alcotest.test_case "field sensitivity and clamping" `Quick
+            test_codec_sensitivity;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "growth under 5000 keys" `Quick test_store_grow;
+          Alcotest.test_case "forced collisions" `Quick test_store_collisions;
+          Alcotest.test_case "bytes scratch front-end" `Quick
+            test_store_bytes_frontend;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "string vs codec differential" `Slow
+            test_differential_keys;
+          Alcotest.test_case "workers 1/2/4 determinism" `Slow
+            test_workers_determinism;
+          Alcotest.test_case "witness determinism (literal R5)" `Slow
+            test_workers_witness_determinism;
+          Alcotest.test_case "exact budget boundary" `Quick test_budget_exact;
+        ] );
+    ]
