@@ -453,6 +453,33 @@ let run_b3 () =
   let rc1, sc1 = timed Mc.Par.Codec_keys 1 in
   let rc2, sc2 = timed Mc.Par.Codec_keys 2 in
   let rc4, sc4 = timed Mc.Par.Codec_keys 4 in
+  (* The same 4-worker search with profiling on: the report must not
+     move, and the per-worker phase breakdown (expand/barrier/merge)
+     lands in the BENCH json — the observability the negative-scaling
+     investigation runs on. *)
+  let prof = Obs.Prof.create ~tracks:4 () in
+  let t0 = Unix.gettimeofday () in
+  let rp = Mc.Explore.check_safety ~key:Mc.Par.Codec_keys ~workers:4 ~prof sc inits in
+  let sp4 = Unix.gettimeofday () -. t0 in
+  let phase_notes =
+    let ms ns = float_of_int ns /. 1e6 in
+    let sp_expand = Obs.Prof.span prof "mc.expand" in
+    let sp_barrier = Obs.Prof.span prof "mc.barrier" in
+    let sp_merge = Obs.Prof.span prof "mc.merge" in
+    let c_configs = Obs.Prof.counter prof "mc.configs" in
+    List.init 4 (fun w ->
+        Printf.sprintf
+          "worker %d: expand %.1f ms, barrier-wait %.1f ms, %d configs" w
+          (ms (Obs.Prof.span_total prof ~track:w sp_expand))
+          (ms (Obs.Prof.span_total prof ~track:w sp_barrier))
+          (Obs.Prof.counter_value prof ~track:w c_configs))
+    @ [
+        Printf.sprintf "merge (track 0): %.1f ms"
+          (ms (Obs.Prof.span_total prof ~track:0 sp_merge));
+        Printf.sprintf "attribution: %.1f%% of wall-clock in named spans"
+          (Obs.Traceview.attribution_pct prof);
+      ]
+  in
   let speedup = throughput rc1 sc1 /. throughput rs ss in
   let entry id title seconds ok notes =
     List.iter (fun s -> Harness.Report.note (Printf.sprintf "%s %s" id s)) notes;
@@ -481,6 +508,105 @@ let run_b3 () =
       (reports_agree rc1 rc4
       && resident rc4 = resident rc1)
       [ line rc4 sc4; "gate: report identical to 1 worker" ];
+    entry "b3-codec-w4-prof"
+      "B3: mc search, codec keys, 4 workers, profiling on (3chain)" sp4
+      (reports_agree rc1 rp)
+      (line rp sp4 :: "gate: report identical with profiling enabled"
+       :: phase_notes);
+  ]
+
+(* BOBS: the disabled-instrumentation overhead gate. The same
+   incremental step-throughput loop as B1 (ring:128, round-robin daemon,
+   adversarial start), run plain and run with a per-step
+   now/record/add against Obs.Prof.disabled — the densest plausible
+   instrumentation at a call site that is pure hot path. Best of 7
+   interleaved repetitions each (noise only ever adds time, so the
+   minimum is the robust estimator at ~100 ms granularity); the gate is
+   instrumented <= 1.03x plain, the "safe to leave compiled in"
+   contract from DESIGN.md §10. *)
+let run_bobs () =
+  Harness.Report.section
+    "BOBS: disabled-profiling overhead gate (b1 step loop, ring:128)";
+  let g = Topology.Builders.ring 128 in
+  let n = Topology.Graph.n g in
+  let proto = Ssmfp.Protocol.make ~run_routing:true g in
+  let wl =
+    Harness.Workload.uniform_random (Prng.Splitmix.of_int 11) ~n
+      ~per_processor:2
+  in
+  let steps = 500 in
+  let prof = Obs.Prof.disabled in
+  let tr = Obs.Prof.track prof 0 in
+  let sp_step = Obs.Prof.span prof "bobs.step" in
+  let c_steps = Obs.Prof.counter prof "bobs.steps" in
+  let run_once ~instrumented =
+    let fault_rng = Prng.Splitmix.of_int 12 in
+    let t =
+      Sim.Engine.make ~mode:Sim.Engine.Incremental ~graph:g ~protocol:proto
+        (fun p ->
+          Harness.Fault.initial_states ~rng:fault_rng
+            Harness.Fault.adversarial g ~workload:wl p)
+    in
+    let daemon = Sim.Daemon.round_robin () in
+    let raise_requests () =
+      Topology.Graph.iter_vertices
+        (fun p ->
+          let st = Sim.Engine.state t p in
+          if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then
+            Sim.Engine.set_state t p { st with Ssmfp.State.request = true })
+        g
+    in
+    let t0 = Unix.gettimeofday () in
+    (try
+       for _ = 1 to steps do
+         raise_requests ();
+         if instrumented then begin
+           let s0 = Obs.Prof.now prof in
+           (match Sim.Engine.step t daemon with
+           | None -> raise Exit
+           | Some _ -> ());
+           Obs.Prof.record tr sp_step ~start:s0;
+           Obs.Prof.add tr c_steps 1
+         end
+         else
+           match Sim.Engine.step t daemon with
+           | None -> raise Exit
+           | Some _ -> ()
+       done
+     with Exit -> ());
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm both paths once, then interleave the measured repetitions so
+     slow drift (thermal, page cache) hits both sides equally. *)
+  ignore (run_once ~instrumented:false);
+  ignore (run_once ~instrumented:true);
+  let reps = 7 in
+  let plain = ref [] and instr = ref [] in
+  for _ = 1 to reps do
+    plain := run_once ~instrumented:false :: !plain;
+    instr := run_once ~instrumented:true :: !instr
+  done;
+  let best l = List.fold_left min infinity l in
+  let p = best !plain and i = best !instr in
+  let ratio = i /. p in
+  let ok = ratio <= 1.03 in
+  let notes =
+    [
+      Printf.sprintf "plain: %.1f ms best of %d" (p *. 1000.) reps;
+      Printf.sprintf "instrumented-disabled: %.1f ms best of %d" (i *. 1000.)
+        reps;
+      Printf.sprintf "ratio: %.3fx (gate <= 1.030x)" ratio;
+    ]
+  in
+  List.iter (fun s -> Harness.Report.note ("bobs " ^ s)) notes;
+  [
+    {
+      id = "bobs";
+      title = "BOBS: disabled-profiling overhead on the b1 step loop";
+      seconds = p +. i;
+      ok;
+      notes;
+    };
   ]
 
 (* Drain curve: how the buffered-message population falls while the
@@ -651,6 +777,7 @@ let () =
   if want "b1" then timings := !timings @ run_b1 ();
   if want "b2" then timings := !timings @ run_b2 ();
   if want "b3" then timings := !timings @ run_b3 ();
+  if want "bobs" then timings := !timings @ run_bobs ();
   if want "figures" then run_figures ();
   if want "charts" then begin
     run_charts ();

@@ -31,6 +31,44 @@ let topology_arg =
     & info [ "t"; "topology" ] ~docv:"TOPOLOGY"
         ~doc:"Network: ring:8, path:5, star:6, grid:3x4, random:12:6, fig2, ...")
 
+(* ---------------- profiling options ---------------- *)
+
+(* Shared by mc/chaos/campaign: --profile writes a Chrome trace-event
+   JSON (one lane per domain, loadable in Perfetto), --prof-summary
+   prints the text report. Either one turns the profiler on. *)
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON trace to $(docv) — load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing. One lane per \
+           domain, counters as value tracks.")
+
+let prof_summary_arg =
+  Arg.(
+    value & flag
+    & info [ "prof-summary" ]
+        ~doc:
+          "Print a profiling report: per-span totals, per-domain busy \
+           time, counters, histogram digests and the wall-clock \
+           attribution figure.")
+
+let make_prof ~profile ~prof_summary ~tracks =
+  if profile <> None || prof_summary then Obs.Prof.create ~tracks ()
+  else Obs.Prof.disabled
+
+let emit_prof ~profile ~prof_summary prof =
+  if Obs.Prof.enabled prof then begin
+    (match profile with
+    | Some path ->
+        Obs.Traceview.write_file path prof;
+        Printf.printf "trace       : %s\n" path
+    | None -> ());
+    if prof_summary then print_string (Obs.Traceview.summary prof)
+  end
+
 (* ---------------- run command ---------------- *)
 
 let corruption_conv =
@@ -203,10 +241,19 @@ let run_cmd =
     in
     let obs =
       if json_file <> None || journal_file <> None then
-        Some (Obs.Sink.create ~with_journal:(journal_file <> None) ())
+        Some
+          (Obs.Sink.create
+             ~with_journal:(journal_file <> None)
+             ?journal_path:journal_file ())
       else None
     in
-    let r = Harness.Runner.run ?obs cfg in
+    (* Stream the journal: every event hits disk as it is recorded, and
+       the [finally] close means an aborted run keeps a partial JSONL. *)
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Obs.Sink.close obs)
+        (fun () -> Harness.Runner.run ?obs cfg)
+    in
     Printf.printf "topology    : %s (n=%d, Δ=%d, D=%d)\n" name n
       (Topology.Graph.max_degree graph)
       (Topology.Metrics.diameter graph);
@@ -240,7 +287,6 @@ let run_cmd =
     try
       (match (journal_file, Option.map Obs.Sink.journal obs) with
       | Some path, Some (Some j) ->
-          Obs.Journal.write_jsonl path j;
           Printf.printf "journal     : %d events -> %s\n" (Obs.Journal.length j)
             path
       | _ -> ());
@@ -517,7 +563,7 @@ let mc_cmd =
             "Visited-set keys: codec (compact binary, default) or string \
              (the historical rendering, kept as differential baseline).")
   in
-  let run scenario samples workers stats key =
+  let run scenario samples workers stats key profile prof_summary =
     let sc, inits =
       match scenario with
       | `Two ->
@@ -528,7 +574,8 @@ let mc_cmd =
           (sc, Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:samples sc)
     in
     Printf.printf "initial configurations: %d\n%!" (List.length inits);
-    let sr = Mc.Explore.check_safety ~workers ~key sc inits in
+    let prof = make_prof ~profile ~prof_summary ~tracks:(max 1 workers) in
+    let sr = Mc.Explore.check_safety ~workers ~key ~prof sc inits in
     Printf.printf "safety: %d configurations, %d transitions\n"
       sr.Mc.Explore.explored sr.Mc.Explore.transitions;
     Printf.printf "  duplicate delivery: %b\n" sr.Mc.Explore.duplicate_delivery;
@@ -543,6 +590,9 @@ let mc_cmd =
         v.Mc.Store.entries v.Mc.Store.key_bytes v.Mc.Store.table_bytes
         v.Mc.Store.load
     end;
+    (* Emit the trace before liveness: the spans cover the safety search,
+       and a liveness failure should not lose the artifact. *)
+    emit_prof ~profile ~prof_summary prof;
     let lr = Mc.Explore.check_liveness sc inits in
     Printf.printf "liveness: %d runs, worst %d steps, %d failures\n"
       lr.Mc.Explore.checked lr.Mc.Explore.max_steps_seen
@@ -560,7 +610,9 @@ let mc_cmd =
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"Model-check SP on small networks.")
-    Term.(const run $ scenario $ samples $ workers $ stats $ key)
+    Term.(
+      const run $ scenario $ samples $ workers $ stats $ key $ profile_arg
+      $ prof_summary_arg)
 
 (* ---------------- chaos command ---------------- *)
 
@@ -707,7 +759,8 @@ let chaos_cmd =
     Printf.printf "summary     : %s\n" path
   in
   let run (name, graph) schedule model (spec_name, spec) daemon seed messages
-      aftermath channel_garbage max_steps json_file journal_file =
+      aftermath channel_garbage max_steps json_file journal_file profile
+      prof_summary =
     let n = Topology.Graph.n graph in
     let rng = Prng.Splitmix.of_int (seed + 7919) in
     let workload =
@@ -718,6 +771,7 @@ let chaos_cmd =
       (Topology.Metrics.diameter graph);
     Printf.printf "schedule    : %s\n" (Chaos.Schedule.to_string schedule);
     Printf.printf "corruption  : %s\n" spec_name;
+    let prof = make_prof ~profile ~prof_summary ~tracks:1 in
     try
       match model with
       | `State ->
@@ -726,10 +780,19 @@ let chaos_cmd =
           in
           let obs =
             if json_file <> None || journal_file <> None then
-              Some (Obs.Sink.create ~with_journal:(journal_file <> None) ())
+              Some
+                (Obs.Sink.create
+                   ~with_journal:(journal_file <> None)
+                   ?journal_path:journal_file ())
             else None
           in
-          let o = Chaos.Runner.run ?obs ~aftermath ~schedule cfg in
+          (* The journal streams to disk as events are recorded; closing
+             in a [finally] means a crashed run keeps its partial JSONL. *)
+          let o =
+            Fun.protect
+              ~finally:(fun () -> Option.iter Obs.Sink.close obs)
+              (fun () -> Chaos.Runner.run ?obs ~prof ~aftermath ~schedule cfg)
+          in
           let r = o.Chaos.Runner.run in
           Printf.printf "model       : state (%s daemon)\n"
             (Harness.Runner.daemon_kind_to_string daemon);
@@ -760,7 +823,6 @@ let chaos_cmd =
              else "VIOLATED — " ^ String.concat "; " violations);
           (match (journal_file, Option.map Obs.Sink.journal obs) with
           | Some path, Some (Some j) ->
-              Obs.Journal.write_jsonl path j;
               Printf.printf "journal     : %d events -> %s\n"
                 (Obs.Journal.length j) path
           | _ -> ());
@@ -772,11 +834,13 @@ let chaos_cmd =
                    ~fired:o.Chaos.Runner.fired ~seed ~report:o.Chaos.Runner.report
                    ~sp_ok:o.Chaos.Runner.sp_verdict.Harness.Oracle.ok ~verdict_ok
                    []));
+          emit_prof ~profile ~prof_summary prof;
           if verdict_ok then 0 else 1
       | `Mp ->
           let o =
             Chaos.Mp_run.run ~spec ~channel_garbage ~seed
-              ~max_deliveries:max_steps ~aftermath ~schedule graph workload
+              ~max_deliveries:max_steps ~aftermath ~prof ~schedule graph
+              workload
           in
           Printf.printf "model       : mp (α-synchronizer port)\n";
           Printf.printf "outcome     : %s after %d deliveries / %d pulses\n"
@@ -828,6 +892,7 @@ let chaos_cmd =
                              Obs.Json.Int ch.Mp.Ssmfp_mp.dropped_while_down );
                          ] );
                    ]));
+          emit_prof ~profile ~prof_summary prof;
           if verdict_ok then 0 else 1
     with Sys_error msg ->
       Printf.eprintf "ssmfp_cli: cannot write artifact: %s\n" msg;
@@ -837,7 +902,7 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ schedule $ model $ corruption $ daemon $ seed
       $ messages $ aftermath $ channel_garbage $ max_steps $ json_file
-      $ journal_file)
+      $ journal_file $ profile_arg $ prof_summary_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1034,7 +1099,8 @@ let campaign_cmd =
           ~doc:"Latency p50 regression tolerance for --baseline, in percent.")
   in
   let run grid_base topologies corruptions daemons workloads models chaos seeds
-      max_steps only workers dry_run out baseline from_ latency_tolerance =
+      max_steps only workers dry_run out baseline from_ latency_tolerance
+      profile prof_summary =
     let grid =
       match grid_base with
       | `Default -> Spec.default_grid ()
@@ -1081,8 +1147,9 @@ let campaign_cmd =
                 Ok doc
             | Error e -> Error e)
         | None ->
+            let prof = make_prof ~profile ~prof_summary ~tracks:workers in
             let t0 = Unix.gettimeofday () in
-            let outcomes = Pool.run ~workers scenarios in
+            let outcomes = Pool.run ~workers ~prof scenarios in
             let dt = Unix.gettimeofday () -. t0 in
             List.iter
               (fun (o : Pool.outcome) ->
@@ -1101,6 +1168,7 @@ let campaign_cmd =
               outcomes;
             Printf.printf "campaign    : %d scenarios on %d workers in %.1f s\n"
               (List.length scenarios) workers dt;
+            emit_prof ~profile ~prof_summary prof;
             Ok (Aggregate.to_json outcomes)
       in
       match current with
@@ -1162,7 +1230,7 @@ let campaign_cmd =
     Term.(
       const run $ grid_base $ topologies $ corruptions $ daemons $ workloads
       $ models $ chaos $ seeds $ max_steps $ only $ workers $ dry_run $ out
-      $ baseline $ from_ $ latency_tolerance)
+      $ baseline $ from_ $ latency_tolerance $ profile_arg $ prof_summary_arg)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -1171,9 +1239,53 @@ let campaign_cmd =
           aggregate the verdicts into a reproducible JSON artifact.")
     term
 
+(* ---------------- trace-check command ---------------- *)
+
+let trace_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let run file =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error msg ->
+        Printf.eprintf "trace-check: %s\n" msg;
+        2
+    | contents -> (
+        match Obs.Json.of_string contents with
+        | Error e ->
+            Printf.printf "trace-check : %s INVALID — JSON parse: %s\n" file e;
+            1
+        | Ok doc -> (
+            match Obs.Traceview.validate doc with
+            | Error e ->
+                Printf.printf "trace-check : %s INVALID — %s\n" file e;
+                1
+            | Ok () ->
+                let events =
+                  match
+                    Option.bind
+                      (Obs.Json.member "traceEvents" doc)
+                      Obs.Json.to_list
+                  with
+                  | Some l -> List.length l
+                  | None -> 0
+                in
+                Printf.printf "trace-check : %s ok (%d events)\n" file events;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event JSON produced by --profile: \
+          structure, event fields, and proper span nesting per lane.")
+    Term.(const run $ file)
+
 let () =
   let doc = "snap-stabilizing message forwarding (Cournier-Dubois-Villain, IPPS 2009)" in
   let info = Cmd.info "ssmfp_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ run_cmd; watch_cmd; chaos_cmd; campaign_cmd; tables_cmd; figures_cmd;
-         dot_cmd; pif_cmd; mc_cmd ]))
+         dot_cmd; pif_cmd; mc_cmd; trace_check_cmd ]))

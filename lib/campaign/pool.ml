@@ -51,7 +51,7 @@ type fanout = {
   f_mutex : Mutex.t;
   f_ready : Condition.t;  (* a new job was published, or shutdown *)
   f_done : Condition.t;  (* a helper finished the current job *)
-  mutable f_job : (int -> unit) option;
+  mutable f_job : (worker:int -> int -> unit) option;
   mutable f_count : int;
   f_next : int Atomic.t;
   mutable f_active : int;  (* helpers still inside the current job *)
@@ -60,7 +60,9 @@ type fanout = {
   mutable f_domains : unit Domain.t list;
 }
 
-let fanout_helper f =
+(* Helpers are numbered 1..workers-1; the calling domain is worker 0.
+   The index gives profiled jobs a stable per-domain track identity. *)
+let fanout_helper f ~worker =
   let seen = ref 0 in
   let rec loop () =
     Mutex.lock f.f_mutex;
@@ -75,7 +77,7 @@ let fanout_helper f =
       let rec grab () =
         let i = Atomic.fetch_and_add f.f_next 1 in
         if i < count then begin
-          job i;
+          job ~worker i;
           grab ()
         end
       in
@@ -105,23 +107,25 @@ let fanout_create ~workers =
     }
   in
   f.f_domains <-
-    List.init (max 0 (workers - 1)) (fun _ -> Domain.spawn (fun () -> fanout_helper f));
+    List.init
+      (max 0 (workers - 1))
+      (fun i -> Domain.spawn (fun () -> fanout_helper f ~worker:(i + 1)));
   f
 
 let fanout_workers f = 1 + List.length f.f_domains
 
-let fanout_run f ~tasks job =
+let fanout_run_w f ~tasks job =
   if tasks > 0 then
     if f.f_domains = [] then
       for i = 0 to tasks - 1 do
-        job i
+        job ~worker:0 i
       done
     else begin
       (* A raising task must not strand a helper mid-job: trap the first
          exception and re-raise it on the calling domain after the join. *)
       let failure = Atomic.make None in
-      let safe i =
-        try job i
+      let safe ~worker i =
+        try job ~worker i
         with e -> ignore (Atomic.compare_and_set failure None (Some e))
       in
       Mutex.lock f.f_mutex;
@@ -135,7 +139,7 @@ let fanout_run f ~tasks job =
       let rec grab () =
         let i = Atomic.fetch_and_add f.f_next 1 in
         if i < tasks then begin
-          safe i;
+          safe ~worker:0 i;
           grab ()
         end
       in
@@ -149,6 +153,8 @@ let fanout_run f ~tasks job =
       match Atomic.get failure with Some e -> raise e | None -> ()
     end
 
+let fanout_run f ~tasks job = fanout_run_w f ~tasks (fun ~worker:_ i -> job i)
+
 let fanout_close f =
   Mutex.lock f.f_mutex;
   f.f_stop <- true;
@@ -157,19 +163,32 @@ let fanout_close f =
   List.iter Domain.join f.f_domains;
   f.f_domains <- []
 
-let run_list ?(workers = 1) thunks =
+let run_list ?(prof = Obs.Prof.disabled) ?(workers = 1) thunks =
   let arr = Array.of_list thunks in
   let total = Array.length arr in
   let results = Array.make total None in
   let next = Atomic.make 0 in
+  (* Per-domain profiling: worker [w] records only into track [w]. The
+     per-track task counter is the steal count (how many tasks each
+     domain's cursor fetches won), the task spans give utilization, and
+     the latency histogram is merged across tracks at export. *)
+  let sp_task = Obs.Prof.span prof "campaign.task" in
+  let h_task = Obs.Prof.histo prof "campaign.task_ns" in
+  let c_tasks = Obs.Prof.counter prof "campaign.tasks" in
   (* Work stealing over a shared cursor: each cell of [results] is written
      by exactly one domain and read only after every join, so there is no
      data race on the payloads. *)
-  let worker () =
+  let worker w () =
+    let tr = Obs.Prof.track prof w in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < total then begin
+        let t0 = Obs.Prof.now prof in
         let r = try Ok (arr.(i) ()) with e -> Error (Printexc.to_string e) in
+        let t1 = Obs.Prof.now prof in
+        Obs.Prof.record_interval tr sp_task ~start:t0 ~stop:t1;
+        Obs.Prof.observe tr h_task (t1 - t0);
+        Obs.Prof.add tr c_tasks 1;
         results.(i) <- Some r;
         loop ()
       end
@@ -177,10 +196,12 @@ let run_list ?(workers = 1) thunks =
     loop ()
   in
   let workers = max 1 (min workers total) in
-  if workers <= 1 then worker ()
+  if workers <= 1 then worker 0 ()
   else begin
-    let others = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let others =
+      List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
     List.iter Domain.join others
   end;
   Array.to_list
@@ -346,22 +367,52 @@ let run_one sc =
     seconds = Unix.gettimeofday () -. t0;
   }
 
-let run ?workers scenarios =
-  run_list ?workers (List.map (fun sc () -> run_one sc) scenarios)
-  |> List.map2
-       (fun sc result ->
-         match result with
-         | Ok o -> o
-         | Error msg ->
-             (* run_one already catches runner exceptions; this branch
-                only fires if scenario metadata itself blew up. *)
-             let n, delta, diameter = try graph_meta sc with _ -> (0, 0, 0) in
-             {
-               scenario = sc;
-               n;
-               delta;
-               diameter;
-               status = Crashed { crash_msg = msg; crash_backtrace = "" };
-               seconds = 0.;
-             })
-       scenarios
+let run ?workers ?prof ?metrics scenarios =
+  (* Each scenario task fills a private registry on whatever domain ran
+     it; the commutative Metrics merge folds them all into the caller's
+     registry after the join, so the combined snapshot is independent of
+     worker count and steal order. *)
+  let want_metrics = metrics <> None in
+  let tagged =
+    run_list ?prof ?workers
+      (List.map
+         (fun sc () ->
+           let o = run_one sc in
+           let m =
+             if not want_metrics then None
+             else begin
+               let m = Obs.Metrics.create () in
+               (match o.status with
+               | Done s when s.verdict_ok -> Obs.Metrics.incr m "campaign.ok"
+               | Done _ -> Obs.Metrics.incr m "campaign.failed"
+               | Crashed _ -> Obs.Metrics.incr m "campaign.crashed");
+               Obs.Metrics.observe m "campaign.scenario_seconds" o.seconds;
+               Some m
+             end
+           in
+           (o, m))
+         scenarios)
+  in
+  (match metrics with
+  | None -> ()
+  | Some into ->
+      List.iter
+        (function Ok (_, Some m) -> Obs.Metrics.merge_into ~into m | _ -> ())
+        tagged);
+  List.map2
+    (fun sc result ->
+      match result with
+      | Ok (o, _) -> o
+      | Error msg ->
+          (* run_one already catches runner exceptions; this branch
+             only fires if scenario metadata itself blew up. *)
+          let n, delta, diameter = try graph_meta sc with _ -> (0, 0, 0) in
+          {
+            scenario = sc;
+            n;
+            delta;
+            diameter;
+            status = Crashed { crash_msg = msg; crash_backtrace = "" };
+            seconds = 0.;
+          })
+    scenarios tagged

@@ -98,14 +98,30 @@ val fanout_run : fanout -> tasks:int -> (int -> unit) -> unit
     the join (the remaining tasks still run). Not reentrant: one
     [fanout_run] at a time per pool. *)
 
+val fanout_run_w : fanout -> tasks:int -> (worker:int -> int -> unit) -> unit
+(** {!fanout_run}, but the job also learns which domain runs it:
+    [worker] is [0] on the calling domain and [1 .. workers - 1] on the
+    helpers — a stable identity for per-domain profiler tracks
+    ({!Obs.Prof.track}) or other domain-local accumulators. *)
+
 val fanout_close : fanout -> unit
 (** Shut the helpers down and join them. The pool must be idle. *)
 
-val run_list : ?workers:int -> (unit -> 'a) list -> ('a, string) result list
+val run_list :
+  ?prof:Obs.Prof.t ->
+  ?workers:int ->
+  (unit -> 'a) list ->
+  ('a, string) result list
 (** The bare fan-out primitive: evaluate every thunk, at most [workers]
     (default 1) domains at a time, and return results in input order. A
     thunk that raises yields [Error (Printexc.to_string e)]; the other
-    thunks still run. *)
+    thunks still run.
+
+    With an enabled [?prof] (needs at least [workers] tracks), domain
+    [w] records into track [w]: a ["campaign.task"] span per thunk
+    (utilization), a ["campaign.task_ns"] latency histogram, and a
+    per-track ["campaign.tasks"] counter — the steal count of each
+    domain's cursor. Profiling never affects results or their order. *)
 
 val run_one : Spec.scenario -> outcome
 (** Execute one scenario on the calling domain (resets the domain's
@@ -115,5 +131,17 @@ val run_one : Spec.scenario -> outcome
     through {!Chaos.Mp_run} with channel garbage scaled from the
     corruption axis (pristine 0, random 10, adversarial [2n]). *)
 
-val run : ?workers:int -> Spec.scenario list -> outcome list
-(** Execute every scenario, in input order in the result. *)
+val run :
+  ?workers:int ->
+  ?prof:Obs.Prof.t ->
+  ?metrics:Obs.Metrics.t ->
+  Spec.scenario list ->
+  outcome list
+(** Execute every scenario, in input order in the result. [?prof] is
+    threaded to {!run_list}. With [?metrics], each scenario fills a
+    private registry on whatever domain ran it ([campaign.ok] /
+    [campaign.failed] / [campaign.crashed] counters and a
+    [campaign.scenario_seconds] histogram) and the commutative
+    {!Obs.Metrics.merge_into} folds them into the given registry after
+    the join — the combined snapshot is independent of worker count and
+    steal order. *)

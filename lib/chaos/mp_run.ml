@@ -33,13 +33,20 @@ let apply_burst chaos_rng t (b : Schedule.burst) =
   List.length victims
 
 let run ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0) ?(seed = 1)
-    ?(max_deliveries = 2_000_000) ?(aftermath = 0) ~schedule graph workload =
+    ?(max_deliveries = 2_000_000) ?(aftermath = 0)
+    ?(prof = Obs.Prof.disabled) ~schedule graph workload =
   let knobs = Schedule.knobs schedule in
   let t =
     Mp.Ssmfp_mp.create ~spec ~channel_garbage ~loss:knobs.Schedule.loss
       ~duplication:knobs.Schedule.duplication ~reorder:knobs.Schedule.reorder
-      ~seed graph workload
+      ~seed ~prof graph workload
   in
+  (* Phase spans on track 0: one per drive segment between bursts, one
+     for the post-burst drain — the chaos run's wall-clock skeleton. *)
+  let prof_on = Obs.Prof.enabled prof in
+  let ptr = Obs.Prof.track prof 0 in
+  let sp_segment = Obs.Prof.span prof "chaos.segment" in
+  let sp_drain = Obs.Prof.span prof "chaos.drain" in
   let chaos_rng = Prng.Splitmix.of_int (seed + 6_700_417) in
   let invalid_planted =
     Harness.Fault.invalid_count
@@ -74,25 +81,35 @@ let run ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0) ?(seed = 1)
      full delivery budget. *)
   List.iter
     (fun b ->
-      if not !exhausted then
-        match
+      if not !exhausted then begin
+        let seg_t0 = Obs.Prof.now prof in
+        let seg_status =
           Mp.Ssmfp_mp.drive ~max_deliveries
             ~stop:(fun t -> Mp.Ssmfp_mp.max_pulse t >= b.Schedule.at)
             t
-        with
+        in
+        if prof_on then Obs.Prof.record ptr sp_segment ~start:seg_t0;
+        match seg_status with
         | `Stopped ->
             let pulse = Mp.Ssmfp_mp.max_pulse t in
             let victims = apply_burst chaos_rng t b in
             fired := (pulse, victims) :: !fired;
             if List.length !fired = List.length bursts then submit_aftermath ()
-        | `Idle | `Max_deliveries -> exhausted := true)
+        | `Idle | `Max_deliveries -> exhausted := true
+      end)
     bursts;
   let mp_outcome =
     if !exhausted then `Max_deliveries
-    else
-      match Mp.Ssmfp_mp.drive ~max_deliveries ~stop:Mp.Ssmfp_mp.all_drained t with
+    else begin
+      let drain_t0 = Obs.Prof.now prof in
+      let status =
+        Mp.Ssmfp_mp.drive ~max_deliveries ~stop:Mp.Ssmfp_mp.all_drained t
+      in
+      if prof_on then Obs.Prof.record ptr sp_drain ~start:drain_t0;
+      match status with
       | `Stopped -> `All_done
       | `Idle | `Max_deliveries -> `Max_deliveries
+    end
   in
   let oracle = Mp.Ssmfp_mp.oracle t in
   let n = Topology.Graph.n graph in

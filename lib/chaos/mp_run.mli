@@ -33,6 +33,7 @@ val run :
   ?seed:int ->
   ?max_deliveries:int ->
   ?aftermath:int ->
+  ?prof:Obs.Prof.t ->
   schedule:Schedule.t ->
   Topology.Graph.t ->
   Harness.Workload.t ->
@@ -42,4 +43,9 @@ val run :
     bounded by [(bursts + 1) * max_deliveries] scheduler steps.
     [aftermath] (default 0) submits that many fresh requests right
     after the last burst (counted into [verdict]'s expected total), so
-    the recovery oracle's post-burst SP check is never vacuous. *)
+    the recovery oracle's post-burst SP check is never vacuous.
+
+    [?prof] threads into {!Mp.Ssmfp_mp.create} (Lamport hop log,
+    latency/queue-depth histograms, retransmission counts) and records
+    the run's skeleton on track 0: one ["chaos.segment"] span per
+    between-burst drive and a ["chaos.drain"] span for the final drain. *)

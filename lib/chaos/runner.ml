@@ -39,13 +39,24 @@ let analyze_run schedule fired ~aftermath_submitted (run : Harness.Runner.result
     schedule;
   }
 
-let run ?obs ?(aftermath = 0) ~schedule (cfg : Harness.Runner.config) =
+let run ?obs ?(aftermath = 0) ?(prof = Obs.Prof.disabled) ~schedule
+    (cfg : Harness.Runner.config) =
+  let prof_on = Obs.Prof.enabled prof in
+  let ptr = Obs.Prof.track prof 0 in
+  let sp_run = Obs.Prof.span prof "chaos.run" in
+  let run_t0 = Obs.Prof.now prof in
+  let finish outcome =
+    if prof_on then Obs.Prof.record ptr sp_run ~start:run_t0;
+    outcome
+  in
   if schedule.Schedule.bursts = [] then
     (* Zero-burst schedules take the plain runner's code path untouched
        (inject = None), which is what makes them byte-identical to
        Harness.Runner.run — events, stats and final configuration. *)
     let run = Harness.Runner.run ?obs { cfg with Harness.Runner.inject = None } in
-    analyze_run schedule [] ~aftermath_submitted:0 run cfg.Harness.Runner.graph
+    finish
+      (analyze_run schedule [] ~aftermath_submitted:0 run
+         cfg.Harness.Runner.graph)
   else begin
     (* The chaos stream is derived from the scenario seed but never
        shared with the runner's fault/daemon streams, so the base
@@ -95,6 +106,7 @@ let run ?obs ?(aftermath = 0) ~schedule (cfg : Harness.Runner.config) =
     let run =
       Harness.Runner.run ?obs { cfg with Harness.Runner.inject = Some inject }
     in
-    analyze_run schedule !fired ~aftermath_submitted:!aftermath_submitted run
-      cfg.Harness.Runner.graph
+    finish
+      (analyze_run schedule !fired ~aftermath_submitted:!aftermath_submitted run
+         cfg.Harness.Runner.graph)
   end

@@ -25,6 +25,7 @@ type outcome = {
 val run :
   ?obs:Obs.Sink.t ->
   ?aftermath:int ->
+  ?prof:Obs.Prof.t ->
   schedule:Schedule.t ->
   Harness.Runner.config ->
   outcome
@@ -37,4 +38,8 @@ val run :
     [aftermath] (default 0) submits that many fresh requests — random
     sources, random distinct destinations — immediately after the last
     burst fires, guaranteeing the recovery oracle's post-burst SP check
-    has real traffic to bind to. *)
+    has real traffic to bind to.
+
+    [?prof] records a single ["chaos.run"] span on track 0 covering the
+    whole execution (the state model has no message hot path to trace;
+    the mp-model runs in {!Mp_run} carry the detailed instruments). *)

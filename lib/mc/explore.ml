@@ -133,9 +133,9 @@ type safety_report = Par.safety_report = {
 }
 
 let check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers ?key
-    scenario initials =
+    ?prof scenario initials =
   Par.check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers
-    ?key ~graph:scenario.graph initials
+    ?key ?prof ~graph:scenario.graph initials
 
 (* ------------------------------------------------------------------ *)
 (* Liveness under the weakly fair round-robin daemon                   *)

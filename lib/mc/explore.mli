@@ -82,6 +82,7 @@ val check_safety :
   ?max_configs:int ->
   ?workers:int ->
   ?key:Par.key_mode ->
+  ?prof:Obs.Prof.t ->
   scenario ->
   Ssmfp.State.t array list ->
   safety_report
@@ -102,8 +103,10 @@ val check_safety :
 
     [workers] (default 1) shards each frontier level across that many
     domains; [key] (default {!Par.Codec_keys}) selects the visited-set
-    representation. Every report field is independent of both — see
-    {!Par.check_safety} for the determinism rules. *)
+    representation; [prof] attributes wall-clock to
+    expand/store/barrier/merge spans per domain. Every report field is
+    independent of all three — see {!Par.check_safety} for the
+    determinism and instrumentation rules. *)
 
 type liveness_report = {
   checked : int;

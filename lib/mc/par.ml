@@ -212,9 +212,28 @@ type chunk_out = {
 
 let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
     ?(run_routing = false) ?(max_configs = 2_000_000) ?(workers = 1)
-    ?(key = Codec_keys) ~graph initials =
+    ?(key = Codec_keys) ?(prof = Obs.Prof.disabled) ~graph initials =
   let proto = Ssmfp.Protocol.make ~variant ~run_routing graph in
-  let store = Store.create () in
+  let store = Store.create ~prof () in
+  (* Profiling vocabulary (all registered up front, before any worker
+     runs): track 0 is the calling domain — roots, per-level framing,
+     sequential expansion, and the in-order merge; tracks 1.. are the
+     fanout helpers, which record their chunk expansions and the wait
+     between their last chunk of a level and the join (the barrier).
+     Recording never branches the search: reports stay byte-identical
+     whatever the worker count, profiling on or off. *)
+  let prof_on = Obs.Prof.enabled prof in
+  let tr0 = Obs.Prof.track prof 0 in
+  let sp_roots = Obs.Prof.span prof "mc.roots" in
+  let sp_level = Obs.Prof.span prof "mc.level" in
+  let sp_expand = Obs.Prof.span prof "mc.expand" in
+  let sp_merge = Obs.Prof.span prof "mc.merge" in
+  let sp_barrier = Obs.Prof.span prof "mc.barrier" in
+  let c_configs = Obs.Prof.counter prof "mc.configs" in
+  let c_trans = Obs.Prof.counter prof "mc.transitions" in
+  let c_chunks = Obs.Prof.counter prof "mc.chunks" in
+  let c_pre_ns = Obs.Prof.counter prof "mc.prefilter_ns" in
+  let c_pre = Obs.Prof.counter prof "mc.prefilter_probes" in
   let explored = ref 0 and transitions = ref 0 in
   let duplicate = ref false in
   let lost = ref None and deadlock = ref None in
@@ -258,6 +277,7 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
   in
   (* Roots: loss check and dedup in list order, no transition counted. *)
   let next = ref [] in
+  let roots_t0 = Obs.Prof.now prof in
   List.iter
     (fun states ->
       (match lost_witness states 0 with
@@ -266,6 +286,7 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
       if insert_scratch states 0 then
         next := { e_states = states; e_delivered = 0; e_origin = Root } :: !next)
     initials;
+  if prof_on then Obs.Prof.record tr0 sp_roots ~start:roots_t0;
   let workers = max 1 workers in
   let fanout =
     if workers > 1 then Some (Campaign.Pool.fanout_create ~workers) else None
@@ -274,6 +295,8 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
   (* One level, sequentially: successors go straight through the scratch
      codec into the store — duplicate keys never materialize a string. *)
   let run_level_seq level =
+    let t0 = Obs.Prof.now prof in
+    let trans0 = !transitions in
     Array.iter
       (fun entry ->
         incr explored;
@@ -292,7 +315,12 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
         in
         if moves = 0 && has_traffic entry.e_states && !deadlock = None then
           deadlock := Some (render_config entry.e_states))
-      level
+      level;
+    if prof_on then begin
+      Obs.Prof.record tr0 sp_expand ~start:t0;
+      Obs.Prof.add tr0 c_configs (Array.length level);
+      Obs.Prof.add tr0 c_trans (!transitions - trans0)
+    end
   in
   (* One level, sharded: workers emit (key, successor) pairs and local
      counters; the merge below replays them in index order.
@@ -305,18 +333,27 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
      without materializing a key string or an entry. Only within-level
      duplicates survive to the merge, where the in-order store insertion
      resolves them exactly as the sequential path would. *)
+  let nworkers = max 1 workers in
+  (* End of each worker's last chunk this level, for barrier-wait spans:
+     slot [w] is written only by worker [w] during the job and read by
+     the caller after the join barrier orders those writes. *)
+  let chunk_end = Array.make nworkers 0 in
   let run_level_par fanout level =
     let len = Array.length level in
     let chunks = min len (Campaign.Pool.fanout_workers fanout * 4) in
     let results = Array.make chunks None in
     let lost_known = !lost <> None in
-    Campaign.Pool.fanout_run fanout ~tasks:chunks (fun ci ->
+    if prof_on then Array.fill chunk_end 0 nworkers 0;
+    Campaign.Pool.fanout_run_w fanout ~tasks:chunks (fun ~worker ci ->
+        let trw = Obs.Prof.track prof worker in
+        let chunk_t0 = Obs.Prof.now prof in
         let lo = len * ci / chunks and hi = len * (ci + 1) / chunks in
         let ctx = make_ctx ~graph ~proto ~simultaneity in
         let codec = Codec.create () in
         let succs = ref [] and keys = ref [] in
         let trans = ref 0 and dup = ref false in
         let lw = ref None and dw = ref None in
+        let pre_ns = ref 0 and pre_n = ref 0 in
         for i = lo to hi - 1 do
           let entry = level.(i) in
           let moves =
@@ -327,6 +364,9 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
                   (match lost_witness states delivered with
                   | Some w -> lw := Some w
                   | None -> ());
+                (* prefilter = encode + read-only probe of the frozen
+                   store; timed on the worker's own counters *)
+                let pre_t0 = if prof_on then Obs.Prof.now prof else 0 in
                 let hk =
                   match key with
                   | Codec_keys ->
@@ -343,6 +383,10 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
                       if Store.mem_string store ~hash:h k then None
                       else Some (h, k)
                 in
+                if prof_on then begin
+                  pre_ns := !pre_ns + (Obs.Prof.now prof - pre_t0);
+                  incr pre_n
+                end;
                 match hk with
                 | None -> ()
                 | Some hk ->
@@ -364,8 +408,31 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
               c_duplicate = !dup;
               c_lost = !lw;
               c_deadlock = !dw;
-            });
+            };
+        if prof_on then begin
+          let stop = Obs.Prof.now prof in
+          Obs.Prof.record_interval trw sp_expand ~start:chunk_t0 ~stop;
+          Obs.Prof.add trw c_configs (hi - lo);
+          Obs.Prof.add trw c_trans !trans;
+          Obs.Prof.add trw c_chunks 1;
+          Obs.Prof.add trw c_pre_ns !pre_ns;
+          Obs.Prof.add trw c_pre !pre_n;
+          chunk_end.(worker) <- stop
+        end);
+    if prof_on then begin
+      (* Barrier wait: from each worker's last chunk end to the join.
+         Recorded onto the worker's track from the calling domain —
+         safe, the join has passed and helpers are parked until the
+         next job is published under the pool's mutex. *)
+      let join_t = Obs.Prof.now prof in
+      for w = 0 to nworkers - 1 do
+        if chunk_end.(w) > 0 && chunk_end.(w) < join_t then
+          Obs.Prof.record_interval (Obs.Prof.track prof w) sp_barrier
+            ~start:chunk_end.(w) ~stop:join_t
+      done
+    end;
     explored := !explored + len;
+    let merge_t0 = Obs.Prof.now prof in
     Array.iter
       (fun r ->
         let co = match r with Some co -> co | None -> assert false in
@@ -381,16 +448,21 @@ let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
           (fun entry (h, k) ->
             if insert_extracted h k then next := entry :: !next)
           co.c_succs co.c_keys)
-      results
+      results;
+    if prof_on then Obs.Prof.record tr0 sp_merge ~start:merge_t0
   in
   let run () =
     let rec loop () =
+      (* The level span opens before the frontier list is reversed into
+         an array, so list handling is attributed, not unexplained gap. *)
+      let level_t0 = Obs.Prof.now prof in
       let level = Array.of_list (List.rev !next) in
       next := [];
       if Array.length level > 0 && not !duplicate then begin
         (match fanout with
         | Some f when Array.length level > 1 -> run_level_par f level
         | Some _ | None -> run_level_seq level);
+        if prof_on then Obs.Prof.record tr0 sp_level ~start:level_t0;
         loop ()
       end
     in

@@ -55,6 +55,7 @@ val check_safety :
   ?max_configs:int ->
   ?workers:int ->
   ?key:key_mode ->
+  ?prof:Obs.Prof.t ->
   graph:Topology.Graph.t ->
   Ssmfp.State.t array list ->
   safety_report
@@ -63,4 +64,18 @@ val check_safety :
     across that many domains (helpers are spawned once and parked between
     levels); every report field is independent of [workers]. [key]
     selects the visited-set representation. [max_configs] defaults to
-    2_000_000; exceeding it raises [Failure] as described above. *)
+    2_000_000; exceeding it raises [Failure] as described above.
+
+    [?prof] (needs ≥ [workers] tracks) attributes the search's
+    wall-clock without altering it — reports stay byte-identical across
+    worker counts, profiling on or off. Track 0 (calling domain)
+    records ["mc.roots"], a ["mc.level"] span per BFS level (opened
+    before the frontier array is built, so list handling is covered),
+    sequential ["mc.expand"] levels, the in-order ["mc.merge"], and the
+    store's ["store.resize"]/["store.probe_len"] instruments; every
+    domain (including 0 when it participates in a parallel level)
+    records one ["mc.expand"] span per chunk, an ["mc.barrier"] span
+    from its last chunk of the level to the join, and per-track
+    counters: ["mc.configs"], ["mc.transitions"], ["mc.chunks"], and
+    the read-only-prefilter cost ["mc.prefilter_ns"] /
+    ["mc.prefilter_probes"]. *)

@@ -14,6 +14,15 @@ type t = {
   mutable mask : int; (* capacity - 1; capacity is a power of two *)
   mutable count : int;
   mutable key_bytes : int;
+  (* profiling: insert-path probe lengths and resize spans, recorded on
+     the owning domain's track (inserts are single-domain; the parallel
+     checker's workers only call [mem], which stays uninstrumented so a
+     read-only probe never writes another domain's track) *)
+  s_prof : Obs.Prof.t;
+  s_on : bool;
+  s_track : Obs.Prof.track;
+  s_probe : Obs.Prof.histo;
+  s_resize : Obs.Prof.span;
 }
 
 type stats = {
@@ -28,7 +37,7 @@ let norm h = if h = 0 then 1 else h
 
 let rec power_of_two n c = if c >= n then c else power_of_two n (c * 2)
 
-let create ?(capacity = 4096) () =
+let create ?(capacity = 4096) ?(prof = Obs.Prof.disabled) () =
   let cap = power_of_two (max 16 capacity) 16 in
   {
     hashes = Array.make cap 0;
@@ -36,6 +45,11 @@ let create ?(capacity = 4096) () =
     mask = cap - 1;
     count = 0;
     key_bytes = 0;
+    s_prof = prof;
+    s_on = Obs.Prof.enabled prof;
+    s_track = Obs.Prof.track prof 0;
+    s_probe = Obs.Prof.histo prof "store.probe_len";
+    s_resize = Obs.Prof.span prof "store.resize";
   }
 
 let cardinal t = t.count
@@ -70,6 +84,7 @@ let insert_fresh t h key =
   probe (h land t.mask)
 
 let grow t =
+  let t0 = if t.s_on then Obs.Prof.now t.s_prof else 0 in
   let old_hashes = t.hashes and old_keys = t.keys in
   let cap = (t.mask + 1) * 2 in
   t.hashes <- Array.make cap 0;
@@ -77,7 +92,8 @@ let grow t =
   t.mask <- cap - 1;
   Array.iteri
     (fun i h -> if h <> 0 then insert_fresh t h old_keys.(i))
-    old_hashes
+    old_hashes;
+  if t.s_on then Obs.Prof.record t.s_track t.s_resize ~start:t0
 
 let record_insert t i h key len =
   t.hashes.(i) <- h;
@@ -97,18 +113,26 @@ let mem t ~hash buf ~len =
   in
   probe (h land t.mask)
 
+(* Insert probes carry their slot count as a loop variable (one int add
+   per displaced slot) and report it to the probe-length histogram only
+   when profiling is on — this is the clustering signal the ROADMAP's
+   sharded-store work needs. *)
 let add_if_absent t ~hash buf ~len =
   let h = norm hash in
-  let rec probe i =
+  let rec probe i plen =
     let hi = t.hashes.(i) in
     if hi = 0 then begin
+      if t.s_on then Obs.Prof.observe t.s_track t.s_probe plen;
       record_insert t i h (Bytes.sub_string buf 0 len) len;
       true
     end
-    else if hi = h && key_matches t.keys.(i) buf len then false
-    else probe ((i + 1) land t.mask)
+    else if hi = h && key_matches t.keys.(i) buf len then begin
+      if t.s_on then Obs.Prof.observe t.s_track t.s_probe plen;
+      false
+    end
+    else probe ((i + 1) land t.mask) (plen + 1)
   in
-  probe (h land t.mask)
+  probe (h land t.mask) 1
 
 let mem_string t ~hash key =
   let h = norm hash in
@@ -122,13 +146,17 @@ let mem_string t ~hash key =
 
 let add_string_if_absent t ~hash key =
   let h = norm hash in
-  let rec probe i =
+  let rec probe i plen =
     let hi = t.hashes.(i) in
     if hi = 0 then begin
+      if t.s_on then Obs.Prof.observe t.s_track t.s_probe plen;
       record_insert t i h key (String.length key);
       true
     end
-    else if hi = h && String.equal t.keys.(i) key then false
-    else probe ((i + 1) land t.mask)
+    else if hi = h && String.equal t.keys.(i) key then begin
+      if t.s_on then Obs.Prof.observe t.s_track t.s_probe plen;
+      false
+    end
+    else probe ((i + 1) land t.mask) (plen + 1)
   in
-  probe (h land t.mask)
+  probe (h land t.mask) 1

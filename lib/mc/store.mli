@@ -24,9 +24,17 @@ type stats = {
   load : float;  (** [entries / capacity], kept below 0.75 *)
 }
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?prof:Obs.Prof.t -> unit -> t
 (** An empty store. [capacity] (default 4096) is rounded up to a power of
-    two, minimum 16. *)
+    two, minimum 16.
+
+    With an enabled [?prof], the store registers a ["store.probe_len"]
+    histogram (slots touched per {e insert-path} probe, the clustering
+    signal) and a ["store.resize"] span (each doubling), both recorded
+    on track 0 — inserts happen only on the owning domain; read-only
+    [mem] probes from worker domains are deliberately uninstrumented so
+    they never write a foreign track (the parallel checker times its
+    prefilter on the worker's own track instead). *)
 
 val cardinal : t -> int
 (** Number of distinct keys stored. *)

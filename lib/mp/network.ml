@@ -1,9 +1,59 @@
 type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
 
+(* Profiling state: Lamport stamps and hop logging.
+
+   Every handler- or timeout-originated send is stamped with a fresh
+   message id and the sender's incremented Lamport clock; the stamp
+   travels with the message through loss, duplication and reordering (a
+   duplicate carries the same id — seeing an id delivered twice IS the
+   duplication). Stamps live in a ring keyed by [id land s_mask] with
+   the id stored for overwrite detection, so a long-delayed message
+   whose slot was reused simply loses its latency sample instead of
+   producing a bogus one. Deliveries advance the receiver's Lamport
+   clock to [max (own + 1) (send + 1)] and append a hop record — the
+   causal trace that works under loss/reorder because it is built only
+   from sends and deliveries that actually happened, unlike the
+   omniscient ghost-based Obs.Hoptrace. *)
+type prof_state = {
+  prof : Obs.Prof.t;
+  ptr : Obs.Prof.track; (* the scheduler domain's track *)
+  h_latency : Obs.Prof.histo; (* mp.send_deliver_ns *)
+  h_depth : Obs.Prof.histo; (* mp.in_flight, sampled every 64 steps *)
+  h_chan : Obs.Prof.histo; (* mp.channel_depth, nonempty channels only *)
+  c_stamped : Obs.Prof.counter; (* mp.sends *)
+  lamport : int array;
+  s_mask : int;
+  s_id : int array;
+  s_send_ns : int array;
+  s_lamport : int array;
+  s_from : int array;
+  mutable next_stamp : int;
+  hop_mask : int;
+  hop_id : int array;
+  hop_from : int array;
+  hop_into : int array;
+  hop_send_l : int array;
+  hop_recv_l : int array;
+  hop_lat : int array;
+  mutable hop_next : int;
+  mutable hop_total : int;
+  mutable steps : int;
+}
+
+type hop = {
+  hop_id : int;
+  hop_from : int;
+  hop_into : int;
+  hop_send_lamport : int;
+  hop_recv_lamport : int;
+  hop_latency_ns : int;
+}
+
 type ('s, 'm) t = {
   graph : Topology.Graph.t;
   states : 's array;
-  channels : (int * int, 'm Queue.t) Hashtbl.t; (* (from, into) -> FIFO *)
+  (* (from, into) -> FIFO of (payload, stamp id); -1 = untracked *)
+  channels : (int * int, ('m * int) Queue.t) Hashtbl.t;
   handler : ('s, 'm) handler;
   loss : float;
   duplication : float;
@@ -11,6 +61,7 @@ type ('s, 'm) t = {
   timeout : (self:int -> 's -> 's * (int * 'm) list) option;
   on_recover : (self:int -> 's -> 's) option;
   down : int array; (* remaining down step-calls per process; 0 = up *)
+  np : prof_state option;
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
@@ -28,8 +79,40 @@ let channel t ~from ~into =
       Hashtbl.replace t.channels (from, into) q;
       q
 
-let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?timeout
-    ?on_recover ~init ~handler graph =
+let make_prof_state prof n =
+  if not (Obs.Prof.enabled prof) then None
+  else begin
+    let s_cap = 1 lsl 15 and hop_cap = 1 lsl 14 in
+    Some
+      {
+        prof;
+        ptr = Obs.Prof.track prof 0;
+        h_latency = Obs.Prof.histo prof "mp.send_deliver_ns";
+        h_depth = Obs.Prof.histo prof "mp.in_flight";
+        h_chan = Obs.Prof.histo prof "mp.channel_depth";
+        c_stamped = Obs.Prof.counter prof "mp.sends";
+        lamport = Array.make n 0;
+        s_mask = s_cap - 1;
+        s_id = Array.make s_cap (-1);
+        s_send_ns = Array.make s_cap 0;
+        s_lamport = Array.make s_cap 0;
+        s_from = Array.make s_cap 0;
+        next_stamp = 0;
+        hop_mask = hop_cap - 1;
+        hop_id = Array.make hop_cap 0;
+        hop_from = Array.make hop_cap 0;
+        hop_into = Array.make hop_cap 0;
+        hop_send_l = Array.make hop_cap 0;
+        hop_recv_l = Array.make hop_cap 0;
+        hop_lat = Array.make hop_cap 0;
+        hop_next = 0;
+        hop_total = 0;
+        steps = 0;
+      }
+  end
+
+let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.)
+    ?(prof = Obs.Prof.disabled) ?timeout ?on_recover ~init ~handler graph =
   let t =
     {
       graph;
@@ -42,6 +125,7 @@ let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?timeout
       timeout;
       on_recover;
       down = Array.make (Topology.Graph.n graph) 0;
+      np = make_prof_state prof (Topology.Graph.n graph);
       delivered = 0;
       dropped = 0;
       duplicated = 0;
@@ -57,11 +141,33 @@ let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?timeout
     (Topology.Graph.edges graph);
   t
 
-let inject t ~from ~into m = Queue.add m (channel t ~from ~into)
+(* One stamp per logical send: duplicated copies and broadcast fan-out
+   share the id (seeing one id delivered twice IS the duplication; once
+   per neighbor, the broadcast). Stamping never touches the scheduler's
+   PRNG, so draw sequences are identical with profiling on or off. *)
+let stamp t ~from =
+  match t.np with
+  | None -> -1
+  | Some p ->
+      p.lamport.(from) <- p.lamport.(from) + 1;
+      let sid = p.next_stamp in
+      p.next_stamp <- sid + 1;
+      let slot = sid land p.s_mask in
+      p.s_id.(slot) <- sid;
+      p.s_send_ns.(slot) <- Obs.Prof.now p.prof;
+      p.s_lamport.(slot) <- p.lamport.(from);
+      p.s_from.(slot) <- from;
+      Obs.Prof.add p.ptr p.c_stamped 1;
+      sid
+
+(* Injected messages are unstamped (-1): garbage in flight has no send
+   event, so it can have no latency or causal past. *)
+let inject t ~from ~into m = Queue.add (m, -1) (channel t ~from ~into)
 
 let send_all t ~from m =
+  let sid = stamp t ~from in
   List.iter
-    (fun q -> Queue.add m (channel t ~from ~into:q))
+    (fun q -> Queue.add (m, sid) (channel t ~from ~into:q))
     (Topology.Graph.neighbors t.graph from)
 
 let state t p = t.states.(p)
@@ -113,6 +219,7 @@ let enqueue t rng q m =
 let post t rng ~from sends =
   List.iter
     (fun (q, msg) ->
+      let sid = stamp t ~from in
       let copies =
         if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication
         then begin
@@ -124,7 +231,7 @@ let post t rng ~from sends =
       for _ = 1 to copies do
         if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
           t.dropped <- t.dropped + 1
-        else enqueue t rng (channel t ~from ~into:q) msg
+        else enqueue t rng (channel t ~from ~into:q) (msg, sid)
       done)
     sends
 
@@ -159,7 +266,51 @@ let nonempty_channels t =
     (fun key q acc -> if Queue.is_empty q then acc else key :: acc)
     t.channels []
 
+(* Delivery-side profiling: advance the receiver's Lamport clock, take
+   the send→deliver latency if the stamp slot still holds this id, and
+   append the hop record. *)
+let observe_delivery t ~into sid =
+  match t.np with
+  | None -> ()
+  | Some p ->
+      if sid >= 0 && p.s_id.(sid land p.s_mask) = sid then begin
+        let slot = sid land p.s_mask in
+        let send_l = p.s_lamport.(slot) in
+        let recv_l = max (p.lamport.(into) + 1) (send_l + 1) in
+        p.lamport.(into) <- recv_l;
+        let lat = Obs.Prof.now p.prof - p.s_send_ns.(slot) in
+        Obs.Prof.observe p.ptr p.h_latency lat;
+        let h = p.hop_next in
+        p.hop_id.(h) <- sid;
+        p.hop_from.(h) <- p.s_from.(slot);
+        p.hop_into.(h) <- into;
+        p.hop_send_l.(h) <- send_l;
+        p.hop_recv_l.(h) <- recv_l;
+        p.hop_lat.(h) <- lat;
+        p.hop_next <- (h + 1) land p.hop_mask;
+        p.hop_total <- p.hop_total + 1
+      end
+      else p.lamport.(into) <- p.lamport.(into) + 1
+
+(* Queue depths sampled on a tick (every 64th step): total in-flight
+   plus each nonempty channel's depth — the mp hot path's backlog
+   signal without a per-step table scan. *)
+let sample_depths t =
+  match t.np with
+  | None -> ()
+  | Some p ->
+      p.steps <- p.steps + 1;
+      if p.steps land 63 = 0 then begin
+        Obs.Prof.observe p.ptr p.h_depth (in_flight t);
+        Hashtbl.iter
+          (fun _ q ->
+            let d = Queue.length q in
+            if d > 0 then Obs.Prof.observe p.ptr p.h_chan d)
+          t.channels
+      end
+
 let step t rng =
+  sample_depths t;
   let acted =
     match nonempty_channels t with
     | [] -> fire_timeout t rng
@@ -170,12 +321,13 @@ let step t rng =
           let from, into =
             Prng.Splitmix.choose rng (List.sort compare channels)
           in
-          let m = Queue.pop (Hashtbl.find t.channels (from, into)) in
+          let m, sid = Queue.pop (Hashtbl.find t.channels (from, into)) in
           if t.down.(into) > 0 then
             (* Crashed recipient: the message evaporates at the interface. *)
             t.dropped_down <- t.dropped_down + 1
           else begin
             t.delivered <- t.delivered + 1;
+            observe_delivery t ~into sid;
             let s', sends = t.handler ~self:into ~from t.states.(into) m in
             t.states.(into) <- s';
             post t rng ~from:into sends
@@ -185,6 +337,59 @@ let step t rng =
   in
   if acted then tick_down t;
   acted
+
+let lamport t p =
+  match t.np with None -> 0 | Some ps -> ps.lamport.(p)
+
+let hops t =
+  match t.np with
+  | None -> []
+  | Some p ->
+      let cap = p.hop_mask + 1 in
+      let n = min p.hop_total cap in
+      let first = if p.hop_total <= cap then 0 else p.hop_next in
+      List.init n (fun k ->
+          let i = (first + k) land p.hop_mask in
+          {
+            hop_id = p.hop_id.(i);
+            hop_from = p.hop_from.(i);
+            hop_into = p.hop_into.(i);
+            hop_send_lamport = p.hop_send_l.(i);
+            hop_recv_lamport = p.hop_recv_l.(i);
+            hop_latency_ns = p.hop_lat.(i);
+          })
+
+(* Causal past of one delivery, reconstructed purely from the hop log:
+   hop [c] precedes hop [h] when [c] delivered into [h]'s sender with a
+   receive Lamport no greater than [h]'s send Lamport — information
+   from [c] could have flowed into the send. Among candidates we take
+   the latest (max receive Lamport): the tightest causal predecessor.
+   Lost and still-in-flight messages simply produce no hop, so the
+   chain degrades gracefully under loss/reorder instead of lying. *)
+let causal_chain t ~id =
+  let all = hops t in
+  match List.rev (List.filter (fun h -> h.hop_id = id) all) with
+  | [] -> []
+  | h :: _ ->
+      let rec back h acc =
+        let pred =
+          List.fold_left
+            (fun best c ->
+              if
+                c.hop_into = h.hop_from
+                && c.hop_recv_lamport <= h.hop_send_lamport
+              then
+                match best with
+                | Some b when b.hop_recv_lamport >= c.hop_recv_lamport -> best
+                | _ -> Some c
+              else best)
+            None all
+        in
+        match pred with
+        | Some c when not (List.memq c acc) -> back c (c :: acc)
+        | _ -> acc
+      in
+      back h [ h ]
 
 let run ?(max_deliveries = 5_000_000) ?stop t rng =
   let stop_now () = match stop with Some f -> f t | None -> false in

@@ -27,6 +27,7 @@ val create :
   ?loss:float ->
   ?duplication:float ->
   ?reorder:float ->
+  ?prof:Obs.Prof.t ->
   ?timeout:(self:int -> 's -> 's * (int * 'm) list) ->
   ?on_recover:(self:int -> 's -> 's) ->
   init:(int -> 's) ->
@@ -45,7 +46,17 @@ val create :
     retransmission-based protocols need on unreliable channels; it never
     fires on a crashed process. [on_recover] is applied to a process's
     state at the moment its {!crash} span expires — the hook where a
-    protocol models amnesia or re-initialization. *)
+    protocol models amnesia or re-initialization.
+
+    [?prof] (track 0 = the scheduler's domain) turns on Lamport-stamped
+    causal tracing: every handler/timeout send gets a fresh message id
+    and the sender's incremented Lamport clock (duplicated copies and
+    broadcast fan-out share the id), each delivery advances the
+    receiver's clock and appends a {!hop}, and the instruments
+    ["mp.send_deliver_ns"] (latency histogram), ["mp.in_flight"] and
+    ["mp.channel_depth"] (queue depths sampled every 64th step) and
+    ["mp.sends"] fill in. Stamping never touches the scheduler PRNG:
+    the run is identical with profiling on or off. *)
 
 val inject : ('s, 'm) t -> from:int -> into:int -> 'm -> unit
 (** Plant a message in the channel [from → into] (initial garbage, or a
@@ -86,6 +97,32 @@ val crash : ('s, 'm) t -> int -> down_for:int -> unit
     @raise Invalid_argument if [down_for < 1] or [p] is not a process. *)
 
 val is_down : ('s, 'm) t -> int -> bool
+
+(** {2 Causal tracing} — all empty/zero unless [?prof] was enabled. *)
+
+type hop = {
+  hop_id : int;  (** message id; one id delivered twice = a duplicate *)
+  hop_from : int;
+  hop_into : int;
+  hop_send_lamport : int;
+  hop_recv_lamport : int;  (** [max (receiver + 1) (send + 1)] *)
+  hop_latency_ns : int;  (** send→deliver wall-clock *)
+}
+
+val lamport : ('s, 'm) t -> int -> int
+(** Process [p]'s current Lamport clock. *)
+
+val hops : ('s, 'm) t -> hop list
+(** The delivery log, chronological. A bounded ring (16384 hops) —
+    long runs keep the most recent window. *)
+
+val causal_chain : ('s, 'm) t -> id:int -> hop list
+(** The causal past of message [id]'s (latest) delivery, oldest first:
+    each hop delivered into the next hop's sender with a receive
+    Lamport ≤ the send Lamport — the tightest chain of deliveries whose
+    information could have flowed into each send. Built only from
+    deliveries that actually happened, so it works under loss,
+    duplication and reordering; [[]] if [id] was never delivered. *)
 
 (** {2 Scheduling} *)
 

@@ -169,8 +169,8 @@ let make_handler g oracle max_pulse_ref =
   handler
 
 let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
-    ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?(seed = 1) graph
-    workload =
+    ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.) ?(seed = 1)
+    ?(prof = Obs.Prof.disabled) graph workload =
   let master = Prng.Splitmix.of_int seed in
   let fault_rng = Prng.Splitmix.split master in
   let sched_rng = Prng.Splitmix.split master in
@@ -193,12 +193,17 @@ let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
      channels still recover (the retransmission always eventually fires —
      idle networks fire timers on every step) without the chatter of
      unconditional republishing under duplication/reordering. *)
+  let prof_on = Obs.Prof.enabled prof in
+  let ptr = Obs.Prof.track prof 0 in
+  let c_retrans = Obs.Prof.counter prof "mp.retransmissions" in
   let timeout ~self (proc : proc) =
     let threshold = 1 lsl min proc.backoff 6 in
-    if proc.ticks + 1 >= threshold then
+    if proc.ticks + 1 >= threshold then begin
+      if prof_on then Obs.Prof.add ptr c_retrans 1;
       let msg = Snapshot (proc.pulse, public_of proc.core) in
       ( { proc with ticks = 0; backoff = min (proc.backoff + 1) 6 },
         List.map (fun q -> (q, msg)) (Topology.Graph.neighbors graph self) )
+    end
     else ({ proc with ticks = proc.ticks + 1 }, [])
   in
   (* Crash–recovery amnesia: the synchronizer's volatile state (neighbor
@@ -209,8 +214,8 @@ let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
     { proc with snaps = []; backoff = 0; ticks = 0 }
   in
   let net =
-    Network.create ~loss ~duplication ~reorder ~timeout ~on_recover ~init
-      ~handler graph
+    Network.create ~loss ~duplication ~reorder ~prof ~timeout ~on_recover
+      ~init ~handler graph
   in
   (* Bootstrap: everyone publishes its pulse-0 snapshot. *)
   Topology.Graph.iter_vertices
@@ -264,6 +269,10 @@ let channel_stats t =
     reordered = Network.reordered t.net;
     dropped_while_down = Network.dropped_while_down t.net;
   }
+
+let hops t = Network.hops t.net
+let causal_chain t ~id = Network.causal_chain t.net ~id
+let lamport t p = Network.lamport t.net p
 
 let all_drained t =
   let quiet p =

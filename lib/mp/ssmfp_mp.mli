@@ -62,6 +62,7 @@ val create :
   ?duplication:float ->
   ?reorder:float ->
   ?seed:int ->
+  ?prof:Obs.Prof.t ->
   Topology.Graph.t ->
   Harness.Workload.t ->
   t
@@ -78,7 +79,12 @@ val create :
     receivers, so duplication and reordering are tolerated by
     construction; crashes ({!crash_process}) lose the synchronizer's
     volatile state (mirrors, timers) while the SSMFP core and pulse
-    counter survive on stable storage. *)
+    counter survive on stable storage.
+
+    [?prof] threads through to {!Network.create} (Lamport stamps, hop
+    log, latency and queue-depth histograms) and additionally counts
+    every backoff-gated republish in ["mp.retransmissions"]. Profiling
+    consumes no PRNG draws: the run is identical with it on or off. *)
 
 val run : ?max_deliveries:int -> t -> result
 (** Deliver channel messages under the fair random scheduler until every
@@ -111,6 +117,15 @@ val crash_process : t -> int -> down_for:int -> unit
     {!Network.crash}); on recovery it forgets mirrors and timers. *)
 
 val channel_stats : t -> channel_stats
+
+val hops : t -> Network.hop list
+(** The network's causal delivery log (empty without [?prof]). *)
+
+val causal_chain : t -> id:int -> Network.hop list
+(** {!Network.causal_chain} on the underlying network. *)
+
+val lamport : t -> int -> int
+(** Process [p]'s Lamport clock (0 without [?prof]). *)
 
 val all_drained : t -> bool
 (** Every outbox and buffer is empty — the mp-model quiescence test. *)

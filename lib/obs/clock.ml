@@ -1,0 +1,9 @@
+(* Monotonic nanosecond clock.
+
+   Backed by bechamel's [Monotonic_clock] stub: a single noalloc
+   [clock_gettime(CLOCK_MONOTONIC)] call returning an unboxed int64.
+   We narrow to a native [int] immediately — 63 bits of nanoseconds is
+   ~146 years of uptime, and native ints keep the profiler's hot path
+   free of int64 boxing. *)
+
+let now_ns () : int = Int64.to_int (Monotonic_clock.now ())

@@ -1,0 +1,12 @@
+(** Monotonic wall-clock for profiling.
+
+    {!now_ns} is a thin, allocation-free wrapper over
+    [clock_gettime(CLOCK_MONOTONIC)] (via bechamel's noalloc stub),
+    narrowed to a native [int]: 63 bits of nanoseconds covers ~146
+    years, and avoiding [int64] boxing keeps {!Prof} zero-alloc on the
+    hot path. Timestamps are only meaningful as differences within one
+    process. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock. Absolute value is arbitrary;
+    subtract two readings for a duration. *)

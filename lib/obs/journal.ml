@@ -69,37 +69,6 @@ let of_protocol_event ~step ~round ~pid ev =
       base Erased_duplicate d (Some m) None
   | Ssmfp.Protocol.Routing_update d -> base Routing_update d None None
 
-type t = { mutable rev_entries : entry list; mutable n : int }
-
-let create () = { rev_entries = []; n = 0 }
-
-let record t ~step ~round ~pid ev =
-  t.rev_entries <- of_protocol_event ~step ~round ~pid ev :: t.rev_entries;
-  t.n <- t.n + 1
-
-let record_fault t ~step ~round ~pid ~detail =
-  t.rev_entries <-
-    {
-      step;
-      round;
-      pid;
-      kind = Fault_injected;
-      dest = -1;
-      gid = None;
-      valid = false;
-      info = detail;
-      last = None;
-      color = None;
-      src = None;
-    }
-    :: t.rev_entries;
-  t.n <- t.n + 1
-
-let length t = t.n
-let entries t = List.rev t.rev_entries
-
-(* ---------------- JSONL ---------------- *)
-
 let entry_to_json e =
   let fixed =
     [
@@ -112,7 +81,12 @@ let entry_to_json e =
   in
   let message =
     match e.gid with
-    | None -> []
+    | None ->
+        (* fault lines carry no ghost fields, but the injection detail
+           lives in [info] — keep the cause visible on disk *)
+        if e.kind = Fault_injected && e.info <> "" then
+          [ ("info", Json.String e.info) ]
+        else []
     | Some gid ->
         [
           ("gid", Json.Int gid);
@@ -126,6 +100,75 @@ let entry_to_json e =
     match e.src with None -> [] | Some s -> [ ("src", Json.Int s) ]
   in
   Json.Obj (fixed @ message @ src)
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable n : int;
+  sink : out_channel option;  (* streaming JSONL sink, one line per entry *)
+  scratch : Buffer.t;
+  mutable closed : bool;
+}
+
+let create ?path () =
+  {
+    rev_entries = [];
+    n = 0;
+    sink = Option.map open_out path;
+    scratch = Buffer.create 256;
+    closed = false;
+  }
+
+let emit t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.n <- t.n + 1;
+  match t.sink with
+  | None -> ()
+  | Some oc when not t.closed ->
+      Buffer.clear t.scratch;
+      Json.to_buffer t.scratch (entry_to_json e);
+      Buffer.add_char t.scratch '\n';
+      Buffer.output_buffer oc t.scratch
+  | Some _ -> ()
+
+let record t ~step ~round ~pid ev =
+  emit t (of_protocol_event ~step ~round ~pid ev)
+
+let record_fault t ~step ~round ~pid ~detail =
+  emit t
+    {
+      step;
+      round;
+      pid;
+      kind = Fault_injected;
+      dest = -1;
+      gid = None;
+      valid = false;
+      info = detail;
+      last = None;
+      color = None;
+      src = None;
+    }
+
+let flush t =
+  match t.sink with
+  | Some oc when not t.closed -> Stdlib.flush oc
+  | _ -> ()
+
+let close t =
+  match t.sink with
+  | Some oc when not t.closed ->
+      t.closed <- true;
+      close_out oc
+  | _ -> ()
+
+let with_file path f =
+  let t = create ~path () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let length t = t.n
+let entries t = List.rev t.rev_entries
+
+(* ---------------- JSONL ---------------- *)
 
 let entry_of_json j =
   let ( let* ) = Result.bind in

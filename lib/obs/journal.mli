@@ -15,7 +15,9 @@
     v}
     [gid], [valid], [info], [last] and [color] are omitted on
     [routing_update] lines (no message involved); [src] — the processor
-    R3 copied from — appears only on [copied] lines. *)
+    R3 copied from — appears only on [copied] lines. [fault_injected]
+    lines keep [info] alone (the injection detail), no other ghost
+    fields. *)
 
 type kind =
   | Generated
@@ -54,12 +56,30 @@ val of_protocol_event :
 
 type t
 
-val create : unit -> t
+val create : ?path:string -> unit -> t
+(** In-memory journal; with [?path], every entry is {e also} written to
+    [path] as a JSONL line the moment it is recorded, so a run that
+    dies keeps its partial journal on disk (call {!flush} or {!close}
+    to push OS buffers; {!with_file} does so even on exception). *)
+
 val record : t -> step:int -> round:int -> pid:int -> Ssmfp.Protocol.event -> unit
 
 val record_fault : t -> step:int -> round:int -> pid:int -> detail:string -> unit
 (** Append a [Fault_injected] entry ([dest] = -1, no ghost fields) so
     traces show the cause of each recovery episode inline. *)
+
+val flush : t -> unit
+(** Flush the streaming sink's channel. No-op without [?path] or after
+    {!close}. *)
+
+val close : t -> unit
+(** Flush and close the streaming sink. Idempotent; recording after
+    [close] still accumulates in memory but writes nothing. *)
+
+val with_file : string -> (t -> 'a) -> 'a
+(** [with_file path f] runs [f] on a streaming journal and closes it on
+    the way out — {e including on exception} ([Fun.protect]), so a
+    crashed chaos run keeps every line recorded before the raise. *)
 
 val length : t -> int
 

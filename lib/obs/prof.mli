@@ -1,0 +1,120 @@
+(** Per-domain profiler: spans, counters and histograms over
+    preallocated ring buffers.
+
+    Built for the parallel model checker and the mp runtime, where the
+    question is "where did the wall-clock go" per domain. The contract:
+
+    - {b zero-alloc hot path} — {!record_interval}, {!add} and
+      {!observe} write into preallocated [int] arrays; histogram samples
+      are folded into 64 log2 buckets, not stored;
+    - {b safe to leave compiled in} — every entry point starts with a
+      single branch on the track's enabled flag, and {!disabled} hands
+      out a shared no-op track, so instrumentation left in a release
+      path costs a branch (the bench [bobs] gate pins the total at
+      ≤ 3% on b1's step-throughput scenario);
+    - {b one track per domain, no locks} — each domain records only
+      into its own track ({!track} [t i] for domain/worker [i]); reads
+      ({!events}, {!histo_summary}, …) happen after the parallel
+      section joined.
+
+    Registration ({!span}, {!counter}, {!histo}) is {e not} thread-safe:
+    register on the main domain before handing tracks to workers.
+    Names are idempotent — registering the same name twice returns the
+    same id. The event ring is a flight recorder: when full it
+    overwrites the oldest events and {!dropped} counts the loss. *)
+
+type t
+(** A profiler: shared name tables plus one track per domain. *)
+
+type track
+(** A single domain's recording surface. *)
+
+type span = int
+type counter = int
+type histo = int
+
+val disabled : t
+(** The no-op profiler: registration returns dummy ids, {!track}
+    returns a shared no-op track, {!now} returns [0] without touching
+    the clock. The default for every [?prof] argument in the tree. *)
+
+val create :
+  ?clock:(unit -> int) ->
+  ?capacity:int ->
+  ?labels:string list ->
+  tracks:int ->
+  unit ->
+  t
+(** [create ~tracks ()] makes an enabled profiler with [tracks] tracks
+    (track 0 is the calling domain by convention). [?clock] overrides
+    {!Clock.now_ns} — inject a fake for deterministic golden-trace
+    tests. [?capacity] is the per-track event-ring size (default
+    [16384] events, 3 ints each). [?labels] names the tracks for trace
+    export (defaults: ["main"], ["worker-1"], …; ignored unless exactly
+    [tracks] labels are given). *)
+
+val enabled : t -> bool
+val num_tracks : t -> int
+val track_label : t -> int -> string
+
+val track : t -> int -> track
+(** [track t i] is domain [i]'s track. Out-of-range [i] (or a disabled
+    [t]) yields the shared no-op track, so callers never need to guard. *)
+
+val now : t -> int
+(** Nanoseconds since [create] (monotonic); [0] when disabled — pair
+    with {!record_interval}, never interpret alone. *)
+
+(** {2 Registration} — main domain only, before going parallel. *)
+
+val span : t -> string -> span
+val counter : t -> string -> counter
+val histo : t -> string -> histo
+
+(** {2 Recording} — any domain, own track only. Zero-alloc. *)
+
+val record_interval : track -> span -> start:int -> stop:int -> unit
+(** Append one duration event ([stop < start] clamps to 0 duration). *)
+
+val record : track -> span -> start:int -> unit
+(** [record_interval] with [stop] = the track's clock, read now. *)
+
+val add : track -> counter -> int -> unit
+val observe : track -> histo -> int -> unit
+(** Fold one sample into a log2-bucketed histogram (sample ≤ 1 lands
+    in bucket 0). *)
+
+(** {2 Export} — main domain, after workers joined. *)
+
+type event = { e_track : int; e_span : span; e_start : int; e_dur : int }
+
+val events : t -> event list
+(** All surviving events, sorted by start time (ties: longer first,
+    then recording order), nanoseconds since [create]. *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite, across all tracks. *)
+
+val span_name : t -> span -> string
+val span_names : t -> string list
+val counter_names : t -> string list
+val histo_names : t -> string list
+
+val counter_value : t -> track:int -> counter -> int
+val counter_total : t -> counter -> int
+val span_total : t -> track:int -> span -> int
+(** Summed duration (ns) of a span's surviving events on one track. *)
+
+type histo_summary = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_p50 : int;  (** bucket-midpoint estimate *)
+  hs_p90 : int;
+  hs_p99 : int;
+}
+
+val histo_summary : t -> histo -> histo_summary option
+(** Merged across tracks; [None] when no samples. Percentiles are log2
+    bucket midpoints (coarse by design — the buckets are the point). *)

@@ -1,10 +1,13 @@
 type t = { metrics : Metrics.t; journal : Journal.t option }
 
-let create ?(with_journal = false) () =
-  {
-    metrics = Metrics.create ();
-    journal = (if with_journal then Some (Journal.create ()) else None);
-  }
+let create ?(with_journal = false) ?journal_path () =
+  let journal =
+    match journal_path with
+    | Some path -> Some (Journal.create ~path ())
+    | None -> if with_journal then Some (Journal.create ()) else None
+  in
+  { metrics = Metrics.create (); journal }
 
 let metrics t = t.metrics
 let journal t = t.journal
+let close t = Option.iter Journal.close t.journal

@@ -11,9 +11,15 @@
 
 type t
 
-val create : ?with_journal:bool -> unit -> t
+val create : ?with_journal:bool -> ?journal_path:string -> unit -> t
 (** Fresh registry; a journal too when [with_journal] (default
-    [false]). *)
+    [false]). [?journal_path] implies a journal and streams it to disk
+    as JSONL while the run progresses ({!Journal.create}) — pair with
+    {!close} (ideally under [Fun.protect]) so partial journals survive
+    a crashed run. *)
 
 val metrics : t -> Metrics.t
 val journal : t -> Journal.t option
+
+val close : t -> unit
+(** Close the journal's streaming sink, if any. Idempotent. *)

@@ -1,0 +1,32 @@
+(** Chrome trace-event export and text reports for {!Prof}.
+
+    {!to_json} renders a profiler as the trace-event format Perfetto
+    and [chrome://tracing] load directly: complete duration events
+    ([ph:"X"], [ts]/[dur] in microseconds), one lane ([tid]) per Prof
+    track, a [thread_name] metadata event per lane, and counter totals
+    as [ph:"C"] value tracks. {!validate} structurally checks any such
+    document — including that spans nest properly per lane — and backs
+    both the test suite and [ssmfp_cli trace-check] in CI. *)
+
+val to_json : Prof.t -> Json.t
+
+val write_file : string -> Prof.t -> unit
+(** Write {!to_json} (newline-terminated) to a path. *)
+
+val validate : Json.t -> (unit, string) result
+(** Check a trace document: [traceEvents] present; every event has
+    [name]/[ph]; [X]/[C] events carry numeric [ts] (and [dur] for [X])
+    plus integer [pid]/[tid]; unknown [ph] rejected; and on every
+    [(pid, tid)] lane the [X] intervals form a proper forest — any two
+    are disjoint or one contains the other. *)
+
+val summary : Prof.t -> string
+(** Multi-line text report: wall-clock, per-span count/total/%%, per
+    track busy time (top-level span coverage — nested spans don't
+    double-count), non-zero counters with per-track values, histogram
+    digests, and the headline attribution figure ({!attribution_pct}). *)
+
+val attribution_pct : Prof.t -> float
+(** Percent of wall-clock (first event start to last event end)
+    covered by track 0's top-level spans — the "how much of the run is
+    explained by named spans" acceptance number. *)

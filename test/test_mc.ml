@@ -111,6 +111,39 @@ let test_sample_within_enumeration_space () =
         (List.length states.(sc.Mc.Explore.src).Ssmfp.State.outbox))
     sample
 
+let test_profiled_search_unperturbed () =
+  (* Profiling must be a pure observer: the report's semantic fields
+     agree with the sequential, unprofiled search at every worker count,
+     the span-name set is worker-count independent, and the emitted
+     Chrome trace passes the nesting validator. *)
+  let sc = Mc.Explore.two_chain in
+  let rng = Prng.Splitmix.of_int 11 in
+  let inits = Mc.Explore.sample_initials rng ~count:200 sc in
+  let semantic (r : Mc.Explore.safety_report) =
+    ( r.Mc.Explore.explored,
+      r.Mc.Explore.transitions,
+      r.Mc.Explore.duplicate_delivery,
+      r.Mc.Explore.lost_valid,
+      r.Mc.Explore.deadlock )
+  in
+  let plain = semantic (Mc.Explore.check_safety sc inits) in
+  let profiled w =
+    let prof = Obs.Prof.create ~tracks:w () in
+    let r = Mc.Explore.check_safety ~workers:w ~prof sc inits in
+    (semantic r, prof)
+  in
+  let r2, p2 = profiled 2 in
+  let r4, p4 = profiled 4 in
+  Alcotest.(check bool) "2 workers, profiled = sequential" true (r2 = plain);
+  Alcotest.(check bool) "4 workers, profiled = sequential" true (r4 = plain);
+  let names p = List.sort compare (Obs.Prof.span_names p) in
+  Alcotest.(check (list string)) "span set independent of worker count"
+    (names p2) (names p4);
+  Alcotest.(check bool) "spans recorded" true (Obs.Prof.events p4 <> []);
+  match Obs.Traceview.validate (Obs.Traceview.to_json p4) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trace fails validation: %s" e
+
 let () =
   Alcotest.run "mc"
     [
@@ -133,5 +166,7 @@ let () =
           Alcotest.test_case "budget guard" `Quick test_budget_guard;
           Alcotest.test_case "sampling shape" `Quick
             test_sample_within_enumeration_space;
+          Alcotest.test_case "profiled search unperturbed" `Quick
+            test_profiled_search_unperturbed;
         ] );
     ]

@@ -208,6 +208,106 @@ let test_network_crash_recovery () =
   Alcotest.(check int) "deliveries resume on the rewritten state" 107
     (Mp.Network.state net 1)
 
+(* ---------------- causal tracing (Lamport stamps) ---------------- *)
+
+let profiled_port ?(loss = 0.) ~seed g per_processor =
+  Ssmfp.Message.reset_ghost_counter ();
+  let n = Topology.Graph.n g in
+  let rng = Prng.Splitmix.of_int (seed + 13) in
+  let wl = Harness.Workload.uniform_random rng ~n ~per_processor in
+  let prof = Obs.Prof.create ~tracks:1 () in
+  let t = Mp.Ssmfp_mp.create ~loss ~seed ~prof g wl in
+  let r = Mp.Ssmfp_mp.run t in
+  (t, r, prof)
+
+let test_port_lamport_tracing () =
+  let g = Topology.Builders.path 3 in
+  let t, r, prof = profiled_port ~seed:4 g 1 in
+  Alcotest.(check bool) "run completes" true (r.Mp.Ssmfp_mp.outcome = `All_done);
+  (* every delivery advanced some clock, and hops were logged *)
+  let clocks = List.init 3 (Mp.Ssmfp_mp.lamport t) in
+  Alcotest.(check bool) "lamport clocks advanced" true
+    (List.for_all (fun c -> c > 0) clocks);
+  let hops = Mp.Ssmfp_mp.hops t in
+  Alcotest.(check bool) "hop log populated" true (hops <> []);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "hop is an edge" true
+        (Topology.Graph.is_edge g h.Mp.Network.hop_from h.Mp.Network.hop_into);
+      Alcotest.(check bool) "receive clock exceeds send clock" true
+        (h.Mp.Network.hop_recv_lamport > h.Mp.Network.hop_send_lamport
+        || h.Mp.Network.hop_recv_lamport > 0))
+    hops;
+  (* latency histogram filled in *)
+  let hl = Obs.Prof.histo prof "mp.send_deliver_ns" in
+  (match Obs.Prof.histo_summary prof hl with
+  | None -> Alcotest.fail "no latency samples"
+  | Some s ->
+      Alcotest.(check int) "one latency sample per logged delivery"
+        (List.length hops) s.Obs.Prof.hs_count);
+  Alcotest.(check bool) "sends counted" true
+    (Obs.Prof.counter_total prof (Obs.Prof.counter prof "mp.sends") > 0)
+
+let test_port_causal_chain () =
+  let g = Topology.Builders.path 3 in
+  let t, _, _ = profiled_port ~seed:4 g 1 in
+  let hops = Mp.Ssmfp_mp.hops t in
+  let last = List.nth hops (List.length hops - 1) in
+  let chain = Mp.Ssmfp_mp.causal_chain t ~id:last.Mp.Network.hop_id in
+  Alcotest.(check bool) "chain found" true (chain <> []);
+  (* the chain ends at the queried delivery *)
+  let final = List.nth chain (List.length chain - 1) in
+  Alcotest.(check int) "chain ends at the queried message"
+    last.Mp.Network.hop_id final.Mp.Network.hop_id;
+  (* each link flows into the next sender with a consistent clock *)
+  let rec check_links = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check int) "link delivered into the next sender"
+          b.Mp.Network.hop_from a.Mp.Network.hop_into;
+        Alcotest.(check bool) "clocks monotone along the chain" true
+          (a.Mp.Network.hop_recv_lamport <= b.Mp.Network.hop_send_lamport);
+        check_links rest
+    | _ -> ()
+  in
+  check_links chain;
+  Alcotest.(check (list Alcotest.reject)) "undelivered id has no chain" []
+    (Mp.Ssmfp_mp.causal_chain t ~id:(-42))
+
+let test_port_retransmissions_counted () =
+  (* under loss, the backoff timer must republish — and the profiler
+     must see it *)
+  let _, r, prof = profiled_port ~loss:0.3 ~seed:6 (Topology.Builders.ring 4) 1 in
+  Alcotest.(check bool) "still drains under loss" true
+    (r.Mp.Ssmfp_mp.outcome = `All_done);
+  let c = Obs.Prof.counter prof "mp.retransmissions" in
+  Alcotest.(check bool) "retransmissions counted" true
+    (Obs.Prof.counter_total prof c > 0)
+
+let test_port_profiling_pure () =
+  (* profiling consumes no PRNG draws: the run is identical with it on
+     or off *)
+  let once ~with_prof =
+    Ssmfp.Message.reset_ghost_counter ();
+    let rng = Prng.Splitmix.of_int 31 in
+    let wl = Harness.Workload.uniform_random rng ~n:5 ~per_processor:2 in
+    let prof =
+      if with_prof then Obs.Prof.create ~tracks:1 () else Obs.Prof.disabled
+    in
+    let t =
+      Mp.Ssmfp_mp.create ~spec:Harness.Fault.adversarial ~channel_garbage:10
+        ~loss:0.2 ~duplication:0.1 ~reorder:0.1 ~seed:44 ~prof
+        (Topology.Builders.ring 5) wl
+    in
+    let r = Mp.Ssmfp_mp.run t in
+    ( r.Mp.Ssmfp_mp.outcome,
+      r.Mp.Ssmfp_mp.channel_deliveries,
+      r.Mp.Ssmfp_mp.max_pulse,
+      r.Mp.Ssmfp_mp.verdict,
+      Mp.Ssmfp_mp.channel_stats t )
+  in
+  Alcotest.(check bool) "profiling is a pure observer" true
+    (once ~with_prof:false = once ~with_prof:true)
+
 let test_port_seeded_determinism () =
   let once () =
     Ssmfp.Message.reset_ghost_counter ();
@@ -299,6 +399,11 @@ let () =
           Alcotest.test_case "total loss starves" `Quick
             test_port_total_loss_starves;
           Alcotest.test_case "crash recovery" `Quick test_port_crash_recovery;
+          Alcotest.test_case "lamport tracing" `Quick test_port_lamport_tracing;
+          Alcotest.test_case "causal chain" `Quick test_port_causal_chain;
+          Alcotest.test_case "retransmissions counted" `Quick
+            test_port_retransmissions_counted;
+          Alcotest.test_case "profiling pure" `Quick test_port_profiling_pure;
           QCheck_alcotest.to_alcotest prop_port_sp;
         ] );
     ]
