@@ -167,6 +167,7 @@ let chart_scenario ~index ~spelling ~corruption ~workload ~seed =
     workload;
     model = State_model;
     chaos = Chaos.Schedule.none;
+    snapshot = 0;
     seed;
     max_steps = 500_000;
   }
@@ -515,6 +516,193 @@ let run_b3 () =
        :: phase_notes);
   ]
 
+(* B5: the in-band snapshot layer at 1k nodes. Two legs on the same
+   lossy torus:32x32 synchronizer (1024 processes, Δ=4):
+
+   - b5-overhead: identical delivery budgets driven snapshot-off and
+     snapshot-on (epochs initiated every 2000 deliveries, engine ticked
+     every 128 — the chaos driver's cadence), interleaved best-of-7
+     (marker traffic shifts the scheduler's channel draws, so the two
+     arms run genuinely different trajectories; the minimum over many
+     interleaved reps is the only estimator that survives the host's
+     slow drift at this run length). The gate is deliveries/s with
+     snapshots on within 5% of off — the "safe to leave attached"
+     contract for the snapshot layer. The snapshot-off run never
+     constructs the layer, so it also witnesses that attach-free runs
+     carry zero cost.
+
+   - b5-cut-latency: one epoch initiated at delivery 50k (past the
+     deepest adversarial recovery backlog) with the rest of a 220k
+     budget as runway, measuring deliveries from initiation to the
+     assembled cut. The gate is one completed, consistent cut: on a
+     15%-loss 1k-node network the marker protocol must actually
+     converge, not just not crash. The latency is dominated by the
+     random scheduler's service of the last open channels — a coupon
+     collector over ~4k directed channels, each of whose markers may
+     sit behind queued synchronizer traffic — so it lands in the tens
+     of thousands of deliveries: reported, not gated. *)
+let run_b5 () =
+  Harness.Report.section
+    "B5: snapshot overhead and cut latency (torus:32x32, lossy, mp model)";
+  let g = Topology.Builders.torus ~rows:32 ~cols:32 in
+  let n = Topology.Graph.n g in
+  let knobs = Chaos.Schedule.channel_knobs Chaos.Schedule.Lossy in
+  let tick_chunk = 128 in
+  let make () =
+    Ssmfp.Message.reset_ghost_counter ();
+    let wl =
+      Harness.Workload.uniform_random (Prng.Splitmix.of_int 31) ~n
+        ~per_processor:2
+    in
+    Mp.Ssmfp_mp.create ~spec:Harness.Fault.adversarial
+      ~loss:knobs.Chaos.Schedule.loss
+      ~duplication:knobs.Chaos.Schedule.duplication
+      ~reorder:knobs.Chaos.Schedule.reorder ~seed:51 g wl
+  in
+  (* Chunked drive mirroring Chaos.Mp_run: stop every [tick_chunk]
+     deliveries to tick the engine and harvest cuts. [at_chunk] sees the
+     cuts completed in that chunk and decides whether to keep driving;
+     the full harvest is also returned. *)
+  let drive_chunked t link ~budget ~at_chunk =
+    let d0 = Mp.Ssmfp_mp.channel_deliveries t in
+    let harvested = ref [] in
+    let rec loop () =
+      let spent = Mp.Ssmfp_mp.channel_deliveries t - d0 in
+      if spent < budget then begin
+        let bound = Mp.Ssmfp_mp.channel_deliveries t + tick_chunk in
+        ignore
+          (Mp.Ssmfp_mp.drive ~max_deliveries:(budget - spent)
+             ~stop:(fun t -> Mp.Ssmfp_mp.channel_deliveries t >= bound)
+             t);
+        let fresh =
+          match link with
+          | None -> []
+          | Some l ->
+              Snapshot.Ssmfp_link.tick l;
+              Snapshot.Ssmfp_link.take_completed l
+        in
+        harvested := !harvested @ fresh;
+        if at_chunk fresh then loop ()
+      end
+    in
+    loop ();
+    !harvested
+  in
+  (* Overhead leg. *)
+  let budget = 8_000 and every = 2_000 in
+  let run_once ~snapshot_on =
+    let t = make () in
+    let link =
+      if snapshot_on then Some (Snapshot.Ssmfp_link.attach ~seed:51 t)
+      else None
+    in
+    let next_init = ref every in
+    let t0 = Unix.gettimeofday () in
+    let cuts =
+      drive_chunked t link ~budget ~at_chunk:(fun _ ->
+          (match link with
+          | Some l when Mp.Ssmfp_mp.channel_deliveries t >= !next_init ->
+              Snapshot.Ssmfp_link.initiate l;
+              next_init := Mp.Ssmfp_mp.channel_deliveries t + every
+          | _ -> ());
+          true)
+    in
+    (Unix.gettimeofday () -. t0, List.length cuts)
+  in
+  ignore (run_once ~snapshot_on:false);
+  ignore (run_once ~snapshot_on:true);
+  let reps = 7 in
+  let off = ref [] and on_ = ref [] in
+  for _ = 1 to reps do
+    off := fst (run_once ~snapshot_on:false) :: !off;
+    on_ := fst (run_once ~snapshot_on:true) :: !on_
+  done;
+  let best l = List.fold_left min infinity l in
+  let t_off = best !off and t_on = best !on_ in
+  let overhead = (t_on /. t_off) -. 1.0 in
+  let rate s = float_of_int budget /. max 1e-9 s in
+  let overhead_notes =
+    [
+      Printf.sprintf "snapshot-off: %.0f deliveries/s (best of %d)"
+        (rate t_off) reps;
+      Printf.sprintf
+        "snapshot-on:  %.0f deliveries/s (epoch every %d deliveries)"
+        (rate t_on) every;
+      Printf.sprintf "overhead: %+.1f%% (gate <= +5.0%%)" (overhead *. 100.);
+    ]
+  in
+  let overhead_entry =
+    {
+      id = "b5-overhead";
+      title =
+        Printf.sprintf
+          "B5: snapshot-on vs -off delivery throughput (torus:32x32, n=%d)" n;
+      seconds = t_off +. t_on;
+      ok = overhead <= 0.05;
+      notes = overhead_notes;
+    }
+  in
+  (* Cut-latency leg. *)
+  let latency_budget = 220_000 and latency_warmup = 50_000 in
+  let t = make () in
+  let link = Snapshot.Ssmfp_link.attach ~seed:51 t in
+  let t0 = Unix.gettimeofday () in
+  let _ =
+    drive_chunked t (Some link) ~budget:latency_warmup ~at_chunk:(fun _ ->
+        true)
+  in
+  Snapshot.Ssmfp_link.initiate link;
+  let cuts =
+    drive_chunked t (Some link)
+      ~budget:(latency_budget - latency_warmup)
+      ~at_chunk:(fun fresh -> fresh = [])
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let ms = Mp.Ssmfp_mp.marker_stats t in
+  let est = Snapshot.Ssmfp_link.stats link in
+  let latency_ok, latency_notes =
+    match cuts with
+    | [] ->
+        ( false,
+          [
+            Printf.sprintf
+              "no cut within %d deliveries (%d epochs, %d markers lost)"
+              latency_budget est.Snapshot.Engine.epochs_started
+              ms.Mp.Ssmfp_mp.m_dropped;
+          ] )
+    | cut :: _ ->
+        let consistent = Snapshot.Ssmfp_link.consistent cut in
+        ( consistent && Snapshot.Cut.shadow_ok cut,
+          [
+            Printf.sprintf
+              "cut latency: %d deliveries (epoch %d of %d started, %d \
+               abandoned)"
+              (Snapshot.Cut.latency cut) cut.Snapshot.Cut.epoch
+              est.Snapshot.Engine.epochs_started
+              est.Snapshot.Engine.abandoned;
+            Printf.sprintf "in-flight payloads captured: %d"
+              (List.fold_left
+                 (fun acc (_, msgs) -> acc + List.length msgs)
+                 0 cut.Snapshot.Cut.channels);
+            Printf.sprintf "markers resent: %d, consistent: %b, shadow-ok: %b"
+              cut.Snapshot.Cut.markers_resent consistent
+              (Snapshot.Cut.shadow_ok cut);
+          ] )
+  in
+  let latency_entry =
+    {
+      id = "b5-cut-latency";
+      title = "B5: one-epoch cut latency (torus:32x32, lossy)";
+      seconds;
+      ok = latency_ok;
+      notes = latency_notes;
+    }
+  in
+  List.iter
+    (fun e -> List.iter (fun s -> Harness.Report.note (e.id ^ " " ^ s)) e.notes)
+    [ overhead_entry; latency_entry ];
+  [ overhead_entry; latency_entry ]
+
 (* BOBS: the disabled-instrumentation overhead gate. The same
    incremental step-throughput loop as B1 (ring:128, round-robin daemon,
    adversarial start), run plain and run with a per-step
@@ -777,6 +965,7 @@ let () =
   if want "b1" then timings := !timings @ run_b1 ();
   if want "b2" then timings := !timings @ run_b2 ();
   if want "b3" then timings := !timings @ run_b3 ();
+  if want "b5" then timings := !timings @ run_b5 ();
   if want "bobs" then timings := !timings @ run_bobs ();
   if want "figures" then run_figures ();
   if want "charts" then begin

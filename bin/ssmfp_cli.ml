@@ -634,8 +634,8 @@ let chaos_cmd =
             "Fault schedule: bursts joined by '+', each \
              <round>:<domains>:<victims> with domains from r(outing) \
              b(uffers) q(ueues) f(lags) c(rash) and victims a count or \
-             'all'; an optional channel preset '\\@lossy' or '\\@flaky' \
-             (mp model only). Example: 10:rbqf:all+40:c:2\\@lossy. 'none' \
+             'all'; an optional channel preset '@lossy' or '@flaky' \
+             (mp model only). Example: 10:rbqf:all+40:c:2@lossy. 'none' \
              disables faults.")
   in
   let model =
@@ -707,6 +707,25 @@ let chaos_cmd =
             "State model only: write the event journal (including \
              fault_injected events) to $(docv) as JSONL.")
   in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Mp model only: initiate an in-band Chandy–Lamport snapshot \
+             every $(docv) channel deliveries and check the cut oracle \
+             online; 0 (default) disables the layer entirely.")
+  in
+  let cut_journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cut-journal" ] ~docv:"FILE"
+          ~doc:
+            "With --snapshot-every: stream one snapshot_cut JSONL line \
+             per completed cut (epoch, initiator, fingerprint, clock) to \
+             $(docv) as cuts are harvested.")
+  in
   let report_lines (r : Chaos.Recovery.report) =
     Printf.printf "bursts fired: %s\n"
       (if r.Chaos.Recovery.burst_rounds = [] then "none"
@@ -759,8 +778,8 @@ let chaos_cmd =
     Printf.printf "summary     : %s\n" path
   in
   let run (name, graph) schedule model (spec_name, spec) daemon seed messages
-      aftermath channel_garbage max_steps json_file journal_file profile
-      prof_summary =
+      aftermath channel_garbage max_steps json_file journal_file snapshot_every
+      cut_journal profile prof_summary =
     let n = Topology.Graph.n graph in
     let rng = Prng.Splitmix.of_int (seed + 7919) in
     let workload =
@@ -837,10 +856,28 @@ let chaos_cmd =
           emit_prof ~profile ~prof_summary prof;
           if verdict_ok then 0 else 1
       | `Mp ->
+          let cut_j =
+            match cut_journal with
+            | Some path when snapshot_every > 0 ->
+                Some (Obs.Journal.create ~path ())
+            | _ -> None
+          in
+          let on_cut =
+            Option.map
+              (fun j (c : Snapshot.Ssmfp_link.cut) ->
+                Obs.Journal.record_cut j ~step:c.Snapshot.Cut.completed_at
+                  ~epoch:c.Snapshot.Cut.epoch
+                  ~initiator:c.Snapshot.Cut.initiator
+                  ~fingerprint:(Snapshot.Ssmfp_link.fingerprint_hex c))
+              cut_j
+          in
           let o =
-            Chaos.Mp_run.run ~spec ~channel_garbage ~seed
-              ~max_deliveries:max_steps ~aftermath ~prof ~schedule graph
-              workload
+            Fun.protect
+              ~finally:(fun () -> Option.iter Obs.Journal.close cut_j)
+              (fun () ->
+                Chaos.Mp_run.run ~spec ~channel_garbage ~seed
+                  ~max_deliveries:max_steps ~aftermath ~snapshot_every ?on_cut
+                  ~prof ~schedule graph workload)
           in
           Printf.printf "model       : mp (α-synchronizer port)\n";
           Printf.printf "outcome     : %s after %d deliveries / %d pulses\n"
@@ -865,14 +902,74 @@ let chaos_cmd =
           if aftermath > 0 then
             Printf.printf "aftermath   : %d probe request(s)\n"
               o.Chaos.Mp_run.aftermath_submitted;
+          (match o.Chaos.Mp_run.snapshot with
+          | None -> ()
+          | Some s ->
+              Printf.printf
+                "snapshots   : %d cuts / %d epochs every %d deliveries (%d \
+                 consistent, %d shadow-ok, %d abandoned, %d markers resent)\n"
+                s.Chaos.Mp_run.cuts s.Chaos.Mp_run.epochs
+                s.Chaos.Mp_run.snapshot_every s.Chaos.Mp_run.consistent
+                s.Chaos.Mp_run.shadow_ok s.Chaos.Mp_run.abandoned
+                s.Chaos.Mp_run.markers_resent;
+              Printf.printf "cut oracle  : %s%s\n"
+                (if s.Chaos.Mp_run.cut_agrees then
+                   "verdict agrees with the omniscient oracle"
+                 else "verdict DISAGREES with the omniscient oracle")
+                (match s.Chaos.Mp_run.online_violations with
+                | [] -> ""
+                | v -> "; online flags: " ^ String.concat "; " v));
           report_lines o.Chaos.Mp_run.report;
           let verdict_ok, violations, _ =
             Campaign.Pool.chaos_verdict ~schedule ~verdict:o.Chaos.Mp_run.verdict
               ~report:o.Chaos.Mp_run.report
           in
+          (* With the layer on, the in-band view must corroborate the
+             omniscient verdict for the run to count as ok. *)
+          let verdict_ok, violations =
+            match o.Chaos.Mp_run.snapshot with
+            | None -> (verdict_ok, violations)
+            | Some s ->
+                let extra =
+                  (if s.Chaos.Mp_run.cut_agrees then []
+                   else [ "cut-oracle verdict disagrees with the omniscient one" ])
+                  @ s.Chaos.Mp_run.online_violations
+                in
+                (verdict_ok && extra = [], violations @ extra)
+          in
           Printf.printf "verdict     : %s\n"
             (if verdict_ok then "ok"
              else "VIOLATED — " ^ String.concat "; " violations);
+          (match (cut_journal, cut_j) with
+          | Some path, Some j ->
+              Printf.printf "cut journal : %d cuts -> %s\n"
+                (Obs.Journal.length j) path
+          | _ -> ());
+          let snapshot_json_fields =
+            match o.Chaos.Mp_run.snapshot with
+            | None -> []
+            | Some s ->
+                [
+                  ( "snapshot",
+                    Obs.Json.Obj
+                      [
+                        ("every", Obs.Json.Int s.Chaos.Mp_run.snapshot_every);
+                        ("epochs", Obs.Json.Int s.Chaos.Mp_run.epochs);
+                        ("cuts", Obs.Json.Int s.Chaos.Mp_run.cuts);
+                        ("consistent", Obs.Json.Int s.Chaos.Mp_run.consistent);
+                        ("shadow_ok", Obs.Json.Int s.Chaos.Mp_run.shadow_ok);
+                        ("abandoned", Obs.Json.Int s.Chaos.Mp_run.abandoned);
+                        ( "markers_resent",
+                          Obs.Json.Int s.Chaos.Mp_run.markers_resent );
+                        ("cut_agrees", Obs.Json.Bool s.Chaos.Mp_run.cut_agrees);
+                        ( "online_violations",
+                          Obs.Json.List
+                            (List.map
+                               (fun v -> Obs.Json.String v)
+                               s.Chaos.Mp_run.online_violations) );
+                      ] );
+                ]
+          in
           (match json_file with
           | None -> ()
           | Some path ->
@@ -880,18 +977,19 @@ let chaos_cmd =
                 (chaos_json ~name ~model:"mp" ~schedule ~fired:o.Chaos.Mp_run.fired
                    ~seed ~report:o.Chaos.Mp_run.report
                    ~sp_ok:o.Chaos.Mp_run.verdict.Harness.Oracle.ok ~verdict_ok
-                   [
-                     ( "channel",
-                       Obs.Json.Obj
-                         [
-                           ("delivered", Obs.Json.Int ch.Mp.Ssmfp_mp.delivered);
-                           ("lost", Obs.Json.Int ch.Mp.Ssmfp_mp.lost);
-                           ("duplicated", Obs.Json.Int ch.Mp.Ssmfp_mp.duplicated);
-                           ("reordered", Obs.Json.Int ch.Mp.Ssmfp_mp.reordered);
-                           ( "dropped_while_down",
-                             Obs.Json.Int ch.Mp.Ssmfp_mp.dropped_while_down );
-                         ] );
-                   ]));
+                   ([
+                      ( "channel",
+                        Obs.Json.Obj
+                          [
+                            ("delivered", Obs.Json.Int ch.Mp.Ssmfp_mp.delivered);
+                            ("lost", Obs.Json.Int ch.Mp.Ssmfp_mp.lost);
+                            ("duplicated", Obs.Json.Int ch.Mp.Ssmfp_mp.duplicated);
+                            ("reordered", Obs.Json.Int ch.Mp.Ssmfp_mp.reordered);
+                            ( "dropped_while_down",
+                              Obs.Json.Int ch.Mp.Ssmfp_mp.dropped_while_down );
+                          ] );
+                    ]
+                   @ snapshot_json_fields)));
           emit_prof ~profile ~prof_summary prof;
           if verdict_ok then 0 else 1
     with Sys_error msg ->
@@ -902,7 +1000,8 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ schedule $ model $ corruption $ daemon $ seed
       $ messages $ aftermath $ channel_garbage $ max_steps $ json_file
-      $ journal_file $ profile_arg $ prof_summary_arg)
+      $ journal_file $ snapshot_every $ cut_journal $ profile_arg
+      $ prof_summary_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -910,6 +1009,232 @@ let chaos_cmd =
          "Strike a running execution with a timed fault schedule and check \
           the recovery oracle (post-burst exactly-once, amortized 2n invalid \
           budget, rounds back to quiescence).")
+    term
+
+(* ---------------- snapshot command ---------------- *)
+
+(* A focused walkthrough of the distributed-snapshot layer: run the mp
+   model with in-band Chandy–Lamport cuts, print each cut as it
+   completes, and end on the cut-vs-omniscient verdict comparison. *)
+let snapshot_cmd =
+  let schedule_conv =
+    Arg.conv
+      ( (fun s ->
+          match Chaos.Schedule.of_string s with
+          | Ok v -> Ok v
+          | Error e -> Error (`Msg e)),
+        fun fmt t -> Format.pp_print_string fmt (Chaos.Schedule.to_string t) )
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt schedule_conv Chaos.Schedule.none
+      & info [ "schedule" ] ~docv:"SPEC"
+          ~doc:
+            "Fault schedule running under the snapshots (chaos grammar), \
+             e.g. none@lossy or 8:rb:2@flaky. 'none' keeps the channel \
+             reliable.")
+  in
+  let corruption =
+    Arg.(
+      value
+      & opt corruption_conv ("pristine", Harness.Fault.pristine)
+      & info [ "c"; "corruption" ] ~docv:"LEVEL"
+          ~doc:"Initial configuration: pristine, random or adversarial.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let every =
+    Arg.(
+      value & opt int 400
+      & info [ "every" ] ~docv:"N"
+          ~doc:"Initiate a snapshot epoch every $(docv) channel deliveries.")
+  in
+  let messages =
+    Arg.(
+      value & opt int 2
+      & info [ "m"; "messages" ] ~docv:"K"
+          ~doc:"Messages per processor (uniform random destinations).")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-segment delivery budget.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable snapshot summary (including every \
+             cut) to $(docv).")
+  in
+  let cut_journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cut-journal" ] ~docv:"FILE"
+          ~doc:
+            "Stream one snapshot_cut JSONL line per completed cut to \
+             $(docv) as cuts are harvested.")
+  in
+  let run (name, graph) schedule (spec_name, spec) seed every messages
+      max_steps json_file cut_journal =
+    if every <= 0 then begin
+      Printf.eprintf "ssmfp_cli snapshot: --every must be positive\n";
+      2
+    end
+    else begin
+      let n = Topology.Graph.n graph in
+      let rng = Prng.Splitmix.of_int (seed + 7919) in
+      let workload =
+        Harness.Workload.uniform_random rng ~n ~per_processor:messages
+      in
+      Printf.printf "topology    : %s (n=%d, Δ=%d, D=%d)\n" name n
+        (Topology.Graph.max_degree graph)
+        (Topology.Metrics.diameter graph);
+      Printf.printf "schedule    : %s\n" (Chaos.Schedule.to_string schedule);
+      Printf.printf "corruption  : %s\n" spec_name;
+      Printf.printf "snapshots   : every %d channel deliveries\n" every;
+      let aftermath = if schedule.Chaos.Schedule.bursts = [] then 0 else 4 in
+      let cut_j = Option.map (fun path -> Obs.Journal.create ~path ()) cut_journal in
+      let cuts_seen = ref [] in
+      let on_cut (c : Snapshot.Ssmfp_link.cut) =
+        cuts_seen := c :: !cuts_seen;
+        Printf.printf
+          "cut         : epoch=%-3d initiator=%-3d latency=%-5d in-flight=%-3d fp=%s%s%s\n"
+          c.Snapshot.Cut.epoch c.Snapshot.Cut.initiator
+          (Snapshot.Cut.latency c)
+          (Snapshot.Cut.in_flight c)
+          (Snapshot.Ssmfp_link.fingerprint_hex c)
+          (if Snapshot.Cut.shadow_ok c then "" else " SHADOW-MISMATCH")
+          (if Snapshot.Ssmfp_link.consistent c then "" else " INCONSISTENT");
+        Option.iter
+          (fun j ->
+            Obs.Journal.record_cut j ~step:c.Snapshot.Cut.completed_at
+              ~epoch:c.Snapshot.Cut.epoch ~initiator:c.Snapshot.Cut.initiator
+              ~fingerprint:(Snapshot.Ssmfp_link.fingerprint_hex c))
+          cut_j
+      in
+      try
+        let o =
+          Fun.protect
+            ~finally:(fun () -> Option.iter Obs.Journal.close cut_j)
+            (fun () ->
+              Chaos.Mp_run.run ~spec ~seed ~max_deliveries:max_steps ~aftermath
+                ~snapshot_every:every ~on_cut ~schedule graph workload)
+        in
+        Printf.printf "outcome     : %s after %d deliveries / %d pulses\n"
+          (match o.Chaos.Mp_run.mp_outcome with
+          | `All_done -> "all drained"
+          | `Max_deliveries -> "delivery budget exhausted")
+          o.Chaos.Mp_run.channel_deliveries o.Chaos.Mp_run.max_pulse;
+        let ch = o.Chaos.Mp_run.channel in
+        Printf.printf
+          "channel     : %d delivered, %d lost, %d duplicated, %d reordered, %d dropped at down processes\n"
+          ch.Mp.Ssmfp_mp.delivered ch.Mp.Ssmfp_mp.lost
+          ch.Mp.Ssmfp_mp.duplicated ch.Mp.Ssmfp_mp.reordered
+          ch.Mp.Ssmfp_mp.dropped_while_down;
+        match o.Chaos.Mp_run.snapshot with
+        | None ->
+            Printf.eprintf "ssmfp_cli snapshot: layer did not attach\n";
+            2
+        | Some s ->
+            Printf.printf
+              "cuts        : %d over %d epochs (%d consistent, %d shadow-ok, \
+               %d abandoned, %d markers resent)\n"
+              s.Chaos.Mp_run.cuts s.Chaos.Mp_run.epochs
+              s.Chaos.Mp_run.consistent s.Chaos.Mp_run.shadow_ok
+              s.Chaos.Mp_run.abandoned s.Chaos.Mp_run.markers_resent;
+            (match s.Chaos.Mp_run.relegitimacy_bracket with
+            | None -> ()
+            | Some (lo, hi) ->
+                Printf.printf
+                  "relegitimacy: invalid deliveries stopped growing within \
+                   pulses (%d, %s]\n"
+                  lo
+                  (match hi with Some h -> string_of_int h | None -> "∞"));
+            (match s.Chaos.Mp_run.online_violations with
+            | [] -> Printf.printf "cut oracle  : no online violations\n"
+            | v ->
+                Printf.printf "cut oracle  : ONLINE FLAGS — %s\n"
+                  (String.concat "; " v));
+            Printf.printf "cut verdict : %s\n"
+              (if s.Chaos.Mp_run.cut_agrees then
+                 "agrees with the omniscient oracle"
+               else "DISAGREES with the omniscient oracle");
+            (match (cut_journal, cut_j) with
+            | Some path, Some j ->
+                Printf.printf "cut journal : %d cuts -> %s\n"
+                  (Obs.Journal.length j) path
+            | _ -> ());
+            (match json_file with
+            | None -> ()
+            | Some path ->
+                let doc =
+                  Obs.Json.Obj
+                    [
+                      ("topology", Obs.Json.String name);
+                      ( "schedule",
+                        Obs.Json.String (Chaos.Schedule.to_string schedule) );
+                      ("corruption", Obs.Json.String spec_name);
+                      ("seed", Obs.Json.Int seed);
+                      ("every", Obs.Json.Int every);
+                      ( "outcome",
+                        Obs.Json.String
+                          (match o.Chaos.Mp_run.mp_outcome with
+                          | `All_done -> "all_done"
+                          | `Max_deliveries -> "max_deliveries") );
+                      ( "deliveries",
+                        Obs.Json.Int o.Chaos.Mp_run.channel_deliveries );
+                      ("epochs", Obs.Json.Int s.Chaos.Mp_run.epochs);
+                      ("cuts_completed", Obs.Json.Int s.Chaos.Mp_run.cuts);
+                      ("consistent", Obs.Json.Int s.Chaos.Mp_run.consistent);
+                      ("shadow_ok", Obs.Json.Int s.Chaos.Mp_run.shadow_ok);
+                      ("abandoned", Obs.Json.Int s.Chaos.Mp_run.abandoned);
+                      ( "markers_resent",
+                        Obs.Json.Int s.Chaos.Mp_run.markers_resent );
+                      ("cut_agrees", Obs.Json.Bool s.Chaos.Mp_run.cut_agrees);
+                      ( "online_violations",
+                        Obs.Json.List
+                          (List.map
+                             (fun v -> Obs.Json.String v)
+                             s.Chaos.Mp_run.online_violations) );
+                      ( "cuts",
+                        Obs.Json.List
+                          (List.rev_map Snapshot.Ssmfp_link.cut_to_json
+                             !cuts_seen) );
+                    ]
+                in
+                let oc = open_out path in
+                output_string oc (Obs.Json.to_string doc);
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "summary     : %s\n" path);
+            if
+              s.Chaos.Mp_run.cuts > 0
+              && s.Chaos.Mp_run.cut_agrees
+              && s.Chaos.Mp_run.online_violations = []
+            then 0
+            else 1
+      with Sys_error msg ->
+        Printf.eprintf "ssmfp_cli: cannot write artifact: %s\n" msg;
+        2
+    end
+  in
+  let term =
+    Term.(
+      const run $ topology_arg $ schedule $ corruption $ seed $ every
+      $ messages $ max_steps $ json_file $ cut_journal)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Run the message-passing model with in-band Chandy–Lamport \
+          snapshots, print each consistent cut as it completes, and compare \
+          the cut oracle's verdict against the omniscient one.")
     term
 
 (* ---------------- campaign command ---------------- *)
@@ -953,7 +1278,8 @@ let campaign_cmd =
       & info [ "grid" ] ~docv:"NAME"
           ~doc:
             "Base grid: default (32 scenarios), smoke (8, for CI) or chaos \
-             (108 fault-schedule scenarios across both models).")
+             (144 fault-schedule scenarios across both models, with and \
+             without the snapshot layer).")
   in
   let topologies =
     let axis =
@@ -1020,6 +1346,24 @@ let campaign_cmd =
             "Comma-separated fault schedules, e.g. \
              none,10:rbqf:all+40:c:2@lossy (see the chaos subcommand for the \
              grammar).")
+  in
+  let snapshots =
+    let axis =
+      axis_conv ~what:"snapshot interval"
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some v when v >= 0 -> Ok v
+          | _ -> Error (Printf.sprintf "bad snapshot interval %S (expected a non-negative delivery count)" s))
+        string_of_int
+    in
+    Arg.(
+      value
+      & opt (some axis) None
+      & info [ "snapshots" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated snapshot intervals (channel deliveries) \
+             overriding the grid's axis, e.g. 0,400. 0 is snapshot-off; \
+             nonzero intervals apply to mp scenarios only.")
   in
   let seeds =
     let axis =
@@ -1098,9 +1442,9 @@ let campaign_cmd =
       & info [ "latency-tolerance" ] ~docv:"PCT"
           ~doc:"Latency p50 regression tolerance for --baseline, in percent.")
   in
-  let run grid_base topologies corruptions daemons workloads models chaos seeds
-      max_steps only workers dry_run out baseline from_ latency_tolerance
-      profile prof_summary =
+  let run grid_base topologies corruptions daemons workloads models chaos
+      snapshots seeds max_steps only workers dry_run out baseline from_
+      latency_tolerance profile prof_summary =
     let grid =
       match grid_base with
       | `Default -> Spec.default_grid ()
@@ -1115,6 +1459,7 @@ let campaign_cmd =
         workloads = Option.value ~default:grid.Spec.workloads workloads;
         models = Option.value ~default:grid.Spec.models models;
         chaos = Option.value ~default:grid.Spec.chaos chaos;
+        snapshots = Option.value ~default:grid.Spec.snapshots snapshots;
         seeds = Option.value ~default:grid.Spec.seeds seeds;
         max_steps = Option.value ~default:grid.Spec.max_steps max_steps;
       }
@@ -1229,8 +1574,9 @@ let campaign_cmd =
   let term =
     Term.(
       const run $ grid_base $ topologies $ corruptions $ daemons $ workloads
-      $ models $ chaos $ seeds $ max_steps $ only $ workers $ dry_run $ out
-      $ baseline $ from_ $ latency_tolerance $ profile_arg $ prof_summary_arg)
+      $ models $ chaos $ snapshots $ seeds $ max_steps $ only $ workers
+      $ dry_run $ out $ baseline $ from_ $ latency_tolerance $ profile_arg
+      $ prof_summary_arg)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -1287,5 +1633,5 @@ let () =
   let doc = "snap-stabilizing message forwarding (Cournier-Dubois-Villain, IPPS 2009)" in
   let info = Cmd.info "ssmfp_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-       [ run_cmd; watch_cmd; chaos_cmd; campaign_cmd; tables_cmd; figures_cmd;
+       [ run_cmd; watch_cmd; chaos_cmd; snapshot_cmd; campaign_cmd; tables_cmd; figures_cmd;
          dot_cmd; pif_cmd; mc_cmd; trace_check_cmd ]))

@@ -1,4 +1,4 @@
-let schema = "ssmfp.campaign/2"
+let schema = "ssmfp.campaign/3"
 
 open Obs.Json
 
@@ -85,6 +85,75 @@ let count_status outcomes want =
 let recovery_reports dones =
   List.filter_map (fun (_, s) -> s.Pool.recovery) dones
 
+let channel_json (c : Pool.channel_summary) =
+  Obj
+    [
+      ("delivered", Int c.Pool.ch_delivered);
+      ("lost", Int c.Pool.ch_lost);
+      ("duplicated", Int c.Pool.ch_duplicated);
+      ("reordered", Int c.Pool.ch_reordered);
+      ("dropped_while_down", Int c.Pool.ch_dropped_while_down);
+    ]
+
+let snapshot_json (s : Pool.snapshot_summary) =
+  Obj
+    [
+      ("every", Int s.Pool.snap_every);
+      ("epochs", Int s.Pool.snap_epochs);
+      ("cuts", Int s.Pool.snap_cuts);
+      ("consistent", Int s.Pool.snap_consistent);
+      ("shadow_ok", Int s.Pool.snap_shadow_ok);
+      ("abandoned", Int s.Pool.snap_abandoned);
+      ("markers_resent", Int s.Pool.snap_markers_resent);
+      ("cut_agrees", Bool s.Pool.snap_cut_agrees);
+      ( "online_violations",
+        List (List.map (fun v -> String v) s.Pool.snap_online_violations) );
+    ]
+
+(* Channel and snapshot roll-ups only appear in groups that actually
+   carry them (mp scenarios / snapshot-on scenarios), so state-only
+   groups keep their pre-/3 shape apart from the schema tag. *)
+let channel_fields dones =
+  match List.filter_map (fun (_, s) -> s.Pool.channel) dones with
+  | [] -> []
+  | chans ->
+      let sumc f = sum f chans in
+      [
+        ( "channel",
+          Obj
+            [
+              ("delivered", Int (sumc (fun c -> c.Pool.ch_delivered)));
+              ("lost", Int (sumc (fun c -> c.Pool.ch_lost)));
+              ("duplicated", Int (sumc (fun c -> c.Pool.ch_duplicated)));
+              ("reordered", Int (sumc (fun c -> c.Pool.ch_reordered)));
+              ( "dropped_while_down",
+                Int (sumc (fun c -> c.Pool.ch_dropped_while_down)) );
+            ] );
+      ]
+
+let snapshot_fields dones =
+  match List.filter_map (fun (_, s) -> s.Pool.snapshot) dones with
+  | [] -> []
+  | snaps ->
+      let sums f = sum f snaps in
+      let agreeing =
+        List.length (List.filter (fun s -> s.Pool.snap_cut_agrees) snaps)
+      in
+      [
+        ( "snapshot",
+          Obj
+            [
+              ("scenarios", Int (List.length snaps));
+              ("epochs", Int (sums (fun s -> s.Pool.snap_epochs)));
+              ("cuts", Int (sums (fun s -> s.Pool.snap_cuts)));
+              ("consistent", Int (sums (fun s -> s.Pool.snap_consistent)));
+              ("shadow_ok", Int (sums (fun s -> s.Pool.snap_shadow_ok)));
+              ("abandoned", Int (sums (fun s -> s.Pool.snap_abandoned)));
+              ("markers_resent", Int (sums (fun s -> s.Pool.snap_markers_resent)));
+              ("cut_agrees", Int agreeing);
+            ] );
+      ]
+
 let recovery_fields dones =
   match recovery_reports dones with
   | [] -> []
@@ -122,7 +191,7 @@ let group_json key outcomes =
        ("latency_rounds", summary_json (pooled_latency dones));
        ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
      ]
-    @ recovery_fields dones)
+    @ channel_fields dones @ snapshot_fields dones @ recovery_fields dones)
 
 let scenario_json (o : Pool.outcome) =
   let sc = o.Pool.scenario in
@@ -139,6 +208,7 @@ let scenario_json (o : Pool.outcome) =
       ("workload", String (Spec.workload_to_string sc.Spec.workload));
       ("model", String (Spec.model_to_string sc.Spec.model));
       ("chaos", String (Chaos.Schedule.to_string sc.Spec.chaos));
+      ("snapshot_every", Int sc.Spec.snapshot);
       ("seed", Int sc.Spec.seed);
       ("status", String (status_string o));
     ]
@@ -176,6 +246,12 @@ let scenario_json (o : Pool.outcome) =
             ("latency_rounds", summary_json (Harness.Stats.summarize s.Pool.latencies));
             ("delay_rounds", summary_json (Harness.Stats.summarize s.Pool.delays));
           ]
+        @ (match s.Pool.channel with
+          | None -> []
+          | Some c -> [ ("channel", channel_json c) ])
+        @ (match s.Pool.snapshot with
+          | None -> []
+          | Some snap -> [ ("snapshot", snapshot_json snap) ])
         @
         match s.Pool.recovery with
         | None -> []
@@ -205,7 +281,7 @@ let totals_json outcomes =
        ("delay_rounds", summary_json (pooled_delay dones));
        ("worst_latency_p99_over_delta_pow_d", Float (worst_latency_vs_envelope dones));
      ]
-    @ recovery_fields dones)
+    @ channel_fields dones @ snapshot_fields dones @ recovery_fields dones)
 
 (* Axis breakdowns keep first-appearance order, which is itself stable
    because outcomes are sorted by scenario index first. *)
@@ -243,6 +319,9 @@ let to_json outcomes =
       axis "by_model" (fun o -> Spec.model_to_string o.Pool.scenario.Spec.model);
       axis "by_chaos" (fun o ->
           Chaos.Schedule.to_string o.Pool.scenario.Spec.chaos);
+      axis "by_snapshot" (fun o ->
+          if o.Pool.scenario.Spec.snapshot = 0 then "off"
+          else Printf.sprintf "snap%d" o.Pool.scenario.Spec.snapshot);
     ]
 
 let write path doc =
@@ -326,6 +405,29 @@ let render_summary doc =
            (float_field lat "p99")
            (float_field totals "worst_latency_p99_over_delta_pow_d"))
   | None -> ());
+  (match member "channel" totals with
+  | Some ch ->
+      let f name =
+        Option.value ~default:0 (Option.bind (member name ch) to_int)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "channel     : %d delivered, %d lost, %d duplicated, %d reordered, %d crashed away\n"
+           (f "delivered") (f "lost") (f "duplicated") (f "reordered")
+           (f "dropped_while_down"))
+  | None -> ());
+  (match member "snapshot" totals with
+  | Some sn ->
+      let f name =
+        Option.value ~default:0 (Option.bind (member name sn) to_int)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "snapshots   : %d cuts over %d epochs (%d consistent, %d shadow-ok, \
+            %d abandoned); cut verdict agrees %d/%d\n"
+           (f "cuts") (f "epochs") (f "consistent") (f "shadow_ok")
+           (f "abandoned") (f "cut_agrees") (f "scenarios"))
+  | None -> ());
   (match member "recovery_rounds" totals with
   | Some rr ->
       Buffer.add_string buf
@@ -368,6 +470,7 @@ let render_summary doc =
       ("by_workload", "workload");
       ("by_model", "model");
       ("by_chaos", "chaos");
+      ("by_snapshot", "snapshot");
     ];
   (match failed with
   | [] -> ()

@@ -14,18 +14,24 @@
       tallies (with ["invalid_bound"] = [2n], Prop. 4), verdict and latency/
       delay digests (Props. 5–6);
     - ["by_topology"], ["by_corruption"], ["by_daemon"], ["by_workload"],
-      ["by_model"], ["by_chaos"] — per-axis breakdowns: delivery rate,
-      invalid-vs-bound worst ratio, pooled rounds-to-delivery percentiles
-      with their worst ratio to [Δ^D] (the Prop. 5 envelope), and — when
-      the group holds chaos scenarios — recovered counts with pooled
-      rounds-to-recovery percentiles.
+      ["by_model"], ["by_chaos"], ["by_snapshot"] — per-axis breakdowns:
+      delivery rate, invalid-vs-bound worst ratio, pooled
+      rounds-to-delivery percentiles with their worst ratio to [Δ^D]
+      (the Prop. 5 envelope), and — when the group holds chaos
+      scenarios — recovered counts with pooled rounds-to-recovery
+      percentiles.
 
-    Chaos scenarios additionally carry a ["recovery"] object (the
-    {!Chaos.Recovery} report) and crashed ones a ["crash_backtrace"]
-    string next to ["crash"]. *)
+    Mp scenarios additionally carry a ["channel"] object (the network's
+    perturbation counters: delivered/lost/duplicated/reordered/
+    dropped_while_down) and, with the snapshot layer on, a ["snapshot"]
+    object (epochs, cuts, consistency and shadow counts, abandonment,
+    marker resends, ["cut_agrees"]); groups and totals roll both up when
+    any member carries them. Chaos scenarios additionally carry a
+    ["recovery"] object (the {!Chaos.Recovery} report) and crashed ones
+    a ["crash_backtrace"] string next to ["crash"]. *)
 
 val schema : string
-(** ["ssmfp.campaign/2"]. *)
+(** ["ssmfp.campaign/3"]. *)
 
 val to_json : Pool.outcome list -> Obs.Json.t
 (** Order-insensitive: outcomes are re-sorted by scenario index. *)

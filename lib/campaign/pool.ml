@@ -1,3 +1,23 @@
+type channel_summary = {
+  ch_delivered : int;
+  ch_lost : int;
+  ch_duplicated : int;
+  ch_reordered : int;
+  ch_dropped_while_down : int;
+}
+
+type snapshot_summary = {
+  snap_every : int;
+  snap_epochs : int;
+  snap_cuts : int;
+  snap_consistent : int;
+  snap_shadow_ok : int;
+  snap_abandoned : int;
+  snap_markers_resent : int;
+  snap_cut_agrees : bool;
+  snap_online_violations : string list;
+}
+
 type run_summary = {
   outcome : [ `Quiescent | `Max_steps ];
   steps : int;
@@ -16,6 +36,8 @@ type run_summary = {
   latencies : float list;
   delays : float list;
   recovery : Chaos.Recovery.report option;
+  channel : channel_summary option;
+  snapshot : snapshot_summary option;
 }
 
 type crash = { crash_msg : string; crash_backtrace : string }
@@ -271,6 +293,30 @@ let summary_of_chaos (o : Chaos.Runner.outcome) =
     latencies;
     delays;
     recovery;
+    channel = None;
+    snapshot = None;
+  }
+
+let channel_summary (c : Mp.Ssmfp_mp.channel_stats) =
+  {
+    ch_delivered = c.Mp.Ssmfp_mp.delivered;
+    ch_lost = c.Mp.Ssmfp_mp.lost;
+    ch_duplicated = c.Mp.Ssmfp_mp.duplicated;
+    ch_reordered = c.Mp.Ssmfp_mp.reordered;
+    ch_dropped_while_down = c.Mp.Ssmfp_mp.dropped_while_down;
+  }
+
+let snapshot_summary (s : Chaos.Mp_run.snapshot_outcome) =
+  {
+    snap_every = s.Chaos.Mp_run.snapshot_every;
+    snap_epochs = s.Chaos.Mp_run.epochs;
+    snap_cuts = s.Chaos.Mp_run.cuts;
+    snap_consistent = s.Chaos.Mp_run.consistent;
+    snap_shadow_ok = s.Chaos.Mp_run.shadow_ok;
+    snap_abandoned = s.Chaos.Mp_run.abandoned;
+    snap_markers_resent = s.Chaos.Mp_run.markers_resent;
+    snap_cut_agrees = s.Chaos.Mp_run.cut_agrees;
+    snap_online_violations = s.Chaos.Mp_run.online_violations;
   }
 
 let summary_of_mp (o : Chaos.Mp_run.outcome) =
@@ -281,6 +327,20 @@ let summary_of_mp (o : Chaos.Mp_run.outcome) =
   let verdict_ok, violations, recovery =
     chaos_verdict ~schedule:o.Chaos.Mp_run.schedule ~verdict:o.Chaos.Mp_run.verdict
       ~report:o.Chaos.Mp_run.report
+  in
+  (* With the snapshot layer on, the scenario also vouches for the
+     in-band view: the cut-side verdict must agree with the omniscient
+     one, and the online cut oracle must stay silent. *)
+  let verdict_ok, violations =
+    match o.Chaos.Mp_run.snapshot with
+    | None -> (verdict_ok, violations)
+    | Some s ->
+        let extra =
+          (if s.Chaos.Mp_run.cut_agrees then []
+           else [ "cut-oracle verdict disagrees with the omniscient one" ])
+          @ s.Chaos.Mp_run.online_violations
+        in
+        (verdict_ok && extra = [], violations @ extra)
   in
   {
     outcome =
@@ -305,6 +365,8 @@ let summary_of_mp (o : Chaos.Mp_run.outcome) =
     latencies;
     delays;
     recovery;
+    channel = Some (channel_summary o.Chaos.Mp_run.channel);
+    snapshot = Option.map snapshot_summary o.Chaos.Mp_run.snapshot;
   }
 
 let graph_meta (sc : Spec.scenario) =
@@ -336,8 +398,8 @@ let run_scenario (sc : Spec.scenario) =
         (Chaos.Mp_run.run
            ~spec:(Spec.materialize_fault_spec sc)
            ~channel_garbage:(mp_channel_garbage sc ~n) ~seed:sc.Spec.seed
-           ~aftermath:(aftermath_for sc) ~schedule:sc.Spec.chaos
-           sc.Spec.topology.Spec.graph
+           ~aftermath:(aftermath_for sc) ~snapshot_every:sc.Spec.snapshot
+           ~schedule:sc.Spec.chaos sc.Spec.topology.Spec.graph
            (Spec.materialize_workload sc))
 
 let run_one sc =

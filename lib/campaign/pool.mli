@@ -9,6 +9,31 @@
     A scenario that raises is recorded as a {!Crashed} outcome; it never
     takes the campaign (or its worker domain) down. *)
 
+type channel_summary = {
+  ch_delivered : int;
+  ch_lost : int;  (** dropped by the loss knob *)
+  ch_duplicated : int;
+  ch_reordered : int;
+  ch_dropped_while_down : int;  (** evaporated at a crashed process *)
+}
+(** The mp network's channel-perturbation counters, surfaced next to the
+    verdict so artifacts show what the channel actually did to the run. *)
+
+type snapshot_summary = {
+  snap_every : int;  (** initiation interval in channel deliveries *)
+  snap_epochs : int;
+  snap_cuts : int;  (** cuts completed and checked online *)
+  snap_consistent : int;
+  snap_shadow_ok : int;
+  snap_abandoned : int;
+  snap_markers_resent : int;
+  snap_cut_agrees : bool;
+      (** the final cut's replayed verdicts match the omniscient ones *)
+  snap_online_violations : string list;
+}
+(** The in-band Chandy–Lamport layer's outcome ({!Chaos.Mp_run}), present
+    exactly when the scenario's [snapshot] interval is nonzero. *)
+
 type run_summary = {
   outcome : [ `Quiescent | `Max_steps ];
       (** mp scenarios map [`All_done] to [`Quiescent] and delivery-budget
@@ -40,6 +65,11 @@ type run_summary = {
   recovery : Chaos.Recovery.report option;
       (** [Some] exactly when the scenario's schedule is not
           [Chaos.Schedule.none] *)
+  channel : channel_summary option;  (** [Some] on mp scenarios *)
+  snapshot : snapshot_summary option;
+      (** [Some] on mp scenarios with a nonzero snapshot interval; a
+          disagreeing cut verdict or any online cut-oracle flag also
+          clears [verdict_ok] *)
 }
 
 type crash = {

@@ -149,6 +149,7 @@ type grid = {
   workloads : workload_kind list;
   models : model list;
   chaos : Chaos.Schedule.t list;
+  snapshots : int list;
   seeds : int list;
   max_steps : int;
 }
@@ -162,6 +163,7 @@ let default_grid () =
     workloads = [ Uniform 2 ];
     models = [ State_model ];
     chaos = [ Chaos.Schedule.none ];
+    snapshots = [ 0 ];
     seeds = [ 1; 2 ];
     max_steps = 500_000;
   }
@@ -174,6 +176,7 @@ let smoke_grid () =
     workloads = [ Uniform 1 ];
     models = [ State_model ];
     chaos = [ Chaos.Schedule.none ];
+    snapshots = [ 0 ];
     seeds = [ 1; 2 ];
     max_steps = 200_000;
   }
@@ -187,6 +190,7 @@ let chaos_grid () =
     models = [ State_model; Mp_model ];
     chaos =
       List.map chaos_exn [ "8:rb:2"; "8:rbqf:all+20:c:1@lossy"; "12:bq:3@flaky" ];
+    snapshots = [ 0; 400 ];
     seeds = [ 1; 2 ];
     max_steps = 500_000;
   }
@@ -200,22 +204,27 @@ type scenario = {
   workload : workload_kind;
   model : model;
   chaos : Chaos.Schedule.t;
+  snapshot : int;
   seed : int;
   max_steps : int;
 }
 
-let scenario_id t c d w m ch s =
-  Printf.sprintf "%s/%s/%s/%s/%s/%s/s%d" t.t_name (corruption_to_string c)
+(* The /snapN segment only appears when the layer is on, so every
+   pre-snapshot scenario id survives the axis addition unchanged. *)
+let scenario_id t c d w m ch sn s =
+  Printf.sprintf "%s/%s/%s/%s/%s/%s%s/s%d" t.t_name (corruption_to_string c)
     (Harness.Runner.daemon_kind_to_string d)
     (workload_to_string w) (model_to_string m)
     (Chaos.Schedule.to_string ch)
+    (if sn > 0 then Printf.sprintf "/snap%d" sn else "")
     s
 
 let chaos_filter sc =
   (* The mp synchronizer has no daemon; keep one daemon spelling per mp
-     point so the chaos grid doesn't carry semantically-identical twins. *)
+     point so the chaos grid doesn't carry semantically-identical twins.
+     Snapshots are an mp-only layer: drop state-model × snapshot>0. *)
   match sc.model with
-  | State_model -> true
+  | State_model -> sc.snapshot = 0
   | Mp_model -> sc.daemon = Harness.Runner.Synchronous
 
 let expand ?(filter = fun _ -> true) (grid : grid) =
@@ -233,23 +242,27 @@ let expand ?(filter = fun _ -> true) (grid : grid) =
                       List.iter
                         (fun ch ->
                           List.iter
-                            (fun s ->
-                              let sc =
-                                {
-                                  index = 0;
-                                  id = scenario_id t c d w m ch s;
-                                  topology = t;
-                                  corruption = c;
-                                  daemon = d;
-                                  workload = w;
-                                  model = m;
-                                  chaos = ch;
-                                  seed = s;
-                                  max_steps = grid.max_steps;
-                                }
-                              in
-                              if filter sc then acc := sc :: !acc)
-                            grid.seeds)
+                            (fun sn ->
+                              List.iter
+                                (fun s ->
+                                  let sc =
+                                    {
+                                      index = 0;
+                                      id = scenario_id t c d w m ch sn s;
+                                      topology = t;
+                                      corruption = c;
+                                      daemon = d;
+                                      workload = w;
+                                      model = m;
+                                      chaos = ch;
+                                      snapshot = sn;
+                                      seed = s;
+                                      max_steps = grid.max_steps;
+                                    }
+                                  in
+                                  if filter sc then acc := sc :: !acc)
+                                grid.seeds)
+                            grid.snapshots)
                         grid.chaos)
                     grid.models)
                 grid.workloads)

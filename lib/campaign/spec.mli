@@ -76,6 +76,10 @@ type grid = {
   models : model list;
   chaos : Chaos.Schedule.t list;
       (** fault schedules; [Chaos.Schedule.none] is the plain run *)
+  snapshots : int list;
+      (** snapshot initiation intervals in channel deliveries; [0] is
+          snapshot-off (mp scenarios only — {!chaos_filter} drops
+          state-model points with a nonzero interval) *)
   seeds : int list;
   max_steps : int;  (** step budget of every scenario *)
 }
@@ -94,28 +98,33 @@ val chaos_grid : unit -> grid
     adversarial} × {synchronous, distributed} × uniform:2 × {state, mp}
     × three fault schedules (an early point burst, an all-victims burst
     followed by a crash on a lossy channel, and a mid-run burst on a
-    flaky channel) × seeds {1, 2}. Expand it with {!chaos_filter} to
-    drop the mp × distributed twins — 108 scenarios. *)
+    flaky channel) × snapshot intervals {off, 400} × seeds {1, 2}.
+    Expand it with {!chaos_filter} to drop the mp × distributed twins
+    and the state × snapshot-on points — 144 scenarios. *)
 
 type scenario = {
   index : int;  (** position in the expanded (filtered) list *)
   id : string;
-      (** ["<topology>/<corruption>/<daemon>/<workload>/<model>/<chaos>/s<seed>"]
-          — unique within a grid and stable across grid reshapes *)
+      (** ["<topology>/<corruption>/<daemon>/<workload>/<model>/<chaos>[/snap<N>]/s<seed>"]
+          — unique within a grid and stable across grid reshapes; the
+          [/snap<N>] segment appears only when [snapshot > 0], so ids
+          from pre-snapshot artifacts are unchanged *)
   topology : topology;
   corruption : corruption;
   daemon : Harness.Runner.daemon_kind;
   workload : workload_kind;
   model : model;
   chaos : Chaos.Schedule.t;
+  snapshot : int;  (** snapshot interval in deliveries; [0] = off *)
   seed : int;
   max_steps : int;
 }
 
 val chaos_filter : scenario -> bool
-(** Keeps every state-model scenario and only the synchronous-daemon
-    spelling of each mp scenario (the synchronizer has no daemon, so
-    other spellings would be semantically identical twins). *)
+(** Keeps every state-model scenario (snapshot-off spelling only — the
+    layer is mp-specific) and only the synchronous-daemon spelling of
+    each mp scenario (the synchronizer has no daemon, so other
+    spellings would be semantically identical twins). *)
 
 val expand : ?filter:(scenario -> bool) -> grid -> scenario list
 (** Cartesian product in a stable order: topologies outermost, then

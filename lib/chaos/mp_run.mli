@@ -6,7 +6,37 @@
     Burst rounds are synchronizer pulses here. A burst's state domains
     corrupt the victims' SSMFP cores through [Ssmfp_mp.set_core]; its
     [Crash] domain takes the victims down for a fixed span of scheduler
-    steps (they lose mirrors and timers on recovery). *)
+    steps (they lose mirrors and timers on recovery).
+
+    With [snapshot_every > 0] the run additionally carries the in-band
+    Chandy–Lamport layer ({!Snapshot.Ssmfp_link}): a snapshot epoch is
+    initiated every that many channel deliveries, completed cuts are
+    checked {e online} by the cut oracle between drive chunks, and at
+    quiescence one final cut is completed whose replayed ledgers yield
+    the cut-side verdict and recovery report — compared against the
+    omniscient ones in [cut_agrees]. *)
+
+type snapshot_outcome = {
+  snapshot_every : int;
+  epochs : int;  (** epochs initiated (completed + abandoned + active) *)
+  cuts : int;  (** cuts completed and checked *)
+  consistent : int;  (** cuts passing the cause-before-effect check *)
+  shadow_ok : int;  (** cuts whose stored/shadow fingerprints agree *)
+  abandoned : int;
+  markers : Mp.Ssmfp_mp.marker_stats;
+  markers_resent : int;  (** marker retransmissions across all epochs *)
+  cut_latencies : int list;  (** per cut, in channel deliveries *)
+  online_violations : string list;  (** cut-oracle flags, chronological *)
+  relegitimacy_bracket : (int * int option) option;
+      (** pulse bracket within which invalid deliveries stopped growing *)
+  cut_verdict : Harness.Oracle.verdict option;
+      (** SP checked on the final cut's replayed ledgers *)
+  cut_report : Recovery.report option;
+      (** recovery analysis on the same replayed oracle *)
+  cut_agrees : bool;
+      (** cut-side and omniscient verdicts agree ([verdict.ok] and
+          [report.ok] both match); [false] when no cut completed *)
+}
 
 type outcome = {
   mp_outcome : [ `All_done | `Max_deliveries ];
@@ -25,6 +55,7 @@ type outcome = {
       (** invalid messages sitting in the corrupted initial cores *)
   channel : Mp.Ssmfp_mp.channel_stats;
   schedule : Schedule.t;
+  snapshot : snapshot_outcome option;  (** [Some] iff [snapshot_every > 0] *)
 }
 
 val run :
@@ -33,6 +64,8 @@ val run :
   ?seed:int ->
   ?max_deliveries:int ->
   ?aftermath:int ->
+  ?snapshot_every:int ->
+  ?on_cut:(Snapshot.Ssmfp_link.cut -> unit) ->
   ?prof:Obs.Prof.t ->
   schedule:Schedule.t ->
   Topology.Graph.t ->
@@ -45,7 +78,16 @@ val run :
     after the last burst (counted into [verdict]'s expected total), so
     the recovery oracle's post-burst SP check is never vacuous.
 
+    [snapshot_every] (default 0 = off) initiates a snapshot epoch every
+    that many channel deliveries; [on_cut] is called on each completed
+    cut as it is harvested (journal streaming). A snapshot-off run
+    never attaches the layer and replays byte-identically to builds
+    that predate it.
+
     [?prof] threads into {!Mp.Ssmfp_mp.create} (Lamport hop log,
     latency/queue-depth histograms, retransmission counts) and records
     the run's skeleton on track 0: one ["chaos.segment"] span per
-    between-burst drive and a ["chaos.drain"] span for the final drain. *)
+    between-burst drive, a ["chaos.drain"] span for the final drain and
+    a ["chaos.snapshot_drain"] span for the final-cut completion, each
+    phase attributing its delivery count to the matching
+    ["chaos.*_deliveries"] counter. *)

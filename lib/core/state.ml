@@ -50,6 +50,16 @@ let pop_outbox t =
 
 let push_outbox t ~dest info = { t with outbox = t.outbox @ [ (dest, info) ] }
 
+let has_occupied t =
+  let n = Array.length t.slots in
+  let rec scan d =
+    d < n
+    &&
+    let s = t.slots.(d) in
+    s.buf_r <> None || s.buf_e <> None || scan (d + 1)
+  in
+  scan 0
+
 let occupied_buffers t =
   let acc = ref [] in
   Array.iteri

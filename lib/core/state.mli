@@ -58,6 +58,10 @@ val pop_outbox : t -> t
 val push_outbox : t -> dest:int -> Message.info -> t
 (** Append a send request (higher layer). *)
 
+val has_occupied : t -> bool
+(** [occupied_buffers t <> []] without building the list — the hot
+    drain check at large [n]. *)
+
 val occupied_buffers : t -> (int * [ `R | `E ] * Message.t) list
 (** All messages present at this processor as [(destination, buffer,
     message)] — the paper's "m is existing on p". *)

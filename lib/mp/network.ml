@@ -1,5 +1,13 @@
 type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
 
+(* Channel items: application payloads (with their stamp id) share the
+   FIFO queues with snapshot markers — the Chandy–Lamport layer rides
+   *under* the application protocol, so markers suffer the same loss,
+   duplication, reordering and crash-evaporation as everything else.
+   A network without an attached snapshot layer never enqueues markers
+   and behaves byte-for-byte as before. *)
+type 'm item = App of 'm * int | Marker of int (* snapshot epoch *)
+
 (* Profiling state: Lamport stamps and hop logging.
 
    Every handler- or timeout-originated send is stamped with a fresh
@@ -52,8 +60,22 @@ type hop = {
 type ('s, 'm) t = {
   graph : Topology.Graph.t;
   states : 's array;
-  (* (from, into) -> FIFO of (payload, stamp id); -1 = untracked *)
-  channels : (int * int, ('m * int) Queue.t) Hashtbl.t;
+  (* (from, into) -> FIFO of items; app stamps: -1 = untracked *)
+  channels : (int * int, 'm item Queue.t) Hashtbl.t;
+  (* O(log E) channel scheduler. The step scheduler must draw a uniform
+     channel among the nonempty ones, in the canonical sorted (from,
+     into) order — the draw that used to be [choose rng (sort
+     (nonempty_channels t))], an O(E log E) fold-and-sort per step. The
+     same distribution (and the very same PRNG stream: one [int] draw
+     bounded by the nonempty count) comes from a Fenwick tree over the
+     channels in sorted order, flag 1 = nonempty, maintained at every
+     queue push/pop transition. *)
+  sched_keys : (int * int) array; (* every directed channel, sorted *)
+  sched_queues : 'm item Queue.t array; (* parallel to [sched_keys] *)
+  sched_ix : (int * int, int) Hashtbl.t; (* key -> index in the above *)
+  sched_flag : bool array; (* current nonempty flag per channel *)
+  sched_fen : int array; (* 1-based Fenwick over the flags *)
+  mutable sched_nonempty : int;
   handler : ('s, 'm) handler;
   loss : float;
   duplication : float;
@@ -67,17 +89,64 @@ type ('s, 'm) t = {
   mutable duplicated : int;
   mutable reordered : int;
   mutable dropped_down : int;
+  (* Snapshot-layer hooks; both stay [None] in snapshot-free networks. *)
+  mutable marker_handler : (self:int -> from:int -> epoch:int -> unit) option;
+  mutable delivery_tap : (self:int -> from:int -> 'm -> unit) option;
+  mutable markers_sent : int;
+  mutable markers_delivered : int;
+  mutable markers_dropped : int; (* lost, or evaporated at a crashed process *)
 }
 
 let channel t ~from ~into =
   if not (Topology.Graph.is_edge t.graph from into) then
     invalid_arg "Network: not an edge";
-  match Hashtbl.find_opt t.channels (from, into) with
-  | Some q -> q
-  | None ->
-      let q = Queue.create () in
-      Hashtbl.replace t.channels (from, into) q;
-      q
+  (* Every channel is materialized at creation. *)
+  Hashtbl.find t.channels (from, into)
+
+(* Fenwick primitives over the nonempty flags (1-based internally). *)
+let fen_add t i delta =
+  let n = Array.length t.sched_keys in
+  let i = ref (i + 1) in
+  while !i <= n do
+    t.sched_fen.(!i) <- t.sched_fen.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* Index of the (k+1)-th nonempty channel in canonical order, 0-based:
+   the classic Fenwick select by descending powers of two. *)
+let fen_select t k =
+  let n = Array.length t.sched_keys in
+  let pw = ref 1 in
+  while !pw * 2 <= n do
+    pw := !pw * 2
+  done;
+  let pos = ref 0 and rem = ref k in
+  while !pw > 0 do
+    let np = !pos + !pw in
+    if np <= n && t.sched_fen.(np) <= !rem then begin
+      pos := np;
+      rem := !rem - t.sched_fen.(np)
+    end;
+    pw := !pw lsr 1
+  done;
+  !pos
+
+(* Flag transitions: [note_filled] after any push (idempotent),
+   [note_popped] after any pop. *)
+let note_filled t key =
+  let i = Hashtbl.find t.sched_ix key in
+  if not t.sched_flag.(i) then begin
+    t.sched_flag.(i) <- true;
+    t.sched_nonempty <- t.sched_nonempty + 1;
+    fen_add t i 1
+  end
+
+let note_popped t i q =
+  if Queue.is_empty q then begin
+    t.sched_flag.(i) <- false;
+    t.sched_nonempty <- t.sched_nonempty - 1;
+    fen_add t i (-1)
+  end
 
 let make_prof_state prof n =
   if not (Obs.Prof.enabled prof) then None
@@ -113,11 +182,31 @@ let make_prof_state prof n =
 
 let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.)
     ?(prof = Obs.Prof.disabled) ?timeout ?on_recover ~init ~handler graph =
+  (* Materialize every channel up front so the scheduler can index them. *)
+  let channels = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace channels (u, v) (Queue.create ());
+      Hashtbl.replace channels (v, u) (Queue.create ()))
+    (Topology.Graph.edges graph);
+  let sched_keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) channels []
+    |> List.sort compare |> Array.of_list
+  in
+  let sched_queues = Array.map (Hashtbl.find channels) sched_keys in
+  let sched_ix = Hashtbl.create (2 * Array.length sched_keys) in
+  Array.iteri (fun i k -> Hashtbl.replace sched_ix k i) sched_keys;
   let t =
     {
       graph;
       states = Array.init (Topology.Graph.n graph) init;
-      channels = Hashtbl.create 64;
+      channels;
+      sched_keys;
+      sched_queues;
+      sched_ix;
+      sched_flag = Array.make (Array.length sched_keys) false;
+      sched_fen = Array.make (Array.length sched_keys + 1) 0;
+      sched_nonempty = 0;
       handler;
       loss;
       duplication;
@@ -131,14 +220,13 @@ let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.)
       duplicated = 0;
       reordered = 0;
       dropped_down = 0;
+      marker_handler = None;
+      delivery_tap = None;
+      markers_sent = 0;
+      markers_delivered = 0;
+      markers_dropped = 0;
     }
   in
-  (* Materialize every channel so the scheduler can enumerate them. *)
-  List.iter
-    (fun (u, v) ->
-      ignore (channel t ~from:u ~into:v);
-      ignore (channel t ~from:v ~into:u))
-    (Topology.Graph.edges graph);
   t
 
 (* One stamp per logical send: duplicated copies and broadcast fan-out
@@ -162,12 +250,16 @@ let stamp t ~from =
 
 (* Injected messages are unstamped (-1): garbage in flight has no send
    event, so it can have no latency or causal past. *)
-let inject t ~from ~into m = Queue.add (m, -1) (channel t ~from ~into)
+let inject t ~from ~into m =
+  Queue.add (App (m, -1)) (channel t ~from ~into);
+  note_filled t (from, into)
 
 let send_all t ~from m =
   let sid = stamp t ~from in
   List.iter
-    (fun q -> Queue.add (m, sid) (channel t ~from ~into:q))
+    (fun q ->
+      Queue.add (App (m, sid)) (channel t ~from ~into:q);
+      note_filled t (from, q))
     (Topology.Graph.neighbors t.graph from)
 
 let state t p = t.states.(p)
@@ -181,6 +273,17 @@ let dropped t = t.dropped
 let duplicated t = t.duplicated
 let reordered t = t.reordered
 let dropped_while_down t = t.dropped_down
+let markers_sent t = t.markers_sent
+let markers_delivered t = t.markers_delivered
+let markers_dropped t = t.markers_dropped
+
+let on_marker t f = t.marker_handler <- Some f
+let on_deliver t f = t.delivery_tap <- Some f
+
+let channel_contents t ~from ~into =
+  List.filter_map
+    (function App (m, _) -> Some m | Marker _ -> None)
+    (List.of_seq (Queue.to_seq (channel t ~from ~into)))
 
 let crash t p ~down_for =
   if down_for < 1 then invalid_arg "Network.crash: down_for must be >= 1";
@@ -193,23 +296,25 @@ let is_down t p = t.down.(p) > 0
    already-queued one. Drawn only when the knob is on and there is
    something to overtake, so the draw sequence of reorder-free networks
    is untouched. *)
-let enqueue t rng q m =
-  if
-    t.reorder > 0.
-    && (not (Queue.is_empty q))
-    && Prng.Splitmix.bernoulli rng t.reorder
-  then begin
-    let items = List.of_seq (Queue.to_seq q) in
-    let pos = Prng.Splitmix.int rng (List.length items) in
-    Queue.clear q;
-    List.iteri
-      (fun i x ->
-        if i = pos then Queue.add m q;
-        Queue.add x q)
-      items;
-    t.reordered <- t.reordered + 1
-  end
-  else Queue.add m q
+let enqueue t rng ((from, into) as key) m =
+  let q = channel t ~from ~into in
+  (if
+     t.reorder > 0.
+     && (not (Queue.is_empty q))
+     && Prng.Splitmix.bernoulli rng t.reorder
+   then begin
+     let items = List.of_seq (Queue.to_seq q) in
+     let pos = Prng.Splitmix.int rng (List.length items) in
+     Queue.clear q;
+     List.iteri
+       (fun i x ->
+         if i = pos then Queue.add m q;
+         Queue.add x q)
+       items;
+     t.reordered <- t.reordered + 1
+   end
+   else Queue.add m q);
+  note_filled t key
 
 (* Handler-originated sends go through the unreliable link: an optional
    duplicate copy first, then an independent loss draw per copy, then
@@ -231,9 +336,29 @@ let post t rng ~from sends =
       for _ = 1 to copies do
         if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
           t.dropped <- t.dropped + 1
-        else enqueue t rng (channel t ~from ~into:q) (msg, sid)
+        else enqueue t rng (from, q) (App (msg, sid))
       done)
     sends
+
+(* Markers take the same unreliable link as handler sends, but their
+   draws come from the caller's (snapshot layer's) own PRNG stream: the
+   scheduler stream never sees a snapshot-dependent draw, so the only
+   perturbation snapshots cause is the markers actually in the queues.
+   Marker duplication needs no counter bump — a duplicate marker is
+   idempotent at the receiver (the channel is already closed). *)
+let send_marker t rng ~from ~into ~epoch =
+  if not (Topology.Graph.is_edge t.graph from into) then
+    invalid_arg "Network.send_marker: not an edge";
+  t.markers_sent <- t.markers_sent + 1;
+  let copies =
+    if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication then 2
+    else 1
+  in
+  for _ = 1 to copies do
+    if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
+      t.markers_dropped <- t.markers_dropped + 1
+    else enqueue t rng (from, into) (Marker epoch)
+  done
 
 let tick_down t =
   Array.iteri
@@ -260,11 +385,6 @@ let fire_timeout t rng =
       (* A timer drawn on a crashed process simply does not fire, but the
          scheduler step still happened. *)
       true
-
-let nonempty_channels t =
-  Hashtbl.fold
-    (fun key q acc -> if Queue.is_empty q then acc else key :: acc)
-    t.channels []
 
 (* Delivery-side profiling: advance the receiver's Lamport clock, take
    the send→deliver latency if the stamp slot still holds this id, and
@@ -312,28 +432,47 @@ let sample_depths t =
 let step t rng =
   sample_depths t;
   let acted =
-    match nonempty_channels t with
-    | [] -> fire_timeout t rng
-    | channels ->
-        if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
-          fire_timeout t rng
-        else begin
-          let from, into =
-            Prng.Splitmix.choose rng (List.sort compare channels)
-          in
-          let m, sid = Queue.pop (Hashtbl.find t.channels (from, into)) in
-          if t.down.(into) > 0 then
-            (* Crashed recipient: the message evaporates at the interface. *)
-            t.dropped_down <- t.dropped_down + 1
-          else begin
-            t.delivered <- t.delivered + 1;
-            observe_delivery t ~into sid;
-            let s', sends = t.handler ~self:into ~from t.states.(into) m in
-            t.states.(into) <- s';
-            post t rng ~from:into sends
-          end;
-          true
-        end
+    if t.sched_nonempty = 0 then fire_timeout t rng
+    else if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
+      fire_timeout t rng
+    else begin
+      let ix = fen_select t (Prng.Splitmix.int rng t.sched_nonempty) in
+      let from, into = t.sched_keys.(ix) in
+      let q = t.sched_queues.(ix) in
+      let item = Queue.pop q in
+      note_popped t ix q;
+      (match item with
+          | Marker epoch ->
+              (* Markers evaporate at a crashed interface exactly like
+                 application traffic — the snapshot layer's retransmission
+                 is what recovers the epoch. *)
+              if t.down.(into) > 0 then
+                t.markers_dropped <- t.markers_dropped + 1
+              else begin
+                t.markers_delivered <- t.markers_delivered + 1;
+                match t.marker_handler with
+                | None -> () (* stale marker from a detached layer *)
+                | Some f -> f ~self:into ~from ~epoch
+              end
+          | App (m, sid) ->
+              if t.down.(into) > 0 then
+                (* Crashed recipient: the message evaporates at the interface. *)
+                t.dropped_down <- t.dropped_down + 1
+              else begin
+                t.delivered <- t.delivered + 1;
+                observe_delivery t ~into sid;
+                (* The tap sees the delivery before the handler mutates
+                   anything: channel-state recording captures the payload
+                   exactly as it crossed the interface. *)
+                (match t.delivery_tap with
+                | None -> ()
+                | Some f -> f ~self:into ~from m);
+                let s', sends = t.handler ~self:into ~from t.states.(into) m in
+                t.states.(into) <- s';
+                post t rng ~from:into sends
+              end);
+      true
+    end
   in
   if acted then tick_down t;
   acted

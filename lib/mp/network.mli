@@ -85,6 +85,47 @@ val reordered : ('s, 'm) t -> int
 val dropped_while_down : ('s, 'm) t -> int
 (** Messages that arrived at a crashed process and evaporated. *)
 
+(** {2 Snapshot layer} — Chandy–Lamport markers multiplexed {e under}
+    the application protocol. Markers share the per-edge FIFO queues
+    with application payloads (their position in the queue is what
+    defines the channel-state cut), travel the same unreliable link
+    (loss, duplication, reordering, crash evaporation), and are
+    dispatched to {!on_marker} instead of the application handler. A
+    network with no attached snapshot layer never carries a marker and
+    behaves exactly as before. *)
+
+val send_marker :
+  ('s, 'm) t -> Prng.Splitmix.t -> from:int -> into:int -> epoch:int -> unit
+(** Post a snapshot marker for [epoch] into the channel [from → into]
+    through the unreliable link. Loss/duplication/reorder draws come
+    from the {e caller's} PRNG stream (the snapshot layer owns one), so
+    the scheduler's own draw sequence never depends on snapshot
+    activity. @raise Invalid_argument on a non-edge. *)
+
+val on_marker :
+  ('s, 'm) t -> (self:int -> from:int -> epoch:int -> unit) -> unit
+(** Install the marker handler: called when a marker is delivered to an
+    up process (crashed recipients evaporate markers like any other
+    traffic). The handler may re-enter {!send_marker}. *)
+
+val on_deliver : ('s, 'm) t -> (self:int -> from:int -> 'm -> unit) -> unit
+(** Install the channel-state recording tap: called on every application
+    delivery, after the crash check and {e before} the handler runs, so
+    the snapshot layer records payloads exactly as they crossed the
+    interface. *)
+
+val channel_contents : ('s, 'm) t -> from:int -> into:int -> 'm list
+(** Application payloads currently in flight on [from → into], head
+    first, markers elided — the omniscient view differential tests
+    compare in-band capture against. @raise Invalid_argument on a
+    non-edge. *)
+
+val markers_sent : ('s, 'm) t -> int
+val markers_delivered : ('s, 'm) t -> int
+
+val markers_dropped : ('s, 'm) t -> int
+(** Markers lost to [loss] or evaporated at a crashed process. *)
+
 (** {2 Crash–recovery} *)
 
 val crash : ('s, 'm) t -> int -> down_for:int -> unit

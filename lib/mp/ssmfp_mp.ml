@@ -16,6 +16,8 @@ type proc = {
   ticks : int; (* timer fires since the last retransmission *)
 }
 
+type event_hook = pid:int -> pulse:int -> Ssmfp.Protocol.event -> unit
+
 type t = {
   graph : Topology.Graph.t;
   net : (proc, payload) Network.t;
@@ -23,6 +25,8 @@ type t = {
   oracle : Harness.Oracle.t;
   expected_valid : int;
   max_pulse : int ref;
+  on_event : event_hook option ref;
+  drain_witness : int ref; (* last process seen busy by [all_drained] *)
 }
 
 type channel_stats = {
@@ -95,10 +99,20 @@ let barrier_ready g proc ~self =
    evidently moving again. *)
 let advance_pulse proc pulse = { proc with pulse; backoff = 0; ticks = 0 }
 
-let make_handler g oracle max_pulse_ref =
+let make_handler g oracle max_pulse_ref hook_ref =
   let n = Topology.Graph.n g in
   let proto = Ssmfp.Protocol.make g in
-  let dummy = Array.init n (fun p -> Ssmfp.State.clean g p) in
+  (* Same states [State.clean] would build, but sharing one BFS sweep per
+     destination across all processes: [n] separate [init_correct] calls
+     are cubic in [n] and dominated start-up wall-clock at 1k nodes. *)
+  let dummy =
+    let correct = Routing.Selfstab.init_correct_all g in
+    Array.init n (fun p ->
+        {
+          (Ssmfp.State.clean g ~correct_routing:false p) with
+          Ssmfp.State.routing = correct.(p);
+        })
+  in
   let publish proc =
     (proc.pulse, Snapshot (proc.pulse, public_of proc.core))
   in
@@ -129,7 +143,13 @@ let make_handler g oracle max_pulse_ref =
           let core', events = proto.Sim.Engine.apply net self action in
           List.iter
             (fun ev ->
-              Harness.Oracle.observe oracle ~round:proc.pulse ~pid:self ev)
+              Harness.Oracle.observe oracle ~round:proc.pulse ~pid:self ev;
+              (* The in-band observer: each process's local event ledger
+                 (the snapshot layer's) sees exactly what the omniscient
+                 oracle sees, but attributed to the acting process. *)
+              match !hook_ref with
+              | None -> ()
+              | Some f -> f ~pid:self ~pulse:proc.pulse ev)
             events;
           core'
     in
@@ -177,7 +197,8 @@ let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
   let garbage_rng = Prng.Splitmix.split master in
   let oracle = Harness.Oracle.create () in
   let max_pulse = ref 0 in
-  let handler = make_handler graph oracle max_pulse in
+  let on_event = ref None in
+  let handler = make_handler graph oracle max_pulse on_event in
   let init p =
     {
       core = Harness.Fault.initial_states ~rng:fault_rng spec graph ~workload p;
@@ -246,6 +267,8 @@ let create ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0)
     oracle;
     expected_valid = Harness.Workload.total workload;
     max_pulse;
+    on_event;
+    drain_witness = ref 0;
   }
 
 let graph (t : t) = t.graph
@@ -260,6 +283,26 @@ let set_core t p core =
   Network.set_state t.net p { proc with core }
 
 let crash_process t p ~down_for = Network.crash t.net p ~down_for
+let is_down t p = Network.is_down t.net p
+let pulse_of t p = (Network.state t.net p).pulse
+let set_event_hook t f = t.on_event := Some f
+
+(* Snapshot-layer plumbing: the Chandy–Lamport engine in lib/snapshot
+   attaches through these without ever seeing the network record. *)
+let on_marker t f = Network.on_marker t.net f
+let on_deliver t f = Network.on_deliver t.net f
+let send_marker t rng ~from ~into ~epoch =
+  Network.send_marker t.net rng ~from ~into ~epoch
+let channel_contents t ~from ~into = Network.channel_contents t.net ~from ~into
+
+type marker_stats = { m_sent : int; m_delivered : int; m_dropped : int }
+
+let marker_stats t =
+  {
+    m_sent = Network.markers_sent t.net;
+    m_delivered = Network.markers_delivered t.net;
+    m_dropped = Network.markers_dropped t.net;
+  }
 
 let channel_stats t =
   {
@@ -274,13 +317,32 @@ let hops t = Network.hops t.net
 let causal_chain t ~id = Network.causal_chain t.net ~id
 let lamport t p = Network.lamport t.net p
 
+(* [all_drained] is evaluated after every engine step as the stop
+   condition, so at large [n] a naive all-processes scan is the dominant
+   cost of the whole run (O(n) processes x O(n) buffer slots, per step).
+   Two fixes: [State.has_occupied] checks slots without building a list,
+   and we cache the last busy process as a witness — a busy network
+   almost always stays busy at the same place, so the common case is a
+   single O(n)-slot check instead of a full scan. *)
+let quiet t p =
+  let proc = Network.state t.net p in
+  proc.core.Ssmfp.State.outbox = []
+  && not (Ssmfp.State.has_occupied proc.core)
+
 let all_drained t =
-  let quiet p =
-    let proc = Network.state t.net p in
-    proc.core.Ssmfp.State.outbox = []
-    && Ssmfp.State.occupied_buffers proc.core = []
+  quiet t !(t.drain_witness)
+  &&
+  let n = Topology.Graph.n t.graph in
+  let rec scan p =
+    p >= n
+    ||
+    if quiet t p then scan (p + 1)
+    else begin
+      t.drain_witness := p;
+      false
+    end
   in
-  List.for_all quiet (Topology.Graph.vertices t.graph)
+  scan 0
 
 let drive ?(max_deliveries = 2_000_000) ?stop t =
   let stop = match stop with Some f -> fun _ -> f t | None -> fun _ -> false in

@@ -118,6 +118,44 @@ val crash_process : t -> int -> down_for:int -> unit
 
 val channel_stats : t -> channel_stats
 
+val is_down : t -> int -> bool
+
+val pulse_of : t -> int -> int
+(** Process [p]'s own pulse counter (as opposed to the global
+    {!max_pulse}). *)
+
+(** {2 Snapshot layer access}
+
+    The distributed-snapshot subsystem ([lib/snapshot]) layers a
+    Chandy–Lamport marker protocol {e under} this synchronizer: markers
+    share the channels with pulse snapshots, and these pass-throughs
+    let the engine attach without exposing the network record. *)
+
+type event_hook = pid:int -> pulse:int -> Ssmfp.Protocol.event -> unit
+
+val set_event_hook : t -> event_hook -> unit
+(** Install an in-band event observer: called for every protocol event a
+    barrier execution emits, right after the omniscient oracle observes
+    it, attributed to the acting process and its pulse. The snapshot
+    layer's per-process ledgers are fed from here. *)
+
+val on_marker : t -> (self:int -> from:int -> epoch:int -> unit) -> unit
+val on_deliver : t -> (self:int -> from:int -> payload -> unit) -> unit
+
+val send_marker :
+  t -> Prng.Splitmix.t -> from:int -> into:int -> epoch:int -> unit
+(** {!Network.send_marker} on the underlying network: the marker takes
+    the same unreliable link as the snapshots, with fault draws from the
+    caller's PRNG stream. *)
+
+val channel_contents : t -> from:int -> into:int -> payload list
+(** In-flight snapshots on one directed channel, head first (markers
+    elided) — the omniscient channel view for differential tests. *)
+
+type marker_stats = { m_sent : int; m_delivered : int; m_dropped : int }
+
+val marker_stats : t -> marker_stats
+
 val hops : t -> Network.hop list
 (** The network's causal delivery log (empty without [?prof]). *)
 

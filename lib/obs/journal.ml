@@ -7,6 +7,7 @@ type kind =
   | Erased_duplicate
   | Routing_update
   | Fault_injected
+  | Snapshot_cut
 
 let kind_to_string = function
   | Generated -> "generated"
@@ -17,11 +18,12 @@ let kind_to_string = function
   | Erased_duplicate -> "erased_duplicate"
   | Routing_update -> "routing_update"
   | Fault_injected -> "fault_injected"
+  | Snapshot_cut -> "snapshot_cut"
 
 let all_kinds =
   [
     Generated; Internal_forward; Copied; Delivered; Erased_after_forward;
-    Erased_duplicate; Routing_update; Fault_injected;
+    Erased_duplicate; Routing_update; Fault_injected; Snapshot_cut;
   ]
 
 let kind_of_string s =
@@ -82,10 +84,10 @@ let entry_to_json e =
   let message =
     match e.gid with
     | None ->
-        (* fault lines carry no ghost fields, but the injection detail
-           lives in [info] — keep the cause visible on disk *)
-        if e.kind = Fault_injected && e.info <> "" then
-          [ ("info", Json.String e.info) ]
+        (* fault and cut lines carry no ghost fields, but the injection
+           detail / cut fingerprint lives in [info] — keep it on disk *)
+        if (e.kind = Fault_injected || e.kind = Snapshot_cut) && e.info <> ""
+        then [ ("info", Json.String e.info) ]
         else []
     | Some gid ->
         [
@@ -132,6 +134,22 @@ let emit t e =
 
 let record t ~step ~round ~pid ev =
   emit t (of_protocol_event ~step ~round ~pid ev)
+
+let record_cut t ~step ~epoch ~initiator ~fingerprint =
+  emit t
+    {
+      step;
+      round = epoch;
+      pid = initiator;
+      kind = Snapshot_cut;
+      dest = -1;
+      gid = None;
+      valid = false;
+      info = fingerprint;
+      last = None;
+      color = None;
+      src = None;
+    }
 
 let record_fault t ~step ~round ~pid ~detail =
   emit t

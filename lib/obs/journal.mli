@@ -31,6 +31,10 @@ type kind =
       (** A chaos-layer injection, not a protocol move: the entry's [info]
           describes the corrupted domain (routing, buffers, queues, flags,
           crash) and [pid] the victim. *)
+  | Snapshot_cut
+      (** A completed distributed-snapshot cut: [round] is the snapshot
+          epoch, [pid] the initiator, [info] the cut fingerprint (hex),
+          [step] the engine clock at completion. *)
 
 val kind_to_string : kind -> string
 (** Lower-snake names, e.g. ["internal_forward"]. *)
@@ -67,6 +71,12 @@ val record : t -> step:int -> round:int -> pid:int -> Ssmfp.Protocol.event -> un
 val record_fault : t -> step:int -> round:int -> pid:int -> detail:string -> unit
 (** Append a [Fault_injected] entry ([dest] = -1, no ghost fields) so
     traces show the cause of each recovery episode inline. *)
+
+val record_cut :
+  t -> step:int -> epoch:int -> initiator:int -> fingerprint:string -> unit
+(** Append a [Snapshot_cut] entry ([round] = epoch, [pid] = initiator,
+    [info] = fingerprint, [dest] = -1) so chaos journals carry the cut
+    sequence inline with the protocol events. *)
 
 val flush : t -> unit
 (** Flush the streaming sink's channel. No-op without [?path] or after

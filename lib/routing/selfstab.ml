@@ -26,6 +26,18 @@ let init_correct ?(tie = Smallest_id) g p =
       if d = p then { dist = 0; via = p }
       else { dist = dist_from.(d); via = canonical_via ~tie g ~dist_to_d:dist_to.(d) p })
 
+let init_correct_all ?(tie = Smallest_id) g =
+  let n = Topology.Graph.n g in
+  let dist_to = Array.init n (fun d -> Topology.Metrics.bfs_distances g d) in
+  Array.init n (fun p ->
+      Array.init n (fun d ->
+          if d = p then { dist = 0; via = p }
+          else
+            {
+              dist = dist_to.(p).(d);
+              via = canonical_via ~tie g ~dist_to_d:dist_to.(d) p;
+            }))
+
 let init_random rng g p =
   let n = Topology.Graph.n g in
   let candidates = p :: Topology.Graph.neighbors g p in

@@ -45,6 +45,12 @@ val init_correct : ?tie:tie -> Topology.Graph.t -> int -> state
 (** [init_correct g p] is [p]'s stabilized table (the fixpoint for the
     given tie-break). *)
 
+val init_correct_all : ?tie:tie -> Topology.Graph.t -> state array
+(** Every processor's {!init_correct} table, sharing one BFS sweep per
+    destination across processors — [O(n(n+m))] where [n] separate
+    {!init_correct} calls cost [O(n^2(n+m))]. Entry-for-entry equal to
+    [Array.init n (init_correct g)]. *)
+
 val init_random : Prng.Splitmix.t -> Topology.Graph.t -> int -> state
 (** Arbitrary table within the type domain: [dist] uniform in [0..n],
     [via] a uniform neighbor (or self). Used by the fault injector; this is

@@ -1,0 +1,47 @@
+(** Stable binary codec + FNV-1a fingerprints for snapshot cuts.
+
+    Same discipline (and same constants) as [Mc.Codec]: a reusable
+    [Bytes] scratch, unsigned LEB128 varints, an incremental 64-bit
+    FNV-1a hash updated per appended byte. Cut fingerprints are built in
+    two levels — each captured piece (one process view, one channel) is
+    encoded into the scratch and reduced to its piece hash, and the cut
+    fingerprint FNV-folds the piece hashes in canonical order via
+    {!combine}. This makes the stored-data fingerprint and the
+    at-instant shadow fingerprint comparable piece by piece. *)
+
+type t
+
+val fnv_offset : int
+(** The FNV-1a 64-bit offset basis — the seed for {!combine} folds. *)
+
+val create : unit -> t
+val reset : t -> unit
+
+val length : t -> int
+(** Bytes encoded since the last {!reset}. *)
+
+val hash : t -> int
+(** FNV-1a over the bytes encoded since the last {!reset}. *)
+
+val key : t -> string
+(** Copy of the encoded bytes (diagnostics / golden tests). *)
+
+val add_byte : t -> int -> unit
+val add_int : t -> int -> unit
+(** Unsigned LEB128; negative ints are caller bugs. *)
+
+val add_string : t -> string -> unit
+val add_bool : t -> bool -> unit
+
+val combine : int -> int -> int
+(** [combine h v] folds the 8 little-endian bytes of [v] into the
+    running FNV-1a hash [h]. *)
+
+val add_msg : t -> Ssmfp.Message.t option -> unit
+(** Tag 0 = empty, 1 = invalid, 2 = valid; then the visible triplet.
+    Ghost ids are deliberately excluded (same canonicalization as the
+    model checker). *)
+
+val add_core : t -> Ssmfp.State.t -> unit
+(** One SSMFP core: request flag, routing entries, outbox length, per
+    slot the two buffers and the fairness queue. *)

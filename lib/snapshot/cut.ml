@@ -1,0 +1,27 @@
+(* A completed consistent cut: one recorded state per process plus the
+   in-flight messages recorded per directed channel, stamped with two
+   fingerprints. [fingerprint] is recomputed at assembly time by
+   re-encoding the stored data; [shadow_fingerprint] folds the piece
+   hashes taken at each capture instant. They agree exactly when the
+   stored cut still is what was captured — a storage/aliasing/staleness
+   tripwire that costs two int compares per cut. *)
+
+type ('p, 'm) t = {
+  epoch : int;
+  initiator : int;
+  states : 'p array;  (* indexed by process id *)
+  channels : ((int * int) * 'm list) list;
+      (* ((from, into), msgs oldest first), sorted by (from, into);
+         every directed edge present, most with [] *)
+  started_at : int;  (* clock at initiation *)
+  completed_at : int;  (* clock at assembly *)
+  markers_resent : int;  (* retransmission flood size for this epoch *)
+  fingerprint : int;
+  shadow_fingerprint : int;
+}
+
+let shadow_ok c = c.fingerprint = c.shadow_fingerprint
+let latency c = c.completed_at - c.started_at
+
+let in_flight c =
+  List.fold_left (fun acc (_, msgs) -> acc + List.length msgs) 0 c.channels

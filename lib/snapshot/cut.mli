@@ -1,0 +1,34 @@
+(** A completed Chandy–Lamport cut: per-process states plus per-channel
+    in-flight messages, double-fingerprinted.
+
+    ['p] is the captured process view, ['m] the channel payload — the
+    engine is generic; {!Ssmfp_link} instantiates both for the SSMFP
+    synchronizer. Clock values ([started_at]/[completed_at]) are
+    whatever the engine's [clock] closure counts (the mp driver uses
+    channel deliveries, so {!latency} is in deliveries). *)
+
+type ('p, 'm) t = {
+  epoch : int;  (** snapshot epoch (1-based, strictly increasing) *)
+  initiator : int;
+  states : 'p array;
+  channels : ((int * int) * 'm list) list;
+      (** ((from, into), payloads oldest first), sorted; every directed
+          edge of the graph appears *)
+  started_at : int;
+  completed_at : int;
+  markers_resent : int;
+  fingerprint : int;
+      (** FNV fold of piece hashes re-encoded from the stored data *)
+  shadow_fingerprint : int;
+      (** same fold over the piece hashes taken at capture instants *)
+}
+
+val shadow_ok : ('p, 'm) t -> bool
+(** Stored and at-instant fingerprints agree — the cut is exactly what
+    was captured. *)
+
+val latency : ('p, 'm) t -> int
+(** [completed_at - started_at], in engine-clock units. *)
+
+val in_flight : ('p, 'm) t -> int
+(** Total payloads recorded across all channels of the cut. *)

@@ -1,0 +1,173 @@
+(* Cut oracle: the harness's trajectory checks re-expressed as functions
+   of cut sequences, so a chaos run can reach verdicts from its own
+   in-band snapshots instead of the omniscient observer.
+
+   Two layers:
+
+   - {e online}, per observed cut: shadow-fingerprint integrity,
+     cut consistency (cause-before-effect over ledgers), ledger
+     monotonicity across cuts, once-and-only-once (a gid appearing
+     twice in the union delivered ledger), and the Prop-4 invalid
+     budget per destination. Violations accumulate as strings, exactly
+     like [Harness.Oracle.check_sp] renders them.
+
+   - {e final}, via {!replay}: the last cut's ledgers replayed into a
+     fresh omniscient [Harness.Oracle.t], on which the caller runs the
+     very same [check_sp] / [Chaos.Recovery.analyze] code paths as the
+     omniscient run. Ledgers record only what the oracles consume, so
+     at quiescence the replayed oracle and the live one must agree —
+     the verdict-agreement differential. *)
+
+type t = {
+  n : int;
+  mutable cuts_seen : int;
+  mutable consistent_cuts : int;
+  mutable shadow_ok_cuts : int;
+  prev_gen : int array;  (* per-pid ledger counts at the previous cut *)
+  prev_del : int array;
+  prev_inv : int array;
+  delivered_seen : (int, int) Hashtbl.t;  (* gid -> deliveries seen *)
+  mutable violations : string list;  (* reverse *)
+  mutable latencies : int list;  (* reverse *)
+  (* re-legitimacy bracketing: invalid deliveries stop growing somewhere
+     between the last cut that saw growth and the first that did not. *)
+  mutable invalid_total : int;
+  mutable bracket_lo : int option;  (* max pulse of last growth cut *)
+  mutable bracket_hi : int option;  (* max pulse of first no-growth cut after *)
+}
+
+let create ~n =
+  {
+    n;
+    cuts_seen = 0;
+    consistent_cuts = 0;
+    shadow_ok_cuts = 0;
+    prev_gen = Array.make n 0;
+    prev_del = Array.make n 0;
+    prev_inv = Array.make n 0;
+    delivered_seen = Hashtbl.create 64;
+    violations = [];
+    latencies = [];
+    invalid_total = 0;
+    bracket_lo = None;
+    bracket_hi = None;
+  }
+
+let flag t fmt = Printf.ksprintf (fun s -> t.violations <- s :: t.violations) fmt
+
+let max_pulse_of (cut : Ssmfp_link.cut) =
+  Array.fold_left
+    (fun acc (v : Ssmfp_link.view) -> max acc v.Ssmfp_link.v_pulse)
+    0 cut.Cut.states
+
+let take k l =
+  let rec go k l acc =
+    if k <= 0 then acc
+    else match l with [] -> acc | x :: tl -> go (k - 1) tl (x :: acc)
+  in
+  go k l []  (* oldest-of-the-new first *)
+
+let observe_cut t ~invalid_budget (cut : Ssmfp_link.cut) =
+  t.cuts_seen <- t.cuts_seen + 1;
+  let e = cut.Cut.epoch in
+  if Cut.shadow_ok cut then t.shadow_ok_cuts <- t.shadow_ok_cuts + 1
+  else flag t "cut %d: stored/shadow fingerprint mismatch" e;
+  if Ssmfp_link.consistent cut then t.consistent_cuts <- t.consistent_cuts + 1;
+  t.latencies <- Cut.latency cut :: t.latencies;
+  let invalid_now = ref 0 in
+  Array.iteri
+    (fun pid (v : Ssmfp_link.view) ->
+      let lg = v.Ssmfp_link.v_ledger in
+      if
+        lg.Ledger.n_generated < t.prev_gen.(pid)
+        || lg.Ledger.n_delivered < t.prev_del.(pid)
+        || lg.Ledger.n_invalid < t.prev_inv.(pid)
+      then flag t "cut %d: ledger of %d shrank across cuts" e pid;
+      (* once-and-only-once over the union delivered ledger: ledgers
+         are cumulative, so only the entries beyond the previous cut's
+         count are new *)
+      List.iter
+        (fun (gid, _) ->
+          let c =
+            1 + Option.value ~default:0 (Hashtbl.find_opt t.delivered_seen gid)
+          in
+          Hashtbl.replace t.delivered_seen gid c;
+          if c = 2 then flag t "cut %d: gid %d delivered more than once" e gid)
+        (take (lg.Ledger.n_delivered - t.prev_del.(pid)) lg.Ledger.delivered);
+      if lg.Ledger.n_invalid > invalid_budget then
+        flag t "cut %d: %d invalid deliveries at %d exceed budget %d" e
+          lg.Ledger.n_invalid pid invalid_budget;
+      invalid_now := !invalid_now + lg.Ledger.n_invalid;
+      t.prev_gen.(pid) <- lg.Ledger.n_generated;
+      t.prev_del.(pid) <- lg.Ledger.n_delivered;
+      t.prev_inv.(pid) <- lg.Ledger.n_invalid)
+    cut.Cut.states;
+  let pulse = max_pulse_of cut in
+  if !invalid_now > t.invalid_total then begin
+    t.invalid_total <- !invalid_now;
+    t.bracket_lo <- Some pulse;
+    t.bracket_hi <- None
+  end
+  else if t.bracket_lo <> None && t.bracket_hi = None then
+    t.bracket_hi <- Some pulse
+
+let cuts_seen t = t.cuts_seen
+let consistent_cuts t = t.consistent_cuts
+let shadow_ok_cuts t = t.shadow_ok_cuts
+let violations t = List.rev t.violations
+let latencies t = List.rev t.latencies
+
+let relegitimacy_bracket t =
+  match t.bracket_lo with None -> None | Some lo -> Some (lo, t.bracket_hi)
+
+(* Replay a cut's union ledger into a fresh omniscient oracle. Rounds
+   are the recording process's pulses — the same attribution the live
+   oracle saw. Message values are reconstructed with only the fields
+   the oracle reads (ghost id + validity); visible triplets are not in
+   the ledger and not consumed. *)
+let replay (cut : Ssmfp_link.cut) =
+  let oracle = Harness.Oracle.create () in
+  Array.iteri
+    (fun pid (v : Ssmfp_link.view) ->
+      let lg = v.Ssmfp_link.v_ledger in
+      List.iter
+        (fun (gid, dest, pulse) ->
+          let m =
+            {
+              Ssmfp.Message.info = "";
+              last = pid;
+              color = 0;
+              ghost = { Ssmfp.Message.gid; validity = Valid; born_src = pid };
+            }
+          in
+          Harness.Oracle.observe oracle ~round:pulse ~pid
+            (Ssmfp.Protocol.Generated (m, dest)))
+        (Ledger.generated lg);
+      List.iter
+        (fun (gid, pulse) ->
+          let m =
+            {
+              Ssmfp.Message.info = "";
+              last = pid;
+              color = 0;
+              ghost = { Ssmfp.Message.gid; validity = Valid; born_src = -1 };
+            }
+          in
+          Harness.Oracle.observe oracle ~round:pulse ~pid
+            (Ssmfp.Protocol.Delivered m))
+        (Ledger.delivered lg);
+      List.iter
+        (fun pulse ->
+          let m =
+            {
+              Ssmfp.Message.info = "";
+              last = pid;
+              color = 0;
+              ghost = { Ssmfp.Message.gid = -1; validity = Invalid; born_src = pid };
+            }
+          in
+          Harness.Oracle.observe oracle ~round:pulse ~pid
+            (Ssmfp.Protocol.Delivered m))
+        (Ledger.invalid lg))
+    cut.Cut.states;
+  oracle

@@ -1,0 +1,43 @@
+(** Cut oracle: harness verdicts as functions of cut sequences.
+
+    The omniscient oracles read every event as it happens; the cut
+    oracle reads only the cuts the in-band snapshot protocol produces.
+    {!observe_cut} runs the online checks per cut (fingerprint
+    integrity, consistency, ledger monotonicity, once-and-only-once,
+    Prop-4 invalid budget); {!replay} turns a cut's union ledger into a
+    fresh [Harness.Oracle.t] on which the caller runs the {e same}
+    [check_sp] / recovery analysis as the omniscient path — the
+    verdict-agreement differential lives one layer up (chaos), which
+    owns both oracles. *)
+
+type t
+
+val create : n:int -> t
+
+val observe_cut : t -> invalid_budget:int -> Ssmfp_link.cut -> unit
+(** Fold one completed cut in (cuts must be presented in epoch order).
+    [invalid_budget] is the per-destination cap currently in force —
+    [(bursts so far + 1) * 2n] under the chaos layer's cumulative
+    budget. *)
+
+val cuts_seen : t -> int
+val consistent_cuts : t -> int
+val shadow_ok_cuts : t -> int
+
+val violations : t -> string list
+(** Online violations, chronological; empty means every cut passed. *)
+
+val latencies : t -> int list
+(** Cut latencies (engine-clock units), chronological. *)
+
+val relegitimacy_bracket : t -> (int * int option) option
+(** [(lo, hi)]: invalid deliveries last grew at a cut of max-pulse
+    [lo], and had stopped by max-pulse [hi] ([None] = no later cut
+    observed) — the cut-sequence bracketing of the re-legitimacy
+    point. [None] when no cut ever contained an invalid delivery. *)
+
+val replay : Ssmfp_link.cut -> Harness.Oracle.t
+(** The cut's union ledger replayed into a fresh omniscient oracle,
+    rounds = recording pulses. At quiescence this must agree with the
+    live oracle on everything [check_sp] and the recovery analysis
+    read. *)

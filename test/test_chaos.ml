@@ -380,6 +380,7 @@ let mini_grid () =
     workloads = [ Campaign.Spec.Uniform 1 ];
     models = [ Campaign.Spec.State_model; Campaign.Spec.Mp_model ];
     chaos = [ Chaos.Schedule.none; Campaign.Spec.chaos_exn "6:rb:2" ];
+    snapshots = [ 0; 60 ];
     seeds = [ 1 ];
     max_steps = 500_000;
   }
@@ -388,7 +389,28 @@ let test_campaign_chaos_axis () =
   let scenarios =
     Campaign.Spec.expand ~filter:Campaign.Spec.chaos_filter (mini_grid ())
   in
-  Alcotest.(check int) "2 models x 2 schedules" 4 (List.length scenarios);
+  (* state keeps only snap-off (2); mp carries both intervals (4) *)
+  Alcotest.(check int) "models x schedules x snapshots" 6 (List.length scenarios);
+  Alcotest.(check int) "snapshot-on scenarios are mp-only" 2
+    (List.length
+       (List.filter
+          (fun sc ->
+            sc.Campaign.Spec.snapshot > 0
+            && sc.Campaign.Spec.model = Campaign.Spec.Mp_model)
+          scenarios));
+  Alcotest.(check bool) "snap ids carry the segment" true
+    (List.for_all
+       (fun sc ->
+         let has_seg =
+           let id = sc.Campaign.Spec.id in
+           let rec find i =
+             i + 5 <= String.length id
+             && (String.sub id i 5 = "/snap" || find (i + 1))
+           in
+           find 0
+         in
+         has_seg = (sc.Campaign.Spec.snapshot > 0))
+       scenarios);
   List.iter
     (fun sc ->
       Alcotest.(check bool)
