@@ -415,24 +415,34 @@ let run_b2 () =
   print_newline ();
   timings
 
-(* B3: model-checker throughput and memory — the compact binary codec
-   against the historical string keys on the same sampled three-chain
-   search, plus the parallel driver at 2 and 4 workers. Configs/s is
-   explored states over wall clock; resident bytes is the visited store's
-   key payloads plus its slot arrays. The b3-codec-w1 gate asserts the
-   codec is at least 2x faster and strictly smaller; the w2/w4 gates
-   assert the *reports* are identical to w1 — determinism, not speed:
-   on a single-core host the extra domains only add overhead. *)
+(* B3: model-checker throughput, memory and scaling on the sampled
+   three-chain search. Configs/s is explored states over wall clock;
+   resident bytes is the sharded visited store's key payloads plus its
+   slot arrays (stripe count is worker-independent, so resident bytes
+   must be byte-identical across worker counts). Legs:
+
+   - b3-codec-w1 gates the codec against the historical string keys
+     (>= 2x faster, strictly smaller);
+   - b3-codec-w2/-w4 gate report identity against w1 — the reduce-step
+     determinism contract of the work-stealing frontier;
+   - b3-scaling gates w4 throughput >= 1.8x w1 (target 2.5x) when the
+     host has >= 4 cores, and reports without gating otherwise — on a
+     single-core host the extra domains only add steal traffic;
+   - b3-por gates the ample-set partial-order reduction: verdicts
+     identical to the unreduced search and >= 30% fewer configurations;
+   - b3-codec-w4-prof gates report identity with profiling on and dumps
+     the per-worker run/steal/idle breakdown the scaling investigations
+     read. *)
 let run_b3 () =
   Harness.Report.section
-    "B3: mc throughput, string keys vs codec keys vs workers (3chain)";
+    "B3: mc throughput, string vs codec keys, workers, POR (3chain)";
   let sc = Mc.Explore.three_chain in
   let inits =
     Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:600 sc
   in
-  let timed key workers =
+  let timed ?(por = false) key workers =
     let t0 = Unix.gettimeofday () in
-    let r = Mc.Explore.check_safety ~key ~workers sc inits in
+    let r = Mc.Explore.check_safety ~key ~workers ~por sc inits in
     (r, Unix.gettimeofday () -. t0)
   in
   let throughput (r : Mc.Explore.safety_report) s =
@@ -450,33 +460,47 @@ let run_b3 () =
     && a.Mc.Explore.lost_valid = b.Mc.Explore.lost_valid
     && a.Mc.Explore.deadlock = b.Mc.Explore.deadlock
   in
+  let verdicts_agree (a : Mc.Explore.safety_report)
+      (b : Mc.Explore.safety_report) =
+    a.Mc.Explore.duplicate_delivery = b.Mc.Explore.duplicate_delivery
+    && (a.Mc.Explore.lost_valid <> None) = (b.Mc.Explore.lost_valid <> None)
+    && (a.Mc.Explore.deadlock <> None) = (b.Mc.Explore.deadlock <> None)
+  in
   let rs, ss = timed Mc.Par.String_keys 1 in
   let rc1, sc1 = timed Mc.Par.Codec_keys 1 in
   let rc2, sc2 = timed Mc.Par.Codec_keys 2 in
   let rc4, sc4 = timed Mc.Par.Codec_keys 4 in
+  let rpor, spor = timed ~por:true Mc.Par.Codec_keys 1 in
   (* The same 4-worker search with profiling on: the report must not
-     move, and the per-worker phase breakdown (expand/barrier/merge)
-     lands in the BENCH json — the observability the negative-scaling
-     investigation runs on. *)
+     move, and the per-worker run/steal/idle breakdown lands in the
+     BENCH json — the observability scaling investigations run on. *)
   let prof = Obs.Prof.create ~tracks:4 () in
   let t0 = Unix.gettimeofday () in
   let rp = Mc.Explore.check_safety ~key:Mc.Par.Codec_keys ~workers:4 ~prof sc inits in
   let sp4 = Unix.gettimeofday () -. t0 in
   let phase_notes =
     let ms ns = float_of_int ns /. 1e6 in
-    let sp_expand = Obs.Prof.span prof "mc.expand" in
-    let sp_barrier = Obs.Prof.span prof "mc.barrier" in
-    let sp_merge = Obs.Prof.span prof "mc.merge" in
+    let sp_run = Obs.Prof.span prof "mc.run" in
     let c_configs = Obs.Prof.counter prof "mc.configs" in
+    let c_steals = Obs.Prof.counter prof "mc.steals" in
+    let c_stolen = Obs.Prof.counter prof "mc.stolen" in
+    let c_fail = Obs.Prof.counter prof "mc.steal_fail" in
+    let c_idle = Obs.Prof.counter prof "mc.idle_ns" in
     List.init 4 (fun w ->
         Printf.sprintf
-          "worker %d: expand %.1f ms, barrier-wait %.1f ms, %d configs" w
-          (ms (Obs.Prof.span_total prof ~track:w sp_expand))
-          (ms (Obs.Prof.span_total prof ~track:w sp_barrier))
-          (Obs.Prof.counter_value prof ~track:w c_configs))
+          "worker %d: run %.1f ms, %d configs, %d steals (%d entries, %d \
+           failed), idle %.1f ms"
+          w
+          (ms (Obs.Prof.span_total prof ~track:w sp_run))
+          (Obs.Prof.counter_value prof ~track:w c_configs)
+          (Obs.Prof.counter_value prof ~track:w c_steals)
+          (Obs.Prof.counter_value prof ~track:w c_stolen)
+          (Obs.Prof.counter_value prof ~track:w c_fail)
+          (ms (Obs.Prof.counter_value prof ~track:w c_idle)))
     @ [
-        Printf.sprintf "merge (track 0): %.1f ms"
-          (ms (Obs.Prof.span_total prof ~track:0 sp_merge));
+        Printf.sprintf "roots %.1f ms, reduce %.1f ms (track 0)"
+          (ms (Obs.Prof.span_total prof ~track:0 (Obs.Prof.span prof "mc.roots")))
+          (ms (Obs.Prof.span_total prof ~track:0 (Obs.Prof.span prof "mc.reduce")));
         Printf.sprintf "attribution: %.1f%% of wall-clock in named spans"
           (Obs.Traceview.attribution_pct prof);
       ]
@@ -490,6 +514,31 @@ let run_b3 () =
     Printf.sprintf "%d configs, %.0f configs/s, %d resident bytes"
       r.Mc.Explore.explored (throughput r s) (resident r)
   in
+  let cores = Domain.recommended_domain_count () in
+  let scaling_ok, scaling_notes =
+    let ratio = throughput rc4 sc4 /. throughput rc1 sc1 in
+    if cores >= 4 then
+      ( ratio >= 1.8,
+        [
+          Printf.sprintf
+            "w4/w1 throughput: %.2fx on %d cores (gate 1.8x, target 2.5x)"
+            ratio cores;
+        ] )
+    else
+      ( true,
+        [
+          Printf.sprintf
+            "w4/w1 throughput: %.2fx — gate skipped, only %d core(s) \
+             (needs >= 4)"
+            ratio cores;
+        ] )
+  in
+  let por_reduction =
+    100.
+    *. (1.
+        -. float_of_int rpor.Mc.Explore.explored
+           /. float_of_int (max 1 rc1.Mc.Explore.explored))
+  in
   [
     entry "b3-string-w1" "B3: mc search, string keys, 1 worker (3chain)" ss
       true [ line rs ss ];
@@ -502,13 +551,23 @@ let run_b3 () =
           (resident rs);
       ];
     entry "b3-codec-w2" "B3: mc search, codec keys, 2 workers (3chain)" sc2
-      (reports_agree rc1 rc2
-      && resident rc2 = resident rc1)
+      (reports_agree rc1 rc2 && resident rc2 = resident rc1)
       [ line rc2 sc2; "gate: report identical to 1 worker" ];
     entry "b3-codec-w4" "B3: mc search, codec keys, 4 workers (3chain)" sc4
-      (reports_agree rc1 rc4
-      && resident rc4 = resident rc1)
+      (reports_agree rc1 rc4 && resident rc4 = resident rc1)
       [ line rc4 sc4; "gate: report identical to 1 worker" ];
+    entry "b3-scaling" "B3: mc work-stealing scaling, w4 vs w1 (3chain)"
+      (sc1 +. sc4) scaling_ok scaling_notes;
+    entry "b3-por" "B3: mc partial-order reduction, on vs off (3chain)" spor
+      (verdicts_agree rc1 rpor && por_reduction >= 30.0)
+      [
+        line rpor spor;
+        Printf.sprintf
+          "POR: %d configs vs %d unreduced — %.1f%% reduction (gate 30%%), \
+           verdicts %s"
+          rpor.Mc.Explore.explored rc1.Mc.Explore.explored por_reduction
+          (if verdicts_agree rc1 rpor then "identical" else "DIVERGED");
+      ];
     entry "b3-codec-w4-prof"
       "B3: mc search, codec keys, 4 workers, profiling on (3chain)" sp4
       (reports_agree rc1 rp)
@@ -950,7 +1009,23 @@ let run_micro () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.map String.lowercase_ascii args in
-  let want what = args = [] || List.mem what args in
+  (* --only <prefix> runs exactly the sections whose name starts with
+     the prefix ("--only b3" for the mc legs, "--only b" for every
+     bench suite) — CI uses it to run one suite without spelling out
+     the full section list. *)
+  let only_prefix, args =
+    let rec split acc = function
+      | "--only" :: p :: rest -> (Some p, List.rev_append acc rest)
+      | a :: rest -> split (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    split [] args
+  in
+  let want what =
+    match only_prefix with
+    | Some p -> String.starts_with ~prefix:p what
+    | None -> args = [] || List.mem what args
+  in
   let table_filter =
     let is_id a =
       String.length a >= 2 && String.length a <= 3 && a.[0] = 'e'
@@ -959,8 +1034,11 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   let timings = ref [] in
-  if table_filter <> [] || args = [] || List.mem "tables" args then
-    timings := !timings @ run_tables table_filter;
+  if
+    (match only_prefix with
+    | Some _ -> want "tables"
+    | None -> table_filter <> [] || args = [] || List.mem "tables" args)
+  then timings := !timings @ run_tables table_filter;
   if want "campaign" then timings := !timings @ [ run_campaign_bench () ];
   if want "b1" then timings := !timings @ run_b1 ();
   if want "b2" then timings := !timings @ run_b2 ();

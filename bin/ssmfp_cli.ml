@@ -542,8 +542,18 @@ let mc_cmd =
       value & opt int 1
       & info [ "workers" ] ~docv:"W"
           ~doc:
-            "Domains sharding each BFS frontier level. The report is \
-             identical for any worker count.")
+            "Work-stealing worker domains for the safety search; 0 \
+             autodetects (one less than the recommended domain count). \
+             The report is identical for any worker count.")
+  in
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Disable the ample-set partial-order reduction (on by \
+             default here; it never changes verdicts, only the explored \
+             counts).")
   in
   let stats =
     Arg.(
@@ -563,7 +573,7 @@ let mc_cmd =
             "Visited-set keys: codec (compact binary, default) or string \
              (the historical rendering, kept as differential baseline).")
   in
-  let run scenario samples workers stats key profile prof_summary =
+  let run scenario samples workers no_por stats key profile prof_summary =
     let sc, inits =
       match scenario with
       | `Two ->
@@ -574,8 +584,11 @@ let mc_cmd =
           (sc, Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:samples sc)
     in
     Printf.printf "initial configurations: %d\n%!" (List.length inits);
-    let prof = make_prof ~profile ~prof_summary ~tracks:(max 1 workers) in
-    let sr = Mc.Explore.check_safety ~workers ~key ~prof sc inits in
+    let workers = Mc.Par.effective_workers workers in
+    let prof = make_prof ~profile ~prof_summary ~tracks:workers in
+    let sr =
+      Mc.Explore.check_safety ~workers ~por:(not no_por) ~key ~prof sc inits
+    in
     Printf.printf "safety: %d configurations, %d transitions\n"
       sr.Mc.Explore.explored sr.Mc.Explore.transitions;
     Printf.printf "  duplicate delivery: %b\n" sr.Mc.Explore.duplicate_delivery;
@@ -611,8 +624,8 @@ let mc_cmd =
   Cmd.v
     (Cmd.info "mc" ~doc:"Model-check SP on small networks.")
     Term.(
-      const run $ scenario $ samples $ workers $ stats $ key $ profile_arg
-      $ prof_summary_arg)
+      const run $ scenario $ samples $ workers $ no_por $ stats $ key
+      $ profile_arg $ prof_summary_arg)
 
 (* ---------------- chaos command ---------------- *)
 

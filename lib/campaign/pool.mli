@@ -137,6 +137,31 @@ val fanout_run_w : fanout -> tasks:int -> (worker:int -> int -> unit) -> unit
 val fanout_close : fanout -> unit
 (** Shut the helpers down and join them. The pool must be idle. *)
 
+type 'a deque
+(** A lock-protected work-stealing deque: the owner pushes and pops at
+    the tail (LIFO), thieves batch-steal from the head (the oldest —
+    in a search frontier, the largest-subtree — entries). Every
+    operation takes the deque's mutex; {!deque_steal} never holds two
+    locks at once, so any steal pattern (including mutual theft) is
+    deadlock-free. *)
+
+val deque_create : unit -> 'a deque
+
+val deque_push : 'a deque -> 'a -> unit
+(** Append at the owner end. Grows the ring as needed. *)
+
+val deque_pop : 'a deque -> 'a option
+(** Take the most recently pushed entry, or [None] when empty. *)
+
+val deque_steal : victim:'a deque -> into:'a deque -> int
+(** Move a batch (half the victim's entries, at least 1, at most 64)
+    from the victim's head to [into]'s tail; returns the count moved
+    ([0] = victim was empty). *)
+
+val deque_size : 'a deque -> int
+(** Lock-free size hint (atomic read) — for victim selection; may lag
+    in-flight operations by a batch. *)
+
 val run_list :
   ?prof:Obs.Prof.t ->
   ?workers:int ->

@@ -148,3 +148,12 @@ let hash_string s =
   let h = ref fnv_offset in
   String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) s;
   !h
+
+(* Canonical order on keyed configurations: fingerprint first (cheap),
+   key bytes as the tiebreak. A pure function of the key, so electing a
+   minimum under it is independent of discovery order — the reduce
+   step's replacement for "first found". *)
+let key_order ~hash_a ~key_a ~hash_b ~key_b =
+  if hash_a < hash_b then -1
+  else if hash_a > hash_b then 1
+  else String.compare key_a key_b

@@ -64,3 +64,9 @@ val string_key : Ssmfp.State.t array -> delivered:int -> string
 val hash_string : string -> int
 (** FNV-1a over a string, for keying {!string_key} values in a
     {!Store.t}. *)
+
+val key_order :
+  hash_a:int -> key_a:string -> hash_b:int -> key_b:string -> int
+(** Total canonical order on keyed configurations: fingerprint first,
+    key bytes on ties. A pure function of the key — electing minima
+    under it makes witness choice independent of traversal order. *)

@@ -118,9 +118,10 @@ let sample_initials_corrupted rng ~count scenario =
     (sample_initials rng ~count scenario)
 
 (* ------------------------------------------------------------------ *)
-(* Safety: BFS over all central-daemon choices. The search engine —
-   codec keys, open-addressing visited store, level-synchronized domain
-   sharding — lives in Par; this is the scenario-level entry point.     *)
+(* Safety: exhaustive search over all central-daemon choices. The search
+   engine — codec keys, sharded concurrent visited store, work-stealing
+   frontier, deterministic reduce — lives in Par; this is the
+   scenario-level entry point.                                          *)
 
 type safety_report = Par.safety_report = {
   initial_count : int;
@@ -132,10 +133,10 @@ type safety_report = Par.safety_report = {
   visited : Store.stats;
 }
 
-let check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers ?key
-    ?prof scenario initials =
+let check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers ?por
+    ?shards ?key ?prof scenario initials =
   Par.check_safety ?variant ?simultaneity ?run_routing ?max_configs ?workers
-    ?key ?prof ~graph:scenario.graph initials
+    ?por ?shards ?key ?prof ~graph:scenario.graph initials
 
 (* ------------------------------------------------------------------ *)
 (* Liveness under the weakly fair round-robin daemon                   *)

@@ -81,12 +81,15 @@ val check_safety :
   ?run_routing:bool ->
   ?max_configs:int ->
   ?workers:int ->
+  ?por:bool ->
+  ?shards:int ->
   ?key:Par.key_mode ->
   ?prof:Obs.Prof.t ->
   scenario ->
   Ssmfp.State.t array list ->
   safety_report
-(** BFS over the union of reachable spaces (bound: [max_configs], default
+(** Exhaustive search over the union of reachable spaces (bound:
+    [max_configs], default
     2_000_000 — a key that would exceed it raises [Failure] before being
     inserted, so the bound is exact). [variant] lets the checker
     explore ablated protocols — notably [literal_r5], whose reachable
@@ -101,12 +104,15 @@ val check_safety :
     {!sample_initials_corrupted} to check SP while tables are being
     repaired; the routing entries then join the canonical key.
 
-    [workers] (default 1) shards each frontier level across that many
-    domains; [key] (default {!Par.Codec_keys}) selects the visited-set
-    representation; [prof] attributes wall-clock to
-    expand/store/barrier/merge spans per domain. Every report field is
-    independent of all three — see {!Par.check_safety} for the
-    determinism and instrumentation rules. *)
+    [workers] (default 1; [0] = autodetect) is the number of
+    work-stealing worker loops; [por] (default false) enables the
+    ample-set partial-order reduction (changes the explored counts, not
+    the verdicts); [shards] sets the visited-set stripe count; [key]
+    (default {!Par.Codec_keys}) selects the visited-set representation;
+    [prof] attributes wall-clock to roots/run/steal/reduce spans per
+    domain. Every report field is independent of [workers], [key] and
+    [prof] — see {!Par.check_safety} for the determinism and
+    instrumentation rules. *)
 
 type liveness_report = {
   checked : int;

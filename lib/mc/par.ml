@@ -1,30 +1,63 @@
-(* The safety-BFS core shared by Mc.Explore's sequential and parallel
+(* The safety-search core shared by Mc.Explore's sequential and parallel
    paths.
 
-   The search is the same transition system Explore.check_safety always
-   explored — every enabled (processor, action) choice of the central
-   daemon (or every composite distributed-daemon selection under
-   [simultaneity]), plus the higher layer raising request flags — but the
-   frontier is processed level by level so it can be sharded across a
-   domain pool while keeping every report field a pure function of the
-   initial configurations:
+   The search explores the same transition system Explore.check_safety
+   always explored — every enabled (processor, action) choice of the
+   central daemon (or every composite distributed-daemon selection under
+   [simultaneity]), plus the higher layer raising request flags — but
+   the traversal is continuous and barrier-free, with determinism
+   recovered by a reduce step instead of by freezing traversal order:
 
-   - a level is an array of configurations in discovery order; workers
-     process disjoint index ranges (chunks) and only ever read shared
-     state, accumulating successors, counters and first-witness
-     candidates locally;
-   - the merge walks the chunk results in index order, deduplicating
-     against the shared visited store and picking first witnesses, so the
-     visited set, the counters and the witnesses come out identical to a
-     single-domain run whatever the worker count or chunk boundaries;
-   - a level in which a duplicate delivery is found is still completed
-     (its remaining configurations are processed and merged) before the
-     search stops — finishing the level is what makes "how far did we
-     get" independent of scheduling.
+   - the visited set is a sharded concurrent store (Store.Sharded):
+     per-stripe mutexes over the fingerprint + bytes-key layout, stripe
+     count independent of the worker count, so insert-or-member from any
+     domain is contention-free except on fingerprint-colliding stripes
+     and the aggregate stats are a pure function of the key set;
+
+   - each worker owns a deque (Campaign.Pool.deque) and expands
+     continuously — pop, generate successors, insert-or-drop against the
+     shared store, push the fresh ones — stealing a batch from the
+     fullest victim when its own deque runs dry. Termination is an
+     atomic count of enqueued-but-unexpanded entries, not a level
+     barrier;
+
+   - the search runs the frontier to exhaustion (successors that have
+     already reached the duplicate-delivery bound are recorded but not
+     expanded), so the set of expanded configurations — hence
+     [explored], [transitions], and the visited stats — is a pure
+     function of the initial configurations, whatever the interleaving;
+
+   - witnesses are elected, not discovered: every worker keeps its
+     locally best lost/deadlock candidate under the canonical order
+     (min fingerprint, then key bytes — Codec.key_order), and the reduce
+     step after the join takes the global minimum. Reports are therefore
+     byte-identical for any worker count even though traversal order is
+     nondeterministic.
+
+   On top sits an optional partial-order reduction ([por]): the radius-1
+   locality metadata the engine already trusts (every SSMFP guard reads
+   only the closed neighborhood, every action writes only its own
+   processor) is an independence relation for free. A configuration
+   where some processor p has only local-progress rules enabled (R2, R4,
+   R5, R6 — no generation, no copy, no routing repair), holds no valid
+   occurrence, has no request to raise, and has no active neighbor,
+   expands only p's actions: they commute with every other enabled
+   action (disjoint neighborhoods), are invisible to the SP predicates
+   (they move or erase p's own invalid messages), and strictly decrease
+   the lexicographic potential (total occupied buffers, total bufR
+   occupancy) — R2 keeps the count and drains a bufR, R4/R5/R6 erase —
+   so reduced expansions cannot cycle and nothing is ignored forever.
+   The selection is a pure function of the configuration, so reduction
+   never perturbs determinism. The classical C1 condition is
+   approximated (a distance-2 cascade could in principle re-activate the
+   neighborhood before p moves); the POR differential suite pins
+   POR-on verdicts to POR-off on every small net we can afford, and
+   [por] defaults to off in the API ([--no-por] escapes it in the CLI).
 
    Keys are either the compact binary codec (default; per-domain scratch
-   encoders, hash-first store probes, key bytes copied only on insertion)
-   or the historical string rendering kept as a differential baseline. *)
+   encoders, hash-first store probes, key bytes copied only on
+   insertion) or the historical string rendering kept as a differential
+   baseline. *)
 
 type key_mode = String_keys | Codec_keys
 
@@ -113,13 +146,14 @@ type ctx = {
     (Ssmfp.State.t, Ssmfp.Protocol.action, Ssmfp.Protocol.event)
     Sim.Engine.protocol;
   simultaneity : bool;
+  por : bool;
   (* dirty-set deduplication scratch, all-false between configurations —
      one per domain, reused across every configuration it processes *)
   seen : bool array;
 }
 
-let make_ctx ~graph ~proto ~simultaneity =
-  { graph; n = Topology.Graph.n graph; proto; simultaneity;
+let make_ctx ?(por = false) ~graph ~proto ~simultaneity () =
+  { graph; n = Topology.Graph.n graph; proto; simultaneity; por;
     seen = Array.make (Topology.Graph.n graph) false }
 
 let enabled_table ctx net origin =
@@ -145,32 +179,154 @@ let enabled_table ctx net origin =
   | Derived _ | Root ->
       Array.init ctx.n (fun p -> ctx.proto.Sim.Engine.enabled net p)
 
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction: the ample-processor choice                   *)
+
+let request_possible (st : Ssmfp.State.t) =
+  (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> []
+
+(* Local-progress rules: move or erase an occurrence already at p. R1
+   (generation), R3 (copy — creates an occurrence a neighbor can react
+   to) and Route (repair) are excluded from ample sets. *)
+let local_progress_only actions =
+  List.for_all
+    (fun (a : Ssmfp.Protocol.action) ->
+      match a.Ssmfp.Protocol.rule with
+      | Ssmfp.Protocol.R2 | Ssmfp.Protocol.R4 | Ssmfp.Protocol.R5
+      | Ssmfp.Protocol.R6 ->
+          true
+      | Ssmfp.Protocol.R1 | Ssmfp.Protocol.R3 | Ssmfp.Protocol.Route ->
+          false)
+    actions
+
+let holds_valid (st : Ssmfp.State.t) =
+  List.exists
+    (fun (_, _, m) -> Ssmfp.Message.is_valid m)
+    (Ssmfp.State.occupied_buffers st)
+
+(* Field-granular independence. Every SSMFP guard and effect touches a
+   small, statically known set of state fields (Protocol's guards read
+   buffers by (processor, destination) slot, routing tables and request
+   flags by processor); two actions at distinct processors commute and
+   preserve each other's guards exactly when neither writes a field the
+   other reads — writes never collide, since every action writes only
+   its own processor. The field lists below transcribe Protocol's
+   guard_* / apply_* readers conservatively (choice and color picking
+   read every neighbor's bufE/routing resp. bufR for the slot). *)
+type field =
+  | FBufR of int * int  (* processor, destination slot *)
+  | FBufE of int * int
+  | FRouting of int
+  | FQueue of int * int
+  | FRequest of int
+  | FOutbox of int
+
+let bufr_last states p d =
+  match (Ssmfp.State.slot states.(p) d).Ssmfp.State.buf_r with
+  | Some m -> m.Ssmfp.Message.last
+  | None -> p
+
+(* choice_p(d) evaluates can_feed on queue members: it always reads the
+   member's routing table, but its value depends on [bufE_s(d)] only
+   when [next_hop_s(d) = p] — a neighbor routing elsewhere (notably the
+   destination itself, which routes to itself) cannot feed p, occupied
+   or not. The routing read stays in the set, so any action that could
+   flip [next_hop] (only Route) still conflicts. *)
+let choice_reads states p d nbrs =
+  List.concat_map
+    (fun s ->
+      let feeds_p =
+        Routing.Selfstab.next_hop states.(s).Ssmfp.State.routing ~d = p
+      in
+      FRouting s :: (if feeds_p then [ FBufE (s, d) ] else []))
+    nbrs
+
+let action_reads ctx states p (a : Ssmfp.Protocol.action) =
+  let d = a.Ssmfp.Protocol.dest in
+  let nbrs = Topology.Graph.neighbors ctx.graph p in
+  match a.Ssmfp.Protocol.rule with
+  | Ssmfp.Protocol.Route ->
+      FRouting p :: List.map (fun r -> FRouting r) nbrs
+  | Ssmfp.Protocol.R1 ->
+      FRequest p :: FOutbox p :: FBufR (p, d) :: FQueue (p, d)
+      :: choice_reads states p d nbrs
+  | Ssmfp.Protocol.R2 ->
+      FBufR (p, d)
+      :: FBufE (bufr_last states p d, d)
+      :: List.map (fun r -> FBufR (r, d)) nbrs
+  | Ssmfp.Protocol.R3 ->
+      FBufR (p, d) :: FQueue (p, d) :: choice_reads states p d nbrs
+  | Ssmfp.Protocol.R4 ->
+      FBufE (p, d) :: FRouting p :: List.map (fun r -> FBufR (r, d)) nbrs
+  | Ssmfp.Protocol.R5 ->
+      let last = bufr_last states p d in
+      [ FBufR (p, d); FBufE (last, d); FRouting last ]
+  | Ssmfp.Protocol.R6 -> [ FBufE (p, p) ]
+
+let action_writes p (a : Ssmfp.Protocol.action) =
+  let d = a.Ssmfp.Protocol.dest in
+  match a.Ssmfp.Protocol.rule with
+  | Ssmfp.Protocol.Route -> [ FRouting p ]
+  | Ssmfp.Protocol.R1 ->
+      [ FBufR (p, d); FQueue (p, d); FRequest p; FOutbox p ]
+  | Ssmfp.Protocol.R2 -> [ FBufR (p, d); FBufE (p, d) ]
+  | Ssmfp.Protocol.R3 -> [ FBufR (p, d); FQueue (p, d) ]
+  | Ssmfp.Protocol.R4 -> [ FBufE (p, d) ]
+  | Ssmfp.Protocol.R5 -> [ FBufR (p, d) ]
+  | Ssmfp.Protocol.R6 -> [ FBufE (p, p) ]
+
+let conflict ctx states p a q b =
+  let intersects xs ys = List.exists (fun x -> List.mem x ys) xs in
+  intersects (action_writes p a) (action_reads ctx states q b)
+  || intersects (action_writes q b) (action_reads ctx states p a)
+
+(* The smallest processor whose enabled actions form a sound ample set:
+   only local-progress rules, nothing valid at stake, no request to
+   raise, and no field conflict with any enabled action of any
+   neighbor (non-neighbors read within their own radius-1 ball, so
+   they cannot conflict; request-raising reads and writes only the
+   raiser's request/outbox, which no local-progress rule touches).
+   Pure in the configuration: the same state elects the same
+   processor. *)
+let ample_pid ctx states tbl =
+  let eligible p =
+    tbl.(p) <> []
+    && (not (request_possible states.(p)))
+    && local_progress_only tbl.(p)
+    && (not (holds_valid states.(p)))
+    && List.for_all
+         (fun q ->
+           List.for_all
+             (fun b ->
+               List.for_all
+                 (fun a -> not (conflict ctx states p a q b))
+                 tbl.(p))
+             tbl.(q))
+         (Topology.Graph.neighbors ctx.graph p)
+  in
+  (* Among eligible processors, the one with the fewest enabled actions
+     collapses the most interleavings; ties break to the smallest pid.
+     Still a pure function of the configuration. *)
+  let best = ref None in
+  for p = ctx.n - 1 downto 0 do
+    if eligible p then
+      match !best with
+      | Some q when List.length tbl.(q) < List.length tbl.(p) -> ()
+      | _ -> best := Some p
+  done;
+  !best
+
 (* Generate every successor of [entry] in the canonical order (request
    transitions in pid order, then protocol transitions in pid/action
    order), calling [emit states' delivered' origin'] for each; returns
-   the number of successors (0 = the configuration is terminal). *)
+   the number of successors (0 = the configuration is terminal). With
+   [ctx.por], a configuration holding an ample processor expands only
+   that processor's actions — a deterministic subset of the full set. *)
 let successors ctx entry ~emit =
   let states = entry.e_states and delivered = entry.e_delivered in
   let net = Sim.Engine.synthetic ~graph:ctx.graph ~states in
   let tbl = enabled_table ctx net entry.e_origin in
   let moves = ref 0 in
-  (* Higher-layer transitions: raising a request flag. *)
-  Array.iteri
-    (fun p (st : Ssmfp.State.t) ->
-      if (not st.Ssmfp.State.request) && st.Ssmfp.State.outbox <> [] then begin
-        incr moves;
-        let states' = Array.copy states in
-        states'.(p) <- { st with Ssmfp.State.request = true };
-        emit states' delivered (Derived (tbl, [ p ]))
-      end)
-    states;
-  (* Protocol transitions: central daemon by default, every composite
-     distributed-daemon step under [simultaneity]. *)
-  let per_proc =
-    List.concat
-      (List.init ctx.n (fun p ->
-           match tbl.(p) with [] -> [] | actions -> [ (p, actions) ]))
-  in
   let apply_selection sel =
     incr moves;
     let states' = Array.copy states in
@@ -190,293 +346,297 @@ let successors ctx entry ~emit =
     in
     emit states' delivered' (Derived (tbl, List.map fst sel))
   in
-  if ctx.simultaneity then List.iter apply_selection (selections per_proc)
-  else
-    List.iter
-      (fun (p, actions) ->
-        List.iter (fun a -> apply_selection [ (p, a) ]) actions)
-      per_proc;
-  !moves
+  let ample =
+    if ctx.por && not ctx.simultaneity then ample_pid ctx states tbl else None
+  in
+  match ample with
+  | Some p ->
+      List.iter (fun a -> apply_selection [ (p, a) ]) tbl.(p);
+      !moves
+  | None ->
+      (* Higher-layer transitions: raising a request flag. *)
+      Array.iteri
+        (fun p (st : Ssmfp.State.t) ->
+          if request_possible st then begin
+            incr moves;
+            let states' = Array.copy states in
+            states'.(p) <- { st with Ssmfp.State.request = true };
+            emit states' delivered (Derived (tbl, [ p ]))
+          end)
+        states;
+      (* Protocol transitions: central daemon by default, every composite
+         distributed-daemon step under [simultaneity]. *)
+      let per_proc =
+        List.concat
+          (List.init ctx.n (fun p ->
+               match tbl.(p) with [] -> [] | actions -> [ (p, actions) ]))
+      in
+      if ctx.simultaneity then List.iter apply_selection (selections per_proc)
+      else
+        List.iter
+          (fun (p, actions) ->
+            List.iter (fun a -> apply_selection [ (p, a) ]) actions)
+          per_proc;
+      !moves
 
 (* ------------------------------------------------------------------ *)
-(* Parallel chunk output                                                *)
+(* The traversal                                                        *)
 
-type chunk_out = {
-  c_succs : entry list;  (* discovery order *)
-  c_keys : (int * string) list;  (* (hash, key) aligned with c_succs *)
-  c_transitions : int;
-  c_duplicate : bool;
-  c_lost : string option;  (* first in chunk order *)
-  c_deadlock : string option;  (* first in chunk order *)
-}
+let effective_workers workers =
+  if workers = 0 then max 1 (Domain.recommended_domain_count () - 1)
+  else max 1 workers
+
+(* A witness candidate: the canonical key of the configuration it was
+   found in, plus its rendering. Election takes the canonical minimum. *)
+type cand = (int * string * string) option
+
+let better ~hash ~key (c : cand) =
+  match c with
+  | None -> true
+  | Some (h', k', _) ->
+      Codec.key_order ~hash_a:hash ~key_a:key ~hash_b:h' ~key_b:k' < 0
+
+let merge_cands cands =
+  Array.fold_left
+    (fun acc c ->
+      match c with
+      | None -> acc
+      | Some (h, k, _) -> if better ~hash:h ~key:k acc then c else acc)
+    None cands
 
 let check_safety ?(variant = Ssmfp.Protocol.faithful) ?(simultaneity = false)
     ?(run_routing = false) ?(max_configs = 2_000_000) ?(workers = 1)
-    ?(key = Codec_keys) ?(prof = Obs.Prof.disabled) ~graph initials =
+    ?(por = false) ?(shards = 64) ?(key = Codec_keys)
+    ?(prof = Obs.Prof.disabled) ~graph initials =
+  let nworkers = effective_workers workers in
   let proto = Ssmfp.Protocol.make ~variant ~run_routing graph in
-  let store = Store.create ~prof () in
-  (* Profiling vocabulary (all registered up front, before any worker
-     runs): track 0 is the calling domain — roots, per-level framing,
-     sequential expansion, and the in-order merge; tracks 1.. are the
-     fanout helpers, which record their chunk expansions and the wait
-     between their last chunk of a level and the join (the barrier).
-     Recording never branches the search: reports stay byte-identical
-     whatever the worker count, profiling on or off. *)
+  let store = Store.Sharded.create ~stripes:shards () in
+  (* Profiling vocabulary, registered up front so the span-name set is
+     independent of the worker count. Track 0 is the calling domain
+     (roots, its own worker loop, the reduce); tracks 1.. are the fanout
+     helpers. Each worker-loop task records one "mc.run" span, a
+     "mc.steal" span per successful steal (the span id is re-looked-up
+     from the worker domain — the registration path is mutex-guarded),
+     and per-track counters. Recording never branches the search. *)
   let prof_on = Obs.Prof.enabled prof in
   let tr0 = Obs.Prof.track prof 0 in
   let sp_roots = Obs.Prof.span prof "mc.roots" in
-  let sp_level = Obs.Prof.span prof "mc.level" in
-  let sp_expand = Obs.Prof.span prof "mc.expand" in
-  let sp_merge = Obs.Prof.span prof "mc.merge" in
-  let sp_barrier = Obs.Prof.span prof "mc.barrier" in
+  let sp_run = Obs.Prof.span prof "mc.run" in
+  let _ = Obs.Prof.span prof "mc.steal" in
+  let sp_reduce = Obs.Prof.span prof "mc.reduce" in
   let c_configs = Obs.Prof.counter prof "mc.configs" in
   let c_trans = Obs.Prof.counter prof "mc.transitions" in
-  let c_chunks = Obs.Prof.counter prof "mc.chunks" in
-  let c_pre_ns = Obs.Prof.counter prof "mc.prefilter_ns" in
-  let c_pre = Obs.Prof.counter prof "mc.prefilter_probes" in
-  let explored = ref 0 and transitions = ref 0 in
-  let duplicate = ref false in
-  let lost = ref None and deadlock = ref None in
+  let c_steals = Obs.Prof.counter prof "mc.steals" in
+  let c_stolen = Obs.Prof.counter prof "mc.stolen" in
+  let c_steal_fail = Obs.Prof.counter prof "mc.steal_fail" in
+  let c_idle_ns = Obs.Prof.counter prof "mc.idle_ns" in
   let budget_fail () =
     failwith
       (Printf.sprintf
          "Mc.check_safety: configuration budget exhausted (max_configs = %d)"
          max_configs)
   in
-  (* Budget discipline: a key that would become the [max_configs + 1]-th
-     entry fails *before* it is inserted or enqueued, so the bound is
-     exact. The boundary probe costs a lookup only once the store is
-     full. *)
-  let codec = Codec.create () in
-  let insert_scratch states delivered =
+  (* Shared traversal state. [pending] counts enqueued-but-unexpanded
+     entries: incremented before a push, decremented after the popped
+     entry's expansion completes, so it reaches 0 exactly when no entry
+     exists anywhere and none is being generated. *)
+  let deques = Array.init nworkers (fun _ -> Campaign.Pool.deque_create ()) in
+  let pending = Atomic.make 0 in
+  let abort = Atomic.make false in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let dup_flag = Atomic.make false in
+  let g_explored = Atomic.make 0 and g_transitions = Atomic.make 0 in
+  let lost_cands : cand array = Array.make (nworkers + 1) None in
+  let dead_cands : cand array = Array.make (nworkers + 1) None in
+  (* The canonical key of a configuration, through a scratch encoder. *)
+  let keyed codec states delivered =
     match key with
     | Codec_keys ->
         Codec.encode codec states ~delivered;
-        let h = Codec.hash codec in
-        let buf = Codec.raw codec and len = Codec.length codec in
-        if
-          Store.cardinal store >= max_configs
-          && not (Store.mem store ~hash:h buf ~len)
-        then budget_fail ();
-        Store.add_if_absent store ~hash:h buf ~len
+        (Codec.hash codec, Codec.key codec)
     | String_keys ->
         let k = Codec.string_key states ~delivered in
-        let h = Codec.hash_string k in
-        if
-          Store.cardinal store >= max_configs
-          && not (Store.mem_string store ~hash:h k)
-        then budget_fail ();
-        Store.add_string_if_absent store ~hash:h k
+        (Codec.hash_string k, k)
   in
-  let insert_extracted h k =
-    if
-      Store.cardinal store >= max_configs
-      && not (Store.mem_string store ~hash:h k)
-    then budget_fail ();
-    Store.add_string_if_absent store ~hash:h k
-  in
-  (* Roots: loss check and dedup in list order, no transition counted. *)
-  let next = ref [] in
+  (* Roots: loss-candidate election and dedup in list order (the order
+     is irrelevant — election is canonical), no transition counted. *)
   let roots_t0 = Obs.Prof.now prof in
-  List.iter
-    (fun states ->
-      (match lost_witness states 0 with
-      | Some w when !lost = None -> lost := Some w
-      | _ -> ());
-      if insert_scratch states 0 then
-        next := { e_states = states; e_delivered = 0; e_origin = Root } :: !next)
-    initials;
+  let root_codec = Codec.create () in
+  let root_lost = ref None in
+  let seeded = ref 0 in
+  (try
+     List.iter
+       (fun states ->
+         (match lost_witness states 0 with
+         | Some w ->
+             let h, k = keyed root_codec states 0 in
+             if better ~hash:h ~key:k !root_lost then
+               root_lost := Some (h, k, w)
+         | None -> ());
+         let fresh =
+           match key with
+           | Codec_keys ->
+               Codec.encode root_codec states ~delivered:0;
+               Store.Sharded.add_if_absent ~budget:max_configs store
+                 ~hash:(Codec.hash root_codec) (Codec.raw root_codec)
+                 ~len:(Codec.length root_codec)
+           | String_keys ->
+               let k = Codec.string_key states ~delivered:0 in
+               Store.Sharded.add_string_if_absent ~budget:max_configs store
+                 ~hash:(Codec.hash_string k) k
+         in
+         if fresh then begin
+           Atomic.incr pending;
+           Campaign.Pool.deque_push
+             deques.(!seeded mod nworkers)
+             { e_states = states; e_delivered = 0; e_origin = Root };
+           incr seeded
+         end)
+       initials
+   with Store.Sharded.Full -> budget_fail ());
+  lost_cands.(nworkers) <- !root_lost;
   if prof_on then Obs.Prof.record tr0 sp_roots ~start:roots_t0;
-  let workers = max 1 workers in
-  let fanout =
-    if workers > 1 then Some (Campaign.Pool.fanout_create ~workers) else None
-  in
-  let seq_ctx = make_ctx ~graph ~proto ~simultaneity in
-  (* One level, sequentially: successors go straight through the scratch
-     codec into the store — duplicate keys never materialize a string. *)
-  let run_level_seq level =
-    let t0 = Obs.Prof.now prof in
-    let trans0 = !transitions in
-    Array.iter
-      (fun entry ->
-        incr explored;
-        let moves =
-          successors seq_ctx entry ~emit:(fun states delivered origin ->
-              incr transitions;
-              if delivered >= 2 then duplicate := true;
-              (match lost_witness states delivered with
-              | Some w when !lost = None -> lost := Some w
-              | _ -> ());
-              if insert_scratch states delivered then
-                next :=
-                  { e_states = states; e_delivered = delivered;
-                    e_origin = origin }
-                  :: !next)
-        in
-        if moves = 0 && has_traffic entry.e_states && !deadlock = None then
-          deadlock := Some (render_config entry.e_states))
-      level;
-    if prof_on then begin
-      Obs.Prof.record tr0 sp_expand ~start:t0;
-      Obs.Prof.add tr0 c_configs (Array.length level);
-      Obs.Prof.add tr0 c_trans (!transitions - trans0)
-    end
-  in
-  (* One level, sharded: workers emit (key, successor) pairs and local
-     counters; the merge below replays them in index order.
-
-     While a level is being generated the shared store is frozen — every
-     insertion happens in the merge, after [fanout_run] returns, and the
-     mutex handshake publishing the job orders the previous merge's
-     writes before the workers' reads — so workers probe it read-only,
-     race-free, and drop successors whose keys are already resident
-     without materializing a key string or an entry. Only within-level
-     duplicates survive to the merge, where the in-order store insertion
-     resolves them exactly as the sequential path would. *)
-  let nworkers = max 1 workers in
-  (* End of each worker's last chunk this level, for barrier-wait spans:
-     slot [w] is written only by worker [w] during the job and read by
-     the caller after the join barrier orders those writes. *)
-  let chunk_end = Array.make nworkers 0 in
-  let run_level_par fanout level =
-    let len = Array.length level in
-    let chunks = min len (Campaign.Pool.fanout_workers fanout * 4) in
-    let results = Array.make chunks None in
-    let lost_known = !lost <> None in
-    if prof_on then Array.fill chunk_end 0 nworkers 0;
-    Campaign.Pool.fanout_run_w fanout ~tasks:chunks (fun ~worker ci ->
-        let trw = Obs.Prof.track prof worker in
-        let chunk_t0 = Obs.Prof.now prof in
-        let lo = len * ci / chunks and hi = len * (ci + 1) / chunks in
-        let ctx = make_ctx ~graph ~proto ~simultaneity in
-        let codec = Codec.create () in
-        let succs = ref [] and keys = ref [] in
-        let trans = ref 0 and dup = ref false in
-        let lw = ref None and dw = ref None in
-        let pre_ns = ref 0 and pre_n = ref 0 in
-        for i = lo to hi - 1 do
-          let entry = level.(i) in
-          let moves =
-            successors ctx entry ~emit:(fun states delivered origin ->
-                incr trans;
-                if delivered >= 2 then dup := true;
-                if (not lost_known) && !lw = None then
-                  (match lost_witness states delivered with
-                  | Some w -> lw := Some w
-                  | None -> ());
-                (* prefilter = encode + read-only probe of the frozen
-                   store; timed on the worker's own counters *)
-                let pre_t0 = if prof_on then Obs.Prof.now prof else 0 in
-                let hk =
-                  match key with
-                  | Codec_keys ->
-                      Codec.encode codec states ~delivered;
-                      let h = Codec.hash codec in
-                      if
-                        Store.mem store ~hash:h (Codec.raw codec)
-                          ~len:(Codec.length codec)
-                      then None
-                      else Some (h, Codec.key codec)
-                  | String_keys ->
-                      let k = Codec.string_key states ~delivered in
-                      let h = Codec.hash_string k in
-                      if Store.mem_string store ~hash:h k then None
-                      else Some (h, k)
-                in
-                if prof_on then begin
-                  pre_ns := !pre_ns + (Obs.Prof.now prof - pre_t0);
-                  incr pre_n
-                end;
-                match hk with
-                | None -> ()
-                | Some hk ->
-                    succs :=
-                      { e_states = states; e_delivered = delivered;
-                        e_origin = origin }
-                      :: !succs;
-                    keys := hk :: !keys)
-          in
-          if moves = 0 && has_traffic entry.e_states && !dw = None then
-            dw := Some (render_config entry.e_states)
-        done;
-        results.(ci) <-
-          Some
-            {
-              c_succs = List.rev !succs;
-              c_keys = List.rev !keys;
-              c_transitions = !trans;
-              c_duplicate = !dup;
-              c_lost = !lw;
-              c_deadlock = !dw;
-            };
-        if prof_on then begin
-          let stop = Obs.Prof.now prof in
-          Obs.Prof.record_interval trw sp_expand ~start:chunk_t0 ~stop;
-          Obs.Prof.add trw c_configs (hi - lo);
-          Obs.Prof.add trw c_trans !trans;
-          Obs.Prof.add trw c_chunks 1;
-          Obs.Prof.add trw c_pre_ns !pre_ns;
-          Obs.Prof.add trw c_pre !pre_n;
-          chunk_end.(worker) <- stop
-        end);
-    if prof_on then begin
-      (* Barrier wait: from each worker's last chunk end to the join.
-         Recorded onto the worker's track from the calling domain —
-         safe, the join has passed and helpers are parked until the
-         next job is published under the pool's mutex. *)
-      let join_t = Obs.Prof.now prof in
-      for w = 0 to nworkers - 1 do
-        if chunk_end.(w) > 0 && chunk_end.(w) < join_t then
-          Obs.Prof.record_interval (Obs.Prof.track prof w) sp_barrier
-            ~start:chunk_end.(w) ~stop:join_t
-      done
-    end;
-    explored := !explored + len;
-    let merge_t0 = Obs.Prof.now prof in
-    Array.iter
-      (fun r ->
-        let co = match r with Some co -> co | None -> assert false in
-        transitions := !transitions + co.c_transitions;
-        if co.c_duplicate then duplicate := true;
-        (match co.c_lost with
-        | Some w when !lost = None -> lost := Some w
-        | _ -> ());
-        (match co.c_deadlock with
-        | Some w when !deadlock = None -> deadlock := Some w
-        | _ -> ());
-        List.iter2
-          (fun entry (h, k) ->
-            if insert_extracted h k then next := entry :: !next)
-          co.c_succs co.c_keys)
-      results;
-    if prof_on then Obs.Prof.record tr0 sp_merge ~start:merge_t0
-  in
-  let run () =
-    let rec loop () =
-      (* The level span opens before the frontier list is reversed into
-         an array, so list handling is attributed, not unexplained gap. *)
-      let level_t0 = Obs.Prof.now prof in
-      let level = Array.of_list (List.rev !next) in
-      next := [];
-      if Array.length level > 0 && not !duplicate then begin
-        (match fanout with
-        | Some f when Array.length level > 1 -> run_level_par f level
-        | Some _ | None -> run_level_seq level);
-        if prof_on then Obs.Prof.record tr0 sp_level ~start:level_t0;
-        loop ()
+  (* One worker loop per deque. The loop index [i] (deque ownership,
+     candidate slots) is the fanout task index; the domain that runs it
+     supplies [worker] for profiler-track identity. A loop exits when
+     the frontier is globally drained or another loop aborted. *)
+  let run_task ~worker i =
+    let trw = Obs.Prof.track prof worker in
+    (* worker-domain registration: an idempotent, mutex-guarded lookup *)
+    let sp_steal = Obs.Prof.span prof "mc.steal" in
+    let t_start = Obs.Prof.now prof in
+    let ctx = make_ctx ~por ~graph ~proto ~simultaneity () in
+    let codec = Codec.create () in
+    let own = deques.(i) in
+    let explored = ref 0 and transitions = ref 0 in
+    let steals = ref 0 and stolen = ref 0 and steal_fail = ref 0 in
+    let idle_ns = ref 0 in
+    let lost = ref None and dead = ref None in
+    let emit states delivered origin =
+      incr transitions;
+      let fresh =
+        match key with
+        | Codec_keys ->
+            Codec.encode codec states ~delivered;
+            Store.Sharded.add_if_absent ~budget:max_configs store
+              ~hash:(Codec.hash codec) (Codec.raw codec)
+              ~len:(Codec.length codec)
+        | String_keys ->
+            let k = Codec.string_key states ~delivered in
+            Store.Sharded.add_string_if_absent ~budget:max_configs store
+              ~hash:(Codec.hash_string k) k
+      in
+      if fresh then
+        if delivered >= 2 then
+          (* a duplicate delivery: record the violation, prune the
+             subtree (nothing beyond the bound changes the verdicts) *)
+          Atomic.set dup_flag true
+        else begin
+          (match lost_witness states delivered with
+          | Some w ->
+              let h, k = keyed codec states delivered in
+              if better ~hash:h ~key:k !lost then lost := Some (h, k, w)
+          | None -> ());
+          Atomic.incr pending;
+          Campaign.Pool.deque_push own
+            { e_states = states; e_delivered = delivered; e_origin = origin }
+        end
+    in
+    let expand entry =
+      incr explored;
+      let moves = successors ctx entry ~emit in
+      if moves = 0 && has_traffic entry.e_states then begin
+        let h, k = keyed codec entry.e_states entry.e_delivered in
+        if better ~hash:h ~key:k !dead then
+          dead := Some (h, k, render_config entry.e_states)
       end
     in
-    loop ()
+    let rec loop () =
+      if not (Atomic.get abort) then
+        match Campaign.Pool.deque_pop own with
+        | Some entry ->
+            expand entry;
+            ignore (Atomic.fetch_and_add pending (-1));
+            loop ()
+        | None ->
+            if Atomic.get pending > 0 then begin
+              (* steal from the fullest victim; relax when every deque
+                 looks empty (in-flight expansions may still push) *)
+              let victim = ref (-1) and best = ref 0 in
+              for j = 0 to nworkers - 1 do
+                if j <> i then begin
+                  let sz = Campaign.Pool.deque_size deques.(j) in
+                  if sz > !best then begin
+                    victim := j;
+                    best := sz
+                  end
+                end
+              done;
+              let t0 = if prof_on then Obs.Prof.now prof else 0 in
+              let got =
+                if !victim >= 0 then
+                  Campaign.Pool.deque_steal ~victim:deques.(!victim) ~into:own
+                else 0
+              in
+              if got > 0 then begin
+                incr steals;
+                stolen := !stolen + got;
+                if prof_on then Obs.Prof.record trw sp_steal ~start:t0
+              end
+              else begin
+                incr steal_fail;
+                if prof_on then
+                  idle_ns := !idle_ns + (Obs.Prof.now prof - t0);
+                Domain.cpu_relax ()
+              end;
+              loop ()
+            end
+    in
+    (try loop ()
+     with e ->
+       ignore (Atomic.compare_and_set failure None (Some e));
+       Atomic.set abort true);
+    ignore (Atomic.fetch_and_add g_explored !explored);
+    ignore (Atomic.fetch_and_add g_transitions !transitions);
+    lost_cands.(i) <- !lost;
+    dead_cands.(i) <- !dead;
+    if prof_on then begin
+      Obs.Prof.record trw sp_run ~start:t_start;
+      Obs.Prof.add trw c_configs !explored;
+      Obs.Prof.add trw c_trans !transitions;
+      Obs.Prof.add trw c_steals !steals;
+      Obs.Prof.add trw c_stolen !stolen;
+      Obs.Prof.add trw c_steal_fail !steal_fail;
+      Obs.Prof.add trw c_idle_ns !idle_ns
+    end
   in
-  (match fanout with
-  | Some f -> Fun.protect ~finally:(fun () -> Campaign.Pool.fanout_close f) run
-  | None -> run ());
-  {
-    initial_count = List.length initials;
-    explored = !explored;
-    transitions = !transitions;
-    duplicate_delivery = !duplicate;
-    lost_valid = !lost;
-    deadlock = !deadlock;
-    visited = Store.stats store;
-  }
+  if nworkers = 1 then run_task ~worker:0 0
+  else begin
+    let fanout = Campaign.Pool.fanout_create ~workers:nworkers in
+    Fun.protect
+      ~finally:(fun () -> Campaign.Pool.fanout_close fanout)
+      (fun () -> Campaign.Pool.fanout_run_w fanout ~tasks:nworkers run_task)
+  end;
+  (match Atomic.get failure with
+  | Some Store.Sharded.Full -> budget_fail ()
+  | Some e -> raise e
+  | None -> ());
+  (* Reduce: counters are sums, verdicts are flags, witnesses are the
+     canonical minima over the per-task candidates — all independent of
+     traversal order and worker count. *)
+  let reduce_t0 = Obs.Prof.now prof in
+  let lost = Option.map (fun (_, _, w) -> w) (merge_cands lost_cands) in
+  let deadlock = Option.map (fun (_, _, w) -> w) (merge_cands dead_cands) in
+  let report =
+    {
+      initial_count = List.length initials;
+      explored = Atomic.get g_explored;
+      transitions = Atomic.get g_transitions;
+      duplicate_delivery = Atomic.get dup_flag;
+      lost_valid = lost;
+      deadlock;
+      visited = Store.Sharded.stats store;
+    }
+  in
+  if prof_on then Obs.Prof.record tr0 sp_reduce ~start:reduce_t0;
+  report

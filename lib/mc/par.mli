@@ -1,32 +1,54 @@
-(** The safety-BFS core of the SSMFP model checker: compact keys, an
-    open-addressing visited store, and a level-synchronized parallel
-    frontier.
+(** The safety-search core of the SSMFP model checker: compact keys, a
+    sharded concurrent visited store, a work-stealing frontier, and a
+    deterministic reduce step.
 
     {!Explore.check_safety} delegates here. The transition system is
     unchanged — every enabled (processor, action) choice of the central
     daemon branches, the higher layer raising [request_p] is itself a
     transition, [simultaneity] adds every composite distributed-daemon
-    selection — but the frontier is processed {e level by level} so it
-    can be sharded across a {!Campaign.Pool.fanout} domain pool while
-    staying deterministic:
+    selection — but the traversal is continuous and barrier-free:
 
-    - workers process disjoint index ranges of the level and only read
-      shared state, each with its own scratch {!Codec.t} and dirty-set
-      arrays; successors, transition counts and first-witness candidates
-      accumulate locally;
-    - the merge walks chunk results in index order, deduplicating against
-      the shared {!Store.t} and electing first witnesses, so visited
-      counts, transition counts and witness strings are identical for any
-      worker count (and identical to the sequential path, which skips key
-      extraction for already-visited successors);
-    - a level in which a duplicate delivery is found is completed before
-      the search stops, making the stopping point schedule-independent.
+    - the visited set is {!Store.Sharded}: per-stripe mutexes over the
+      fingerprint + bytes-key layout, stripe count independent of the
+      worker count, used at {e every} worker count (including 1) so the
+      reported store stats are a pure function of the reachable key set;
+    - each worker owns a {!Campaign.Pool.deque} and expands
+      continuously — pop, generate successors, insert-or-drop against
+      the shared store, push the fresh ones — batch-stealing from the
+      fullest victim when its own deque runs dry; termination is an
+      atomic count of enqueued-but-unexpanded entries;
+    - the frontier runs to {e exhaustion}: a successor that reaches the
+      duplicate-delivery bound records the violation and is inserted but
+      not expanded, and nothing else stops the search early, so
+      [explored], [transitions] and the visited stats are pure functions
+      of the initial configurations;
+    - determinism is recovered in a {e reduce} step after the join:
+      counters are sums, verdicts are flags, and the lost/deadlock
+      witnesses are the canonical {e minima} ({!Codec.key_order}: least
+      fingerprint, then key bytes) over all candidates — so reports are
+      byte-identical for any worker count and any interleaving. (The
+      witness for a verdict is therefore a canonical representative, not
+      the first one some traversal happened to meet.)
 
-    The visited budget is enforced {e before} insertion: the key that
-    would become entry [max_configs + 1] raises [Failure] (message
+    The visited budget is enforced by the store ({!Store.Sharded.Full}):
+    the key that would become entry [max_configs + 1] raises — converted
+    here to [Failure] with the historical message
     ["Mc.check_safety: configuration budget exhausted (max_configs =
-    <n>)"]) without being stored or enqueued, so [max_configs] is an
-    exact bound on both the store and the frontier. *)
+    <n>)"] — without being stored or enqueued, under any concurrency.
+
+    [por] enables an ample-set partial-order reduction built on the
+    radius-1 locality the engine already declares (guards read the
+    closed neighborhood, actions write their own processor): a
+    configuration where some processor has only local-progress rules
+    enabled (R2/R4/R5/R6), holds no valid occurrence, has no request to
+    raise and no active neighbor expands only that processor's actions.
+    The choice is a pure function of the configuration, so reduction
+    composes with the determinism story; it changes [explored] /
+    [transitions] / stats (fewer configurations) but must not change
+    verdicts — pinned by the POR differential suite on small nets.
+    Disabled under [simultaneity] (composite steps void the
+    independence argument) and off by default here; the CLI turns it on
+    with a [--no-por] escape hatch. *)
 
 type key_mode =
   | String_keys
@@ -36,17 +58,28 @@ type key_mode =
 
 type safety_report = {
   initial_count : int;
-  explored : int;  (** distinct canonical configurations visited *)
+  explored : int;
+      (** configurations expanded — with [por] off, the number of
+          distinct canonical configurations visited *)
   transitions : int;
   duplicate_delivery : bool;  (** true = violation found *)
   lost_valid : string option;
       (** a configuration where the generated valid message vanished
-          undelivered, if one is reachable *)
-  deadlock : string option;  (** a rendering of a stuck configuration *)
+          undelivered, if one is reachable (the canonical-minimum one) *)
+  deadlock : string option;
+      (** a stuck configuration with traffic, if one is reachable (the
+          canonical-minimum expanded one) *)
   visited : Store.stats;
-      (** resident footprint of the visited set at the end of the
-          search *)
+      (** resident footprint of the sharded visited set at the end of
+          the search *)
 }
+
+val effective_workers : int -> int
+(** [effective_workers w] is [w] clamped to at least 1, except that
+    [0] means autodetect: [Domain.recommended_domain_count () - 1]
+    (leaving one core for the OS and the reduce), at least 1. The CLI
+    uses it to size profiler track counts before calling
+    {!check_safety}. *)
 
 val check_safety :
   ?variant:Ssmfp.Protocol.variant ->
@@ -54,28 +87,34 @@ val check_safety :
   ?run_routing:bool ->
   ?max_configs:int ->
   ?workers:int ->
+  ?por:bool ->
+  ?shards:int ->
   ?key:key_mode ->
   ?prof:Obs.Prof.t ->
   graph:Topology.Graph.t ->
   Ssmfp.State.t array list ->
   safety_report
-(** BFS over the union of reachable spaces from the given initial
-    configurations. [workers] (default 1) shards each frontier level
-    across that many domains (helpers are spawned once and parked between
-    levels); every report field is independent of [workers]. [key]
-    selects the visited-set representation. [max_configs] defaults to
-    2_000_000; exceeding it raises [Failure] as described above.
+(** Exhaustive search over the union of reachable spaces from the given
+    initial configurations. [workers] (default 1; [0] = autodetect via
+    {!effective_workers}) is the number of worker loops and deques;
+    helper domains come from a {!Campaign.Pool.fanout} created for the
+    call. Every report field is independent of [workers]. [key] selects
+    the key representation; [shards] (default 64) the visited-set
+    stripe count (worker-independent, so changing it changes the
+    reported capacity — leave it alone when comparing reports).
+    [max_configs] defaults to 2_000_000; exceeding it raises [Failure]
+    as described above. [por] (default false) enables the partial-order
+    reduction.
 
-    [?prof] (needs ≥ [workers] tracks) attributes the search's
-    wall-clock without altering it — reports stay byte-identical across
-    worker counts, profiling on or off. Track 0 (calling domain)
-    records ["mc.roots"], a ["mc.level"] span per BFS level (opened
-    before the frontier array is built, so list handling is covered),
-    sequential ["mc.expand"] levels, the in-order ["mc.merge"], and the
-    store's ["store.resize"]/["store.probe_len"] instruments; every
-    domain (including 0 when it participates in a parallel level)
-    records one ["mc.expand"] span per chunk, an ["mc.barrier"] span
-    from its last chunk of the level to the join, and per-track
-    counters: ["mc.configs"], ["mc.transitions"], ["mc.chunks"], and
-    the read-only-prefilter cost ["mc.prefilter_ns"] /
-    ["mc.prefilter_probes"]. *)
+    [?prof] (needs ≥ the effective worker count in tracks) attributes
+    the search's wall-clock without altering it — reports stay
+    byte-identical across worker counts, profiling on or off. Track 0
+    (calling domain) records ["mc.roots"], its own worker loop, and the
+    final ["mc.reduce"]; every domain records one ["mc.run"] span per
+    worker loop it executes, a ["mc.steal"] span per successful steal
+    (the span id is looked up from the worker domain — registration is
+    mutex-guarded), and per-track counters ["mc.configs"],
+    ["mc.transitions"], ["mc.steals"], ["mc.stolen"],
+    ["mc.steal_fail"], and ["mc.idle_ns"] (time burned in failed steal
+    cycles). All names are registered up front, so the span-name set is
+    independent of the worker count. *)

@@ -160,3 +160,215 @@ let add_string_if_absent t ~hash key =
     else probe ((i + 1) land t.mask) (plen + 1)
   in
   probe (h land t.mask) 1
+
+let iter t f =
+  Array.iteri (fun i h -> if h <> 0 then f ~hash:h t.keys.(i)) t.hashes
+
+(* ------------------------------------------------------------------ *)
+(* Sharded concurrent variant.
+
+   The same fingerprint + bytes-key layout, striped over a fixed number
+   of independent open-addressing tables, each behind its own mutex.
+   Concurrent insert-or-member calls contend only when their keys'
+   fingerprints land on the same stripe. The stripe index comes from
+   high hash bits (bits the within-stripe probe, which uses the low
+   bits, never reaches), and the stripe count is a power of two fixed at
+   creation — NOT derived from the worker count — so the set of keys in
+   each stripe, hence each stripe's final capacity, hence the aggregate
+   {!stats}, is a pure function of the key set: byte-identical whatever
+   the worker count or insertion order.
+
+   Budget enforcement is exact under concurrency: once a probe finds a
+   free slot (under the stripe lock), a global atomic counter is bumped
+   *before* the slot is written; the fetch that would create entry
+   [budget + 1] raises {!Full} with nothing written, so exactly [budget]
+   inserts ever succeed. *)
+
+exception Full
+
+type stripe = {
+  mutable p_hashes : int array;
+  mutable p_keys : string array;
+  mutable p_mask : int;
+  mutable p_count : int;
+  mutable p_key_bytes : int;
+  p_lock : Mutex.t;
+}
+
+type sharded = {
+  sh_stripes : stripe array;
+  sh_shift : int; (* stripe index = (hash lsr sh_shift) land (stripes-1) *)
+  sh_total : int Atomic.t; (* committed entries, for budget checks *)
+  sh_resizes : int Atomic.t;
+}
+
+let sharded_create ?(stripes = 64) ?(capacity = 4096) () =
+  let nstripes = power_of_two (max 1 stripes) 1 in
+  let per = power_of_two (max 16 (capacity / nstripes)) 16 in
+  let log2 n =
+    let rec go k c = if c >= n then k else go (k + 1) (c * 2) in
+    go 0 1
+  in
+  {
+    sh_stripes =
+      Array.init nstripes (fun _ ->
+          {
+            p_hashes = Array.make per 0;
+            p_keys = Array.make per "";
+            p_mask = per - 1;
+            p_count = 0;
+            p_key_bytes = 0;
+            p_lock = Mutex.create ();
+          });
+    (* high bits: stripe tables stay far below 2^45 slots, so bits
+       45.. never collide with the probe's low-bit slot index *)
+    sh_shift = 45 - log2 nstripes;
+    sh_total = Atomic.make 0;
+    sh_resizes = Atomic.make 0;
+  }
+
+let stripe_of t h = t.sh_stripes.((h lsr t.sh_shift) land (Array.length t.sh_stripes - 1))
+
+let sharded_cardinal t = Atomic.get t.sh_total
+
+let sharded_resizes t = Atomic.get t.sh_resizes
+
+let sharded_stats t =
+  let entries = ref 0 and capacity = ref 0 and key_bytes = ref 0 in
+  Array.iter
+    (fun p ->
+      entries := !entries + p.p_count;
+      capacity := !capacity + p.p_mask + 1;
+      key_bytes := !key_bytes + p.p_key_bytes)
+    t.sh_stripes;
+  {
+    entries = !entries;
+    capacity = !capacity;
+    key_bytes = !key_bytes;
+    table_bytes = !capacity * 2 * (Sys.word_size / 8);
+    load = float_of_int !entries /. float_of_int !capacity;
+  }
+
+let stripe_insert_fresh p h key =
+  let rec probe i =
+    if p.p_hashes.(i) = 0 then begin
+      p.p_hashes.(i) <- h;
+      p.p_keys.(i) <- key
+    end
+    else probe ((i + 1) land p.p_mask)
+  in
+  probe (h land p.p_mask)
+
+let stripe_grow t p =
+  let old_hashes = p.p_hashes and old_keys = p.p_keys in
+  let cap = (p.p_mask + 1) * 2 in
+  p.p_hashes <- Array.make cap 0;
+  p.p_keys <- Array.make cap "";
+  p.p_mask <- cap - 1;
+  Array.iteri
+    (fun i h -> if h <> 0 then stripe_insert_fresh p h old_keys.(i))
+    old_hashes;
+  Atomic.incr t.sh_resizes
+
+(* Commit a new key at slot [i]: claim a budget unit first (raising
+   {!Full} leaves the stripe untouched), then write. The stripe lock is
+   held by the caller. *)
+let stripe_commit t p ~budget i h key len =
+  let prev = Atomic.fetch_and_add t.sh_total 1 in
+  if prev >= budget then begin
+    (* undo the claim; the stripe itself was not modified *)
+    ignore (Atomic.fetch_and_add t.sh_total (-1));
+    Mutex.unlock p.p_lock;
+    raise Full
+  end;
+  p.p_hashes.(i) <- h;
+  p.p_keys.(i) <- key;
+  p.p_count <- p.p_count + 1;
+  p.p_key_bytes <- p.p_key_bytes + len;
+  if p.p_count * 4 > (p.p_mask + 1) * 3 then stripe_grow t p
+
+let sharded_mem t ~hash buf ~len =
+  let h = norm hash in
+  let p = stripe_of t h in
+  Mutex.lock p.p_lock;
+  let rec probe i =
+    let hi = p.p_hashes.(i) in
+    if hi = 0 then false
+    else if hi = h && key_matches p.p_keys.(i) buf len then true
+    else probe ((i + 1) land p.p_mask)
+  in
+  let r = probe (h land p.p_mask) in
+  Mutex.unlock p.p_lock;
+  r
+
+let sharded_add_if_absent ?(budget = max_int) t ~hash buf ~len =
+  let h = norm hash in
+  let p = stripe_of t h in
+  Mutex.lock p.p_lock;
+  let rec probe i =
+    let hi = p.p_hashes.(i) in
+    if hi = 0 then begin
+      stripe_commit t p ~budget i h (Bytes.sub_string buf 0 len) len;
+      true
+    end
+    else if hi = h && key_matches p.p_keys.(i) buf len then false
+    else probe ((i + 1) land p.p_mask)
+  in
+  let r = probe (h land p.p_mask) in
+  Mutex.unlock p.p_lock;
+  r
+
+let sharded_mem_string t ~hash key =
+  let h = norm hash in
+  let p = stripe_of t h in
+  Mutex.lock p.p_lock;
+  let rec probe i =
+    let hi = p.p_hashes.(i) in
+    if hi = 0 then false
+    else if hi = h && String.equal p.p_keys.(i) key then true
+    else probe ((i + 1) land p.p_mask)
+  in
+  let r = probe (h land p.p_mask) in
+  Mutex.unlock p.p_lock;
+  r
+
+let sharded_add_string_if_absent ?(budget = max_int) t ~hash key =
+  let h = norm hash in
+  let p = stripe_of t h in
+  Mutex.lock p.p_lock;
+  let rec probe i =
+    let hi = p.p_hashes.(i) in
+    if hi = 0 then begin
+      stripe_commit t p ~budget i h key (String.length key);
+      true
+    end
+    else if hi = h && String.equal p.p_keys.(i) key then false
+    else probe ((i + 1) land p.p_mask)
+  in
+  let r = probe (h land p.p_mask) in
+  Mutex.unlock p.p_lock;
+  r
+
+let sharded_iter t f =
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun i h -> if h <> 0 then f ~hash:h p.p_keys.(i))
+        p.p_hashes)
+    t.sh_stripes
+
+module Sharded = struct
+  type t = sharded
+
+  exception Full = Full
+
+  let create = sharded_create
+  let cardinal = sharded_cardinal
+  let resizes = sharded_resizes
+  let stats = sharded_stats
+  let mem = sharded_mem
+  let add_if_absent = sharded_add_if_absent
+  let mem_string = sharded_mem_string
+  let add_string_if_absent = sharded_add_string_if_absent
+  let iter = sharded_iter
+end

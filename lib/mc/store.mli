@@ -54,3 +54,48 @@ val mem_string : t -> hash:int -> string -> bool
 
 val add_string_if_absent : t -> hash:int -> string -> bool
 (** {!add_if_absent} for string keys; stores the string itself. *)
+
+val iter : t -> (hash:int -> string -> unit) -> unit
+(** Every stored (normalized hash, key) pair, in slot order. *)
+
+(** Sharded concurrent visited set: the same fingerprint + bytes-key
+    layout, striped over a fixed power-of-two number of independent
+    open-addressing tables, each behind its own mutex. Concurrent
+    insert-or-member calls contend only on fingerprint-colliding
+    stripes. The stripe count is fixed at creation and {e independent of
+    the worker count}, and each stripe grows by doubling as a function
+    of its own entry count alone, so {!Sharded.stats} is a pure function
+    of the final key set — byte-identical whatever the number of
+    inserting domains or their interleaving. *)
+module Sharded : sig
+  type t
+
+  exception Full
+  (** Raised by an insert that would exceed [?budget], before anything
+      is written: exactly [budget] inserts ever succeed, under any
+      concurrency. *)
+
+  val create : ?stripes:int -> ?capacity:int -> unit -> t
+  (** [stripes] (default 64) is rounded up to a power of two;
+      [capacity] (default 4096) is the initial total slot count, split
+      evenly (minimum 16 slots per stripe). *)
+
+  val cardinal : t -> int
+  (** Committed entries (atomic read; exact once writers joined). *)
+
+  val resizes : t -> int
+  (** Stripe doublings so far — the contention-free replacement for the
+      single-table store's ["store.resize"] span. *)
+
+  val stats : t -> stats
+  (** Aggregate over stripes. Deterministic for a given key set. *)
+
+  val mem : t -> hash:int -> Bytes.t -> len:int -> bool
+  val add_if_absent : ?budget:int -> t -> hash:int -> Bytes.t -> len:int -> bool
+  val mem_string : t -> hash:int -> string -> bool
+  val add_string_if_absent : ?budget:int -> t -> hash:int -> string -> bool
+
+  val iter : t -> (hash:int -> string -> unit) -> unit
+  (** Every stored (normalized hash, key) pair, stripe by stripe. Call
+      only after inserting domains have joined: iteration is unlocked. *)
+end

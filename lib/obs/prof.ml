@@ -38,6 +38,11 @@ type t = {
   on : bool;
   clock : unit -> int;
   epoch : int;
+  (* registration lock: name tables and per-track instrument arrays are
+     mutated under it, so any domain may register (worker domains need
+     idempotent lookups for steal-span attribution). The hot path never
+     takes it. *)
+  reg_lock : Mutex.t;
   mutable span_names : string array;
   mutable n_spans : int;
   mutable counter_names : string array;
@@ -79,6 +84,7 @@ let disabled =
     on = false;
     clock = no_clock;
     epoch = 0;
+    reg_lock = Mutex.create ();
     span_names = [||];
     n_spans = 0;
     counter_names = [||];
@@ -125,6 +131,7 @@ let create ?clock ?(capacity = 1 lsl 14) ?labels ~tracks () =
     on = true;
     clock;
     epoch;
+    reg_lock = Mutex.create ();
     span_names = Array.make 8 "";
     n_spans = 0;
     counter_names = Array.make 8 "";
@@ -145,7 +152,7 @@ let track t i =
 
 let now t = if t.on then t.clock () - t.epoch else 0
 
-(* ---- registration (main domain, before the parallel section) ---- *)
+(* ---- registration (any domain; serialized by [reg_lock]) ---- *)
 
 let find_name names n name =
   let rec go i = if i >= n then -1 else if names.(i) = name then i else go (i + 1) in
@@ -159,16 +166,23 @@ let grow_names names n =
     names'
   end
 
+let locked t f =
+  Mutex.lock t.reg_lock;
+  let r = try f () with e -> Mutex.unlock t.reg_lock; raise e in
+  Mutex.unlock t.reg_lock;
+  r
+
 let span t name =
   if not t.on then 0
   else
-    match find_name t.span_names t.n_spans name with
-    | i when i >= 0 -> i
-    | _ ->
-        t.span_names <- grow_names t.span_names t.n_spans;
-        t.span_names.(t.n_spans) <- name;
-        t.n_spans <- t.n_spans + 1;
-        t.n_spans - 1
+    locked t (fun () ->
+        match find_name t.span_names t.n_spans name with
+        | i when i >= 0 -> i
+        | _ ->
+            t.span_names <- grow_names t.span_names t.n_spans;
+            t.span_names.(t.n_spans) <- name;
+            t.n_spans <- t.n_spans + 1;
+            t.n_spans - 1)
 
 let grow_ints arr n init =
   let arr' = Array.make (max 4 n) init in
@@ -178,48 +192,50 @@ let grow_ints arr n init =
 let counter t name =
   if not t.on then 0
   else
-    match find_name t.counter_names t.n_counters name with
-    | i when i >= 0 -> i
-    | _ ->
-        t.counter_names <- grow_names t.counter_names t.n_counters;
-        t.counter_names.(t.n_counters) <- name;
-        t.n_counters <- t.n_counters + 1;
-        Array.iter
-          (fun tr ->
-            if Array.length tr.counters < t.n_counters then
-              tr.counters <- grow_ints tr.counters (2 * t.n_counters) 0)
-          t.tracks;
-        t.n_counters - 1
+    locked t (fun () ->
+        match find_name t.counter_names t.n_counters name with
+        | i when i >= 0 -> i
+        | _ ->
+            t.counter_names <- grow_names t.counter_names t.n_counters;
+            t.counter_names.(t.n_counters) <- name;
+            t.n_counters <- t.n_counters + 1;
+            Array.iter
+              (fun tr ->
+                if Array.length tr.counters < t.n_counters then
+                  tr.counters <- grow_ints tr.counters (2 * t.n_counters) 0)
+              t.tracks;
+            t.n_counters - 1)
 
 let histo t name =
   if not t.on then 0
   else
-    match find_name t.histo_names t.n_histos name with
-    | i when i >= 0 -> i
-    | _ ->
-        t.histo_names <- grow_names t.histo_names t.n_histos;
-        t.histo_names.(t.n_histos) <- name;
-        t.n_histos <- t.n_histos + 1;
-        Array.iter
-          (fun tr ->
-            (* guard on h_buckets: grow_ints pads to at least 4 slots,
-               so h_count can be longer than the bucket table *)
-            if Array.length tr.h_buckets < t.n_histos then begin
-              let cap = max 4 (2 * t.n_histos) in
-              let old = Array.length tr.h_buckets in
-              let b = Array.make cap [||] in
-              Array.blit tr.h_buckets 0 b 0 old;
-              for i = old to cap - 1 do
-                b.(i) <- Array.make hist_buckets 0
-              done;
-              tr.h_buckets <- b;
-              tr.h_count <- grow_ints tr.h_count cap 0;
-              tr.h_sum <- grow_ints tr.h_sum cap 0;
-              tr.h_min <- grow_ints tr.h_min cap max_int;
-              tr.h_max <- grow_ints tr.h_max cap min_int
-            end)
-          t.tracks;
-        t.n_histos - 1
+    locked t (fun () ->
+        match find_name t.histo_names t.n_histos name with
+        | i when i >= 0 -> i
+        | _ ->
+            t.histo_names <- grow_names t.histo_names t.n_histos;
+            t.histo_names.(t.n_histos) <- name;
+            t.n_histos <- t.n_histos + 1;
+            Array.iter
+              (fun tr ->
+                (* guard on h_buckets: grow_ints pads to at least 4 slots,
+                   so h_count can be longer than the bucket table *)
+                if Array.length tr.h_buckets < t.n_histos then begin
+                  let cap = max 4 (2 * t.n_histos) in
+                  let old = Array.length tr.h_buckets in
+                  let b = Array.make cap [||] in
+                  Array.blit tr.h_buckets 0 b 0 old;
+                  for i = old to cap - 1 do
+                    b.(i) <- Array.make hist_buckets 0
+                  done;
+                  tr.h_buckets <- b;
+                  tr.h_count <- grow_ints tr.h_count cap 0;
+                  tr.h_sum <- grow_ints tr.h_sum cap 0;
+                  tr.h_min <- grow_ints tr.h_min cap max_int;
+                  tr.h_max <- grow_ints tr.h_max cap min_int
+                end)
+              t.tracks;
+            t.n_histos - 1)
 
 (* ---- hot path ---- *)
 

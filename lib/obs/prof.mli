@@ -17,11 +17,17 @@
       ({!events}, {!histo_summary}, …) happen after the parallel
       section joined.
 
-    Registration ({!span}, {!counter}, {!histo}) is {e not} thread-safe:
-    register on the main domain before handing tracks to workers.
-    Names are idempotent — registering the same name twice returns the
-    same id. The event ring is a flight recorder: when full it
-    overwrites the oldest events and {!dropped} counts the loss. *)
+    Registration ({!span}, {!counter}, {!histo}) is serialized by an
+    internal mutex, so {e any} domain may register — worker domains
+    re-registering known names (the idempotent lookup path) is the
+    common case, needed for steal-span attribution from inside a
+    parallel section. Registering a {e new} counter or histogram name
+    while other domains are actively recording is safe (no crash, names
+    stay consistent) but may lose in-flight samples on other tracks as
+    their instrument arrays are swapped for grown copies — register the
+    full vocabulary up front when exact counts matter. The event ring
+    is a flight recorder: when full it overwrites the oldest events and
+    {!dropped} counts the loss. *)
 
 type t
 (** A profiler: shared name tables plus one track per domain. *)
@@ -65,7 +71,8 @@ val now : t -> int
 (** Nanoseconds since [create] (monotonic); [0] when disabled — pair
     with {!record_interval}, never interpret alone. *)
 
-(** {2 Registration} — main domain only, before going parallel. *)
+(** {2 Registration} — any domain (mutex-serialized); idempotent by
+    name. Register new names before the counts they feed must be exact. *)
 
 val span : t -> string -> span
 val counter : t -> string -> counter

@@ -291,6 +291,140 @@ let test_budget_exact () =
         (Mc.Explore.check_safety ~max_configs:(e - 1) ~key:Mc.Par.String_keys
            two inits))
 
+(* The sharded store under concurrent hammering: 4 domains insert
+   overlapping key ranges (every key attempted by two domains, so
+   add_if_absent races on every stripe) into a table created far too
+   small (forcing every stripe through multiple resizes), while also
+   issuing membership probes. The final entry set, the aggregate stats
+   and the resize count must equal a sequential fill of an identical
+   table — stats are a pure function of the key set, not of the
+   interleaving. *)
+let test_sharded_hammer () =
+  let nkeys = 8192 in
+  let key i = Printf.sprintf "hammer-key-%d-%s" i (String.make (i mod 7) 'x') in
+  let keys = Array.init nkeys key in
+  let hashes = Array.map Mc.Codec.hash_string keys in
+  let fill_seq () =
+    let t = Mc.Store.Sharded.create ~capacity:64 () in
+    Array.iteri
+      (fun i k ->
+        ignore (Mc.Store.Sharded.add_string_if_absent t ~hash:hashes.(i) k))
+      keys;
+    t
+  in
+  let seq = fill_seq () in
+  let conc = Mc.Store.Sharded.create ~capacity:64 () in
+  let inserted = Atomic.make 0 in
+  let worker d () =
+    (* domain d inserts keys [d * n/4 .. d * n/4 + n/2), wrapping: every
+       key is contended by exactly two domains *)
+    let start = d * (nkeys / 4) in
+    for j = 0 to (nkeys / 2) - 1 do
+      let i = (start + j) mod nkeys in
+      if Mc.Store.Sharded.add_string_if_absent conc ~hash:hashes.(i) keys.(i)
+      then Atomic.incr inserted;
+      if j land 63 = 0 then
+        assert (Mc.Store.Sharded.mem_string conc ~hash:hashes.(i) keys.(i))
+    done
+  in
+  let domains = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "each key inserted exactly once" nkeys
+    (Atomic.get inserted);
+  Alcotest.(check int) "cardinal" nkeys (Mc.Store.Sharded.cardinal conc);
+  let collect t =
+    let acc = ref [] in
+    Mc.Store.Sharded.iter t (fun ~hash key -> acc := (hash, key) :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check bool) "entry sets equal" true (collect seq = collect conc);
+  let s_seq = Mc.Store.Sharded.stats seq
+  and s_conc = Mc.Store.Sharded.stats conc in
+  Alcotest.(check int) "entries" s_seq.Mc.Store.entries s_conc.Mc.Store.entries;
+  Alcotest.(check int) "capacity" s_seq.Mc.Store.capacity
+    s_conc.Mc.Store.capacity;
+  Alcotest.(check int) "key bytes" s_seq.Mc.Store.key_bytes
+    s_conc.Mc.Store.key_bytes;
+  Alcotest.(check bool) "resizes forced" true
+    (Mc.Store.Sharded.resizes conc > 0);
+  Alcotest.(check int) "resize count deterministic"
+    (Mc.Store.Sharded.resizes seq)
+    (Mc.Store.Sharded.resizes conc)
+
+(* The ample-set reduction must never change a verdict, only shrink the
+   explored counts — pinned against the unreduced search on every small
+   net we can afford, including the ablated literal-R5 protocol whose
+   reachable loss the checker is known to find. *)
+let test_por_differential () =
+  let star5 =
+    {
+      Mc.Explore.graph = Topology.Builders.star 5;
+      dest = 0;
+      src = 3;
+      payload_pool = [ "v" ];
+    }
+  in
+  let literal =
+    { Ssmfp.Protocol.faithful with Ssmfp.Protocol.literal_r5 = true }
+  in
+  let cases =
+    [
+      ("2chain enumerate", two, None, Mc.Explore.enumerate_initials two);
+      ( "2chain literal-r5",
+        two,
+        Some literal,
+        Mc.Explore.enumerate_initials two );
+      ( "3chain sampled",
+        three,
+        None,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:200 three );
+      ( "3chain literal-r5",
+        three,
+        Some literal,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 11) ~count:100 three
+      );
+      ( "star5 sampled",
+        star5,
+        None,
+        Mc.Explore.sample_initials (Prng.Splitmix.of_int 13) ~count:40 star5 );
+    ]
+  in
+  List.iter
+    (fun (label, sc, variant, inits) ->
+      let off = Mc.Explore.check_safety ?variant ~por:false sc inits in
+      let on_ = Mc.Explore.check_safety ?variant ~por:true sc inits in
+      Alcotest.(check bool)
+        (label ^ ": duplicate verdict") off.Mc.Explore.duplicate_delivery
+        on_.Mc.Explore.duplicate_delivery;
+      Alcotest.(check bool)
+        (label ^ ": lost verdict")
+        (off.Mc.Explore.lost_valid <> None)
+        (on_.Mc.Explore.lost_valid <> None);
+      Alcotest.(check bool)
+        (label ^ ": deadlock verdict")
+        (off.Mc.Explore.deadlock <> None)
+        (on_.Mc.Explore.deadlock <> None);
+      Alcotest.(check bool)
+        (label ^ ": never explores more") true
+        (on_.Mc.Explore.explored <= off.Mc.Explore.explored))
+    cases;
+  (* the loss must actually be surfaced under reduction, not just agreed
+     away *)
+  let loss =
+    Mc.Explore.check_safety ~variant:literal ~por:true two
+      (Mc.Explore.enumerate_initials two)
+  in
+  Alcotest.(check bool) "literal-r5 loss found under POR" true
+    (loss.Mc.Explore.lost_valid <> None)
+
+(* POR composes with the worker/determinism story: the reduced search is
+   itself byte-identical across worker counts. *)
+let test_por_workers_determinism () =
+  let inits = Mc.Explore.sample_initials (Prng.Splitmix.of_int 5) ~count:150 three in
+  let w1 = Mc.Explore.check_safety ~por:true ~workers:1 three inits in
+  let w4 = Mc.Explore.check_safety ~por:true ~workers:4 three inits in
+  check_reports_equal ~stats:true "por w1=w4" w1 w4
+
 let () =
   Alcotest.run "mc_core"
     [
@@ -309,6 +443,8 @@ let () =
           Alcotest.test_case "forced collisions" `Quick test_store_collisions;
           Alcotest.test_case "bytes scratch front-end" `Quick
             test_store_bytes_frontend;
+          Alcotest.test_case "sharded store 4-domain hammer" `Quick
+            test_sharded_hammer;
         ] );
       ( "par",
         [
@@ -319,5 +455,9 @@ let () =
           Alcotest.test_case "witness determinism (literal R5)" `Slow
             test_workers_witness_determinism;
           Alcotest.test_case "exact budget boundary" `Quick test_budget_exact;
+          Alcotest.test_case "POR on/off differential" `Slow
+            test_por_differential;
+          Alcotest.test_case "POR workers determinism" `Slow
+            test_por_workers_determinism;
         ] );
     ]

@@ -365,6 +365,59 @@ let test_journal_close_idempotent () =
           Alcotest.(check int) "file has only the pre-close line" 1
             (List.length entries))
 
+(* Regression for the parallel checker's steal-span attribution: worker
+   domains look spans and counters up from inside the parallel section
+   (the mutex-serialized idempotent path) and may even race to register
+   a name the main domain never saw. Ids must be stable across domains,
+   the name tables must stay consistent, and counters registered up
+   front must be exact. *)
+let test_cross_domain_registration () =
+  let nworkers = 4 and iters = 200 in
+  let p = Obs.Prof.create ~tracks:(nworkers + 1) () in
+  let run = Obs.Prof.span p "mc.run" in
+  let steals = Obs.Prof.counter p "mc.steals" in
+  let mismatches = Atomic.make 0 in
+  let steal_ids = Array.make nworkers (-1) in
+  let worker w () =
+    let tr = Obs.Prof.track p (w + 1) in
+    (* all workers race to register the same fresh name *)
+    steal_ids.(w) <- Obs.Prof.span p "mc.steal";
+    for _ = 1 to iters do
+      (* idempotent lookups from a worker domain *)
+      if Obs.Prof.span p "mc.run" <> run then Atomic.incr mismatches;
+      if Obs.Prof.counter p "mc.steals" <> steals then
+        Atomic.incr mismatches;
+      let start = Obs.Prof.now p in
+      Obs.Prof.add tr steals 1;
+      Obs.Prof.record tr steal_ids.(w) ~start
+    done
+  in
+  let domains = Array.init nworkers (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "ids stable across domains" 0 (Atomic.get mismatches);
+  Array.iter
+    (fun id ->
+      Alcotest.(check int) "racing registrations agree" steal_ids.(0) id)
+    steal_ids;
+  Alcotest.(check (list string)) "span names consistent"
+    [ "mc.run"; "mc.steal" ]
+    (List.sort compare (Obs.Prof.span_names p));
+  Alcotest.(check int) "up-front counter is exact" (nworkers * iters)
+    (Obs.Prof.counter_total p steals);
+  for w = 1 to nworkers do
+    Alcotest.(check int)
+      (Printf.sprintf "track %d counter" w)
+      iters
+      (Obs.Prof.counter_value p ~track:w steals)
+  done;
+  let steal_events =
+    List.filter
+      (fun e -> e.Obs.Prof.e_span = steal_ids.(0))
+      (Obs.Prof.events p)
+  in
+  Alcotest.(check int) "no steal event lost" (nworkers * iters)
+    (List.length steal_events)
+
 let () =
   Alcotest.run "prof"
     [
@@ -378,6 +431,8 @@ let () =
             test_histo_many_registrations;
           Alcotest.test_case "histo merges tracks" `Quick test_histo_merges_tracks;
           Alcotest.test_case "disabled no-ops" `Quick test_disabled_noops;
+          Alcotest.test_case "cross-domain registration" `Quick
+            test_cross_domain_registration;
           Alcotest.test_case "out-of-range track" `Quick
             test_out_of_range_track_is_noop;
         ] );
