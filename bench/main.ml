@@ -575,6 +575,288 @@ let run_b3 () =
        :: phase_notes);
   ]
 
+(* B4: mp runtime throughput and latency — the production-scale event
+   loop (flat ring channels, Fenwick select, timer wheel) measured as a
+   raw network against the frozen pre-refactor loop (Network_legacy:
+   hashed Queue.t channels, per-step crash-span scan), under an
+   identical deterministic token-relay protocol so every difference is
+   the runtime, not the workload.
+
+   Legs: n=1000 ring under reliable and lossy channels (messages/s, and
+   the >= 3x speedup gate against the legacy loop); a 1M-delivery
+   sustained lossy run (the deliveries gate); a GC gate (minor words per
+   step on the reliable hot path, <= 64); a profiled lossy leg for
+   send->deliver latency percentiles; and a 10k-node torus leg
+   (reliable + flaky) reporting stamp/hop ring overwrites under
+   saturation. The relay consumes no PRNG draws in handlers, so both
+   runtimes replay the same scheduler stream. *)
+let run_b4 () =
+  Harness.Report.section
+    "B4: mp runtime throughput/latency, ring-buffer loop vs legacy (token relay)";
+  let nbrs_of g =
+    Array.init (Topology.Graph.n g) (fun p ->
+        Array.of_list (Topology.Graph.neighbors g p))
+  in
+  (* Forward the token deterministically: to the neighbor after the one
+     it came from, so tokens orbit the graph without any handler draws. *)
+  let fwd nbrs self from =
+    let ns = nbrs.(self) in
+    let deg = Array.length ns in
+    let rec find i =
+      if i >= deg then 0 else if ns.(i) = from then i else find (i + 1)
+    in
+    ns.((find 0 + 1) mod deg)
+  in
+  (* The same driver over either runtime, as closures. *)
+  let drive ~step ~deliveries ~target ~max_steps rng =
+    let d0 = deliveries () in
+    let steps = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    while deliveries () - d0 < target && !steps < max_steps && step rng do
+      incr steps
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (deliveries () - d0, !steps, dt)
+  in
+  let reliable = Chaos.Schedule.channel_knobs Chaos.Schedule.Reliable in
+  let lossy = Chaos.Schedule.channel_knobs Chaos.Schedule.Lossy in
+  let flaky = Chaos.Schedule.channel_knobs Chaos.Schedule.Flaky in
+  let mk_new ?(knobs = reliable) ?(timeout = false)
+      ?(prof = Obs.Prof.disabled) g tokens =
+    let nbrs = nbrs_of g in
+    let handler ~self ~from () () = ((), [ (fwd nbrs self from, ()) ]) in
+    let timeout_fn ~self () =
+      ((), Array.to_list (Array.map (fun q -> (q, ())) nbrs.(self)))
+    in
+    let net =
+      if timeout then
+        Mp.Network.create ~loss:knobs.Chaos.Schedule.loss
+          ~duplication:knobs.Chaos.Schedule.duplication
+          ~reorder:knobs.Chaos.Schedule.reorder ~prof ~timeout:timeout_fn
+          ~init:(fun _ -> ())
+          ~handler g
+      else
+        Mp.Network.create ~loss:knobs.Chaos.Schedule.loss
+          ~duplication:knobs.Chaos.Schedule.duplication
+          ~reorder:knobs.Chaos.Schedule.reorder ~prof
+          ~init:(fun _ -> ())
+          ~handler g
+    in
+    for p = 0 to tokens - 1 do
+      Mp.Network.inject net ~from:p ~into:nbrs.(p).(0) ()
+    done;
+    ( (fun rng -> Mp.Network.step net rng),
+      (fun () -> Mp.Network.deliveries net),
+      fun () -> Mp.Network.prof_overwrites net )
+  in
+  let mk_legacy ?(knobs = reliable) ?(timeout = false) g tokens =
+    let nbrs = nbrs_of g in
+    let handler ~self ~from () () = ((), [ (fwd nbrs self from, ()) ]) in
+    let timeout_fn ~self () =
+      ((), Array.to_list (Array.map (fun q -> (q, ())) nbrs.(self)))
+    in
+    let net =
+      if timeout then
+        Mp.Network_legacy.create ~loss:knobs.Chaos.Schedule.loss
+          ~duplication:knobs.Chaos.Schedule.duplication
+          ~reorder:knobs.Chaos.Schedule.reorder ~timeout:timeout_fn
+          ~init:(fun _ -> ())
+          ~handler g
+      else
+        Mp.Network_legacy.create ~loss:knobs.Chaos.Schedule.loss
+          ~duplication:knobs.Chaos.Schedule.duplication
+          ~reorder:knobs.Chaos.Schedule.reorder
+          ~init:(fun _ -> ())
+          ~handler g
+    in
+    for p = 0 to tokens - 1 do
+      Mp.Network_legacy.inject net ~from:p ~into:nbrs.(p).(0) ()
+    done;
+    ( (fun rng -> Mp.Network_legacy.step net rng),
+      fun () -> Mp.Network_legacy.deliveries net )
+  in
+  let ring1k = Topology.Builders.ring 1000 in
+  let timings = ref [] in
+  let push t = timings := !timings @ [ t ] in
+  (* ---- Leg 1: n=1000 reliable + lossy, new vs legacy; 3x gate. ---- *)
+  let compare_leg ~name ~knobs ~timeout ~target =
+    let rate_of (d, _steps, dt) = float_of_int d /. max 1e-9 dt in
+    let best f =
+      List.fold_left max 0. (List.init 3 (fun _ -> rate_of (f ())))
+    in
+    let new_rate =
+      best (fun () ->
+          let step, deliveries, _ = mk_new ~knobs ~timeout ring1k 1000 in
+          drive ~step ~deliveries ~target ~max_steps:(8 * target)
+            (Prng.Splitmix.of_int 77))
+    in
+    let legacy_rate =
+      best (fun () ->
+          let step, deliveries = mk_legacy ~knobs ~timeout ring1k 1000 in
+          drive ~step ~deliveries ~target ~max_steps:(8 * target)
+            (Prng.Splitmix.of_int 77))
+    in
+    (name, new_rate, legacy_rate, new_rate /. max 1e-9 legacy_rate)
+  in
+  let rel =
+    compare_leg ~name:"reliable" ~knobs:reliable ~timeout:false
+      ~target:400_000
+  in
+  let los = compare_leg ~name:"lossy" ~knobs:lossy ~timeout:true ~target:400_000 in
+  let leg_notes (name, nr, lr, sp) =
+    Printf.sprintf
+      "%-8s n=1000: %10.0f msg/s (ring loop) vs %10.0f msg/s (legacy) = %.2fx"
+      name nr lr sp
+  in
+  let _, _, _, rel_speedup = rel in
+  List.iter (fun l -> Harness.Report.note (leg_notes l)) [ rel; los ];
+  push
+    {
+      id = "b4-speedup";
+      title = "B4: ring-buffer loop vs legacy loop, messages/s (ring:1000)";
+      seconds = 0.;
+      ok = rel_speedup >= 3.0;
+      notes =
+        [
+          leg_notes rel;
+          leg_notes los;
+          Printf.sprintf "gate: reliable speedup %.2fx >= 3.0x" rel_speedup;
+        ];
+    };
+  (* ---- Leg 2: sustained 1M deliveries, lossy ring:1000. ---- *)
+  let step, deliveries, _ = mk_new ~knobs:lossy ~timeout:true ring1k 1000 in
+  let d, steps, dt =
+    drive ~step ~deliveries ~target:1_000_000 ~max_steps:4_000_000
+      (Prng.Splitmix.of_int 78)
+  in
+  let sustained_notes =
+    [
+      Printf.sprintf
+        "lossy ring:1000: %d deliveries in %d steps (%.2f s, %.0f msg/s, \
+         %.0f steps/s)"
+        d steps dt
+        (float_of_int d /. max 1e-9 dt)
+        (float_of_int steps /. max 1e-9 dt);
+    ]
+  in
+  List.iter Harness.Report.note sustained_notes;
+  push
+    {
+      id = "b4-sustained";
+      title = "B4: sustained lossy delivery volume (ring:1000, 1M gate)";
+      seconds = dt;
+      ok = d >= 1_000_000;
+      notes = sustained_notes;
+    };
+  (* ---- Leg 3: GC gate — minor words per step, reliable hot path. ---- *)
+  let step, deliveries, _ = mk_new ring1k 1000 in
+  let rng = Prng.Splitmix.of_int 79 in
+  ignore (drive ~step ~deliveries ~target:50_000 ~max_steps:100_000 rng);
+  let w0 = Gc.minor_words () in
+  let _, steps, _ =
+    drive ~step ~deliveries ~target:500_000 ~max_steps:1_000_000 rng
+  in
+  let w1 = Gc.minor_words () in
+  let per_step = (w1 -. w0) /. float_of_int (max 1 steps) in
+  let gc_note =
+    Printf.sprintf "reliable hot path: %.1f minor words/step (gate <= 64)"
+      per_step
+  in
+  Harness.Report.note gc_note;
+  push
+    {
+      id = "b4-alloc";
+      title = "B4: minor allocation per scheduler step (reliable, ring:1000)";
+      seconds = 0.;
+      ok = per_step <= 64.;
+      notes = [ gc_note ];
+    };
+  (* ---- Leg 4: latency percentiles, profiled lossy ring:1000. ---- *)
+  let prof = Obs.Prof.create ~tracks:1 () in
+  let step, deliveries, overwrites =
+    mk_new ~knobs:lossy ~timeout:true ~prof ring1k 1000
+  in
+  let d, _, dt =
+    drive ~step ~deliveries ~target:300_000 ~max_steps:2_000_000
+      (Prng.Splitmix.of_int 80)
+  in
+  let lat_notes =
+    match
+      Obs.Prof.histo_summary prof
+        (Obs.Prof.histo prof "mp.send_deliver_ns")
+    with
+    | Some h ->
+        let ov = overwrites () in
+        [
+          Printf.sprintf
+            "lossy ring:1000 (%d deliveries, %.2f s): send->deliver \
+             p50~%dns p95~%dns p99~%dns"
+            d dt h.Obs.Prof.hs_p50 h.Obs.Prof.hs_p95 h.Obs.Prof.hs_p99;
+          Printf.sprintf
+            "profiling rings: %d stamps evicted, %d samples lost, %d hops \
+             evicted"
+            ov.Mp.Network.stamps_evicted ov.Mp.Network.samples_lost
+            ov.Mp.Network.hops_evicted;
+        ]
+    | None -> [ "no latency histogram recorded" ]
+  in
+  List.iter Harness.Report.note lat_notes;
+  push
+    {
+      id = "b4-latency";
+      title = "B4: send->deliver latency percentiles (lossy, ring:1000)";
+      seconds = dt;
+      ok = lat_notes <> [ "no latency histogram recorded" ];
+      notes = lat_notes;
+    };
+  (* ---- Leg 5: 10k-node torus, reliable and flaky, saturation. ---- *)
+  let torus10k = Topology.Builders.torus ~rows:100 ~cols:100 in
+  let ten_k_leg ~name ~knobs ~timeout ~target =
+    let prof = Obs.Prof.create ~tracks:1 () in
+    let step, deliveries, overwrites =
+      mk_new ~knobs ~timeout ~prof torus10k 10_000
+    in
+    let d, steps, dt =
+      drive ~step ~deliveries ~target ~max_steps:(8 * target)
+        (Prng.Splitmix.of_int 81)
+    in
+    let ov = overwrites () in
+    let lat =
+      match
+        Obs.Prof.histo_summary prof
+          (Obs.Prof.histo prof "mp.send_deliver_ns")
+      with
+      | Some h ->
+          Printf.sprintf "p50~%dns p95~%dns p99~%dns" h.Obs.Prof.hs_p50
+            h.Obs.Prof.hs_p95 h.Obs.Prof.hs_p99
+      | None -> "no histogram"
+    in
+    Printf.sprintf
+      "%-8s torus:100x100: %.0f msg/s (%d deliveries, %d steps, %.2f s), \
+       %s; rings: %d stamps evicted, %d samples lost, %d hops evicted"
+      name
+      (float_of_int d /. max 1e-9 dt)
+      d steps dt lat ov.Mp.Network.stamps_evicted ov.Mp.Network.samples_lost
+      ov.Mp.Network.hops_evicted
+  in
+  let ten_notes =
+    [
+      ten_k_leg ~name:"reliable" ~knobs:reliable ~timeout:false
+        ~target:400_000;
+      ten_k_leg ~name:"flaky" ~knobs:flaky ~timeout:true ~target:400_000;
+    ]
+  in
+  List.iter Harness.Report.note ten_notes;
+  push
+    {
+      id = "b4-10k";
+      title = "B4: 10k-node saturation (torus:100x100, profiled)";
+      seconds = 0.;
+      ok = true;
+      notes = ten_notes;
+    };
+  !timings
+
 (* B5: the in-band snapshot layer at 1k nodes. Two legs on the same
    lossy torus:32x32 synchronizer (1024 processes, Δ=4):
 
@@ -1043,6 +1325,7 @@ let () =
   if want "b1" then timings := !timings @ run_b1 ();
   if want "b2" then timings := !timings @ run_b2 ();
   if want "b3" then timings := !timings @ run_b3 ();
+  if want "b4" then timings := !timings @ run_b4 ();
   if want "b5" then timings := !timings @ run_b5 ();
   if want "bobs" then timings := !timings @ run_bobs ();
   if want "figures" then run_figures ();

@@ -69,6 +69,52 @@ let emit_prof ~profile ~prof_summary prof =
     if prof_summary then print_string (Obs.Traceview.summary prof)
   end
 
+(* Shared by chaos/snapshot: the mp retransmission layer and channel
+   timing model. Defaults (no window, no synchrony) reproduce the
+   historical behaviour byte-for-byte; the flags override the
+   schedule's own @win=/@ps= modifiers. *)
+let window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"K"
+        ~doc:
+          "Mp model only: sliding-window retransmission with window \
+           size $(docv) (sequence numbers, cumulative acks, selective \
+           retransmit, wheel-driven RTO timers) instead of the default \
+           exponential-backoff republishing. Overrides the schedule's \
+           @win= modifier.")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "delta" ] ~docv:"STEPS"
+        ~doc:
+          "Mp model only: run the channels under partial synchrony with \
+           known message-delay bound $(docv) — after --gst, faults stop \
+           and every channel head is delivered within $(docv) + C \
+           steps. Overrides the schedule's @ps= modifier.")
+
+let gst_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gst" ] ~docv:"STEP"
+        ~doc:
+          "Global stabilization time for --delta (default 0 = channels \
+           synchronous from the start). Before $(docv) the schedule's \
+           loss/duplication/reorder knobs apply unchanged.")
+
+let synchrony_of_flags ~delta ~gst =
+  match (delta, gst) with
+  | None, None -> Ok None
+  | Some d, g -> (
+      match Mp.Synchrony.make ~delta:d ~gst:(Option.value ~default:0 g) with
+      | sy -> Ok (Some sy)
+      | exception Invalid_argument m -> Error m)
+  | None, Some _ -> Error "--gst requires --delta"
+
 (* ---------------- run command ---------------- *)
 
 let corruption_conv =
@@ -647,9 +693,11 @@ let chaos_cmd =
             "Fault schedule: bursts joined by '+', each \
              <round>:<domains>:<victims> with domains from r(outing) \
              b(uffers) q(ueues) f(lags) c(rash) and victims a count or \
-             'all'; an optional channel preset '@lossy' or '@flaky' \
-             (mp model only). Example: 10:rbqf:all+40:c:2@lossy. 'none' \
-             disables faults.")
+             'all'; optional '@' modifiers (mp model only): a channel \
+             preset '@lossy' or '@flaky', '@win=<k>' (sliding-window \
+             retransmission) and '@ps=<delta>:<gst>' (partial \
+             synchrony). Example: 10:rbqf:all+40:c:2@lossy@win=8. \
+             'none' disables faults.")
   in
   let model =
     Arg.(
@@ -792,7 +840,12 @@ let chaos_cmd =
   in
   let run (name, graph) schedule model (spec_name, spec) daemon seed messages
       aftermath channel_garbage max_steps json_file journal_file snapshot_every
-      cut_journal profile prof_summary =
+      cut_journal window delta gst profile prof_summary =
+    match synchrony_of_flags ~delta ~gst with
+    | Error m ->
+        Printf.eprintf "ssmfp_cli chaos: %s\n" m;
+        2
+    | Ok synchrony ->
     let n = Topology.Graph.n graph in
     let rng = Prng.Splitmix.of_int (seed + 7919) in
     let workload =
@@ -890,14 +943,37 @@ let chaos_cmd =
               (fun () ->
                 Chaos.Mp_run.run ~spec ~channel_garbage ~seed
                   ~max_deliveries:max_steps ~aftermath ~snapshot_every ?on_cut
-                  ~prof ~schedule graph workload)
+                  ~prof ?window ?synchrony ~schedule graph workload)
           in
           Printf.printf "model       : mp (α-synchronizer port)\n";
-          Printf.printf "outcome     : %s after %d deliveries / %d pulses\n"
+          let eff_window =
+            match window with
+            | Some w -> w
+            | None -> schedule.Chaos.Schedule.window
+          in
+          let eff_sync =
+            match synchrony with
+            | Some _ -> synchrony
+            | None -> schedule.Chaos.Schedule.synchrony
+          in
+          Printf.printf "retransmit  : %s%s\n"
+            (if eff_window > 0 then
+               Printf.sprintf "sliding window (w=%d)" eff_window
+             else "exponential backoff")
+            (match eff_sync with
+            | None -> ""
+            | Some sy ->
+                Printf.sprintf ", partial synchrony Δ=%d GST=%d"
+                  (Mp.Synchrony.delta sy) (Mp.Synchrony.gst sy));
+          Printf.printf "outcome     : %s after %d deliveries / %d pulses%s\n"
             (match o.Chaos.Mp_run.mp_outcome with
             | `All_done -> "all drained"
             | `Max_deliveries -> "delivery budget exhausted")
-            o.Chaos.Mp_run.channel_deliveries o.Chaos.Mp_run.max_pulse;
+            o.Chaos.Mp_run.channel_deliveries o.Chaos.Mp_run.max_pulse
+            (if o.Chaos.Mp_run.window > 0 then
+               Printf.sprintf " / %d window retransmissions"
+                 o.Chaos.Mp_run.window_retransmits
+             else "");
           let ch = o.Chaos.Mp_run.channel in
           Printf.printf
             "channel     : %d delivered, %d lost, %d duplicated, %d reordered, %d dropped at down processes\n"
@@ -1001,6 +1077,11 @@ let chaos_cmd =
                             ( "dropped_while_down",
                               Obs.Json.Int ch.Mp.Ssmfp_mp.dropped_while_down );
                           ] );
+                      ("window", Obs.Json.Int o.Chaos.Mp_run.window);
+                      ( "window_retransmits",
+                        Obs.Json.Int o.Chaos.Mp_run.window_retransmits );
+                      ("deliveries", Obs.Json.Int o.Chaos.Mp_run.channel_deliveries);
+                      ("max_pulse", Obs.Json.Int o.Chaos.Mp_run.max_pulse);
                     ]
                    @ snapshot_json_fields)));
           emit_prof ~profile ~prof_summary prof;
@@ -1013,8 +1094,8 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ schedule $ model $ corruption $ daemon $ seed
       $ messages $ aftermath $ channel_garbage $ max_steps $ json_file
-      $ journal_file $ snapshot_every $ cut_journal $ profile_arg
-      $ prof_summary_arg)
+      $ journal_file $ snapshot_every $ cut_journal $ window_arg $ delta_arg
+      $ gst_arg $ profile_arg $ prof_summary_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1094,7 +1175,12 @@ let snapshot_cmd =
              $(docv) as cuts are harvested.")
   in
   let run (name, graph) schedule (spec_name, spec) seed every messages
-      max_steps json_file cut_journal =
+      max_steps json_file cut_journal window delta gst =
+    match synchrony_of_flags ~delta ~gst with
+    | Error m ->
+        Printf.eprintf "ssmfp_cli snapshot: %s\n" m;
+        2
+    | Ok synchrony ->
     if every <= 0 then begin
       Printf.eprintf "ssmfp_cli snapshot: --every must be positive\n";
       2
@@ -1137,7 +1223,8 @@ let snapshot_cmd =
             ~finally:(fun () -> Option.iter Obs.Journal.close cut_j)
             (fun () ->
               Chaos.Mp_run.run ~spec ~seed ~max_deliveries:max_steps ~aftermath
-                ~snapshot_every:every ~on_cut ~schedule graph workload)
+                ~snapshot_every:every ~on_cut ?window ?synchrony ~schedule
+                graph workload)
         in
         Printf.printf "outcome     : %s after %d deliveries / %d pulses\n"
           (match o.Chaos.Mp_run.mp_outcome with
@@ -1240,7 +1327,8 @@ let snapshot_cmd =
   let term =
     Term.(
       const run $ topology_arg $ schedule $ corruption $ seed $ every
-      $ messages $ max_steps $ json_file $ cut_journal)
+      $ messages $ max_steps $ json_file $ cut_journal $ window_arg
+      $ delta_arg $ gst_arg)
   in
   Cmd.v
     (Cmd.info "snapshot"

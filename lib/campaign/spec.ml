@@ -189,7 +189,13 @@ let chaos_grid () =
     workloads = [ Uniform 2 ];
     models = [ State_model; Mp_model ];
     chaos =
-      List.map chaos_exn [ "8:rb:2"; "8:rbqf:all+20:c:1@lossy"; "12:bq:3@flaky" ];
+      List.map chaos_exn
+        [
+          "8:rb:2";
+          "8:rbqf:all+20:c:1@lossy";
+          "12:bq:3@flaky";
+          "8:rbqf:all+20:c:1@lossy@win=8@ps=16:4000";
+        ];
     snapshots = [ 0; 400 ];
     seeds = [ 1; 2 ];
     max_steps = 500_000;
@@ -222,9 +228,14 @@ let scenario_id t c d w m ch sn s =
 let chaos_filter sc =
   (* The mp synchronizer has no daemon; keep one daemon spelling per mp
      point so the chaos grid doesn't carry semantically-identical twins.
-     Snapshots are an mp-only layer: drop state-model × snapshot>0. *)
+     Snapshots, the window retransmission layer and partial synchrony
+     are mp-only: drop state-model × snapshot>0 and state-model ×
+     windowed/synchronous schedules. *)
   match sc.model with
-  | State_model -> sc.snapshot = 0
+  | State_model ->
+      sc.snapshot = 0
+      && sc.chaos.Chaos.Schedule.window = 0
+      && sc.chaos.Chaos.Schedule.synchrony = None
   | Mp_model -> sc.daemon = Harness.Runner.Synchronous
 
 let expand ?(filter = fun _ -> true) (grid : grid) =

@@ -29,6 +29,8 @@ type outcome = {
   submitted : int;
   invalid_planted : int;
   channel : Mp.Ssmfp_mp.channel_stats;
+  window : int;
+  window_retransmits : int;
   schedule : Schedule.t;
   snapshot : snapshot_outcome option;
 }
@@ -56,12 +58,22 @@ let tick_chunk = 128
 
 let run ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0) ?(seed = 1)
     ?(max_deliveries = 2_000_000) ?(aftermath = 0) ?(snapshot_every = 0)
-    ?on_cut ?(prof = Obs.Prof.disabled) ~schedule graph workload =
+    ?on_cut ?(prof = Obs.Prof.disabled) ?window ?synchrony ?rto ~schedule graph
+    workload =
   let knobs = Schedule.knobs schedule in
+  (* Explicit arguments override the schedule's own channel modifiers
+     (the CLI flags ride here; campaign scenarios encode them in the
+     schedule string). *)
+  let window =
+    match window with Some w -> w | None -> schedule.Schedule.window
+  in
+  let synchrony =
+    match synchrony with Some _ -> synchrony | None -> schedule.Schedule.synchrony
+  in
   let t =
     Mp.Ssmfp_mp.create ~spec ~channel_garbage ~loss:knobs.Schedule.loss
       ~duplication:knobs.Schedule.duplication ~reorder:knobs.Schedule.reorder
-      ~seed ~prof graph workload
+      ~seed ~prof ~window ?synchrony ?rto graph workload
   in
   let n = Topology.Graph.n graph in
   (* Phase spans on track 0: one per drive segment between bursts, one
@@ -228,6 +240,22 @@ let run ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0) ?(seed = 1)
       if prof_on then Obs.Prof.record ptr sp_snap_drain ~start:t0;
       phase_deliveries c_snap_del d0
   | _ -> ());
+  (* Surface the profiling-ring overwrite accounting as counters, so
+     saturated runs show their blind spots in --prof-summary and traces
+     (a zero "samples_lost" is what licenses trusting the latency
+     histograms). *)
+  if prof_on then begin
+    let ov = Mp.Ssmfp_mp.prof_overwrites t in
+    Obs.Prof.add ptr
+      (Obs.Prof.counter prof "mp.stamps_evicted")
+      ov.Mp.Network.stamps_evicted;
+    Obs.Prof.add ptr
+      (Obs.Prof.counter prof "mp.samples_lost")
+      ov.Mp.Network.samples_lost;
+    Obs.Prof.add ptr
+      (Obs.Prof.counter prof "mp.hops_evicted")
+      ov.Mp.Network.hops_evicted
+  end;
   let oracle = Mp.Ssmfp_mp.oracle t in
   let submitted = Mp.Ssmfp_mp.expected_valid t + !aftermath_submitted in
   let verdict =
@@ -300,6 +328,8 @@ let run ?(spec = Harness.Fault.pristine) ?(channel_garbage = 0) ?(seed = 1)
     submitted;
     invalid_planted;
     channel = Mp.Ssmfp_mp.channel_stats t;
+    window = Mp.Ssmfp_mp.window t;
+    window_retransmits = Mp.Ssmfp_mp.window_retransmits t;
     schedule;
     snapshot;
   }

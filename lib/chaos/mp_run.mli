@@ -54,6 +54,10 @@ type outcome = {
   invalid_planted : int;
       (** invalid messages sitting in the corrupted initial cores *)
   channel : Mp.Ssmfp_mp.channel_stats;
+  window : int;
+      (** effective window size the run used (0 = backoff mode) *)
+  window_retransmits : int;
+      (** window-layer RTO/nak/resync retransmissions, 0 in backoff mode *)
   schedule : Schedule.t;
   snapshot : snapshot_outcome option;  (** [Some] iff [snapshot_every > 0] *)
 }
@@ -67,11 +71,20 @@ val run :
   ?snapshot_every:int ->
   ?on_cut:(Snapshot.Ssmfp_link.cut -> unit) ->
   ?prof:Obs.Prof.t ->
+  ?window:int ->
+  ?synchrony:Mp.Synchrony.t ->
+  ?rto:int ->
   schedule:Schedule.t ->
   Topology.Graph.t ->
   Harness.Workload.t ->
   outcome
-(** [max_deliveries] (default 2_000_000) is a per-segment budget: each
+(** [?window], [?synchrony] and [?rto] select the mp retransmission
+    layer and channel timing model ({!Mp.Ssmfp_mp.create}); [window] and
+    [synchrony] default to the schedule's own [@win=]/[@ps=] modifiers
+    (an explicit argument overrides the schedule — the CLI flags ride
+    here), [rto] to the derived default.
+
+    [max_deliveries] (default 2_000_000) is a per-segment budget: each
     burst segment and the final drain get the full budget, so a run is
     bounded by [(bursts + 1) * max_deliveries] scheduler steps.
     [aftermath] (default 0) submits that many fresh requests right

@@ -35,10 +35,17 @@ let channel_to_string = function
   | Lossy -> "lossy"
   | Flaky -> "flaky"
 
-type t = { bursts : burst list; channel : channel }
+type t = {
+  bursts : burst list;
+  channel : channel;
+  window : int; (* 0 = backoff retransmission, >0 = sliding window *)
+  synchrony : Mp.Synchrony.t option;
+}
 
-let none = { bursts = []; channel = Reliable }
-let is_none t = t.bursts = [] && t.channel = Reliable
+let none = { bursts = []; channel = Reliable; window = 0; synchrony = None }
+
+let is_none t =
+  t.bursts = [] && t.channel = Reliable && t.window = 0 && t.synchrony = None
 
 (* Canonical burst order: by round, then textual; canonical domain order
    is r b q f c with duplicates removed, so of_string/to_string round
@@ -57,9 +64,21 @@ let to_string t =
   else
     let bursts = String.concat "+" (List.map burst_to_string t.bursts) in
     let bursts = if bursts = "" then "none" else bursts in
-    match t.channel with
-    | Reliable -> bursts
-    | c -> bursts ^ "@" ^ channel_to_string c
+    let extras =
+      (match t.channel with
+      | Reliable -> []
+      | c -> [ channel_to_string c ])
+      @ (if t.window > 0 then [ Printf.sprintf "win=%d" t.window ] else [])
+      @
+      match t.synchrony with
+      | None -> []
+      | Some sy ->
+          (* ':' not '/': schedule strings embed in '/'-joined campaign
+             scenario ids. *)
+          [ Printf.sprintf "ps=%d:%d" (Mp.Synchrony.delta sy)
+              (Mp.Synchrony.gst sy) ]
+    in
+    String.concat "@" (bursts :: extras)
 
 let parse_burst s =
   match String.split_on_char ':' s with
@@ -93,22 +112,50 @@ let parse_burst s =
       Error
         (Printf.sprintf "bad burst %S (expected <round>:<domains>:<all|k>)" s)
 
+let parse_extra acc tok =
+  let ( let* ) = Result.bind in
+  let* channel, window, synchrony = acc in
+  match tok with
+  | "reliable" -> Ok (Reliable, window, synchrony)
+  | "lossy" -> Ok (Lossy, window, synchrony)
+  | "flaky" -> Ok (Flaky, window, synchrony)
+  | _ when String.length tok > 4 && String.sub tok 0 4 = "win=" -> (
+      match int_of_string_opt (String.sub tok 4 (String.length tok - 4)) with
+      | Some w when w >= 1 -> Ok (channel, w, synchrony)
+      | _ -> Error (Printf.sprintf "bad window %S (expected win=<k>)" tok))
+  | _ when String.length tok > 3 && String.sub tok 0 3 = "ps=" -> (
+      let body = String.sub tok 3 (String.length tok - 3) in
+      match String.split_on_char ':' body with
+      | [ d; g ] -> (
+          match (int_of_string_opt d, int_of_string_opt g) with
+          | Some delta, Some gst when delta >= 1 && gst >= 0 ->
+              Ok (channel, window, Some (Mp.Synchrony.make ~delta ~gst))
+          | _ ->
+              Error
+                (Printf.sprintf "bad synchrony %S (expected ps=<delta>:<gst>)"
+                   tok))
+      | _ ->
+          Error
+            (Printf.sprintf "bad synchrony %S (expected ps=<delta>:<gst>)" tok))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown channel modifier %S (expected a preset, win=<k> or \
+            ps=<delta>:<gst>)"
+           tok)
+
 let of_string s =
   let s = String.trim s in
   let ( let* ) = Result.bind in
   let* () = if s = "" then Error "empty schedule" else Ok () in
-  let body, channel =
-    match String.index_opt s '@' with
-    | None -> (s, Ok Reliable)
-    | Some i ->
-        ( String.sub s 0 i,
-          match String.sub s (i + 1) (String.length s - i - 1) with
-          | "reliable" -> Ok Reliable
-          | "lossy" -> Ok Lossy
-          | "flaky" -> Ok Flaky
-          | c -> Error (Printf.sprintf "unknown channel preset %S" c) )
+  let body, extras =
+    match String.split_on_char '@' s with
+    | [] -> ("", [])
+    | body :: extras -> (body, extras)
   in
-  let* channel = channel in
+  let* channel, window, synchrony =
+    List.fold_left parse_extra (Ok (Reliable, 0, None)) extras
+  in
   let* bursts =
     if body = "none" || body = "" then Ok []
     else
@@ -128,6 +175,6 @@ let of_string s =
         | c -> c)
       (List.rev bursts)
   in
-  Ok { bursts; channel }
+  Ok { bursts; channel; window; synchrony }
 
 let knobs t = channel_knobs t.channel

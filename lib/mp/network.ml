@@ -1,7 +1,7 @@
 type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
 
 (* Channel items: application payloads (with their stamp id) share the
-   FIFO queues with snapshot markers — the Chandy–Lamport layer rides
+   FIFO rings with snapshot markers — the Chandy–Lamport layer rides
    *under* the application protocol, so markers suffer the same loss,
    duplication, reordering and crash-evaporation as everything else.
    A network without an attached snapshot layer never enqueues markers
@@ -17,11 +17,9 @@ type 'm item = App of 'm * int | Marker of int (* snapshot epoch *)
    duplication). Stamps live in a ring keyed by [id land s_mask] with
    the id stored for overwrite detection, so a long-delayed message
    whose slot was reused simply loses its latency sample instead of
-   producing a bogus one. Deliveries advance the receiver's Lamport
-   clock to [max (own + 1) (send + 1)] and append a hop record — the
-   causal trace that works under loss/reorder because it is built only
-   from sends and deliveries that actually happened, unlike the
-   omniscient ghost-based Obs.Hoptrace. *)
+   producing a bogus one — and the loss is counted ([samples_lost])
+   instead of silent, so saturated runs can report how many samples
+   their histograms are missing. *)
 type prof_state = {
   prof : Obs.Prof.t;
   ptr : Obs.Prof.track; (* the scheduler domain's track *)
@@ -36,6 +34,7 @@ type prof_state = {
   s_lamport : int array;
   s_from : int array;
   mutable next_stamp : int;
+  mutable samples_lost : int; (* deliveries whose stamp slot was reused *)
   hop_mask : int;
   hop_id : int array;
   hop_from : int array;
@@ -46,6 +45,12 @@ type prof_state = {
   mutable hop_next : int;
   mutable hop_total : int;
   mutable steps : int;
+}
+
+type prof_overwrites = {
+  stamps_evicted : int;
+  samples_lost : int;
+  hops_evicted : int;
 }
 
 type hop = {
@@ -60,29 +65,45 @@ type hop = {
 type ('s, 'm) t = {
   graph : Topology.Graph.t;
   states : 's array;
-  (* (from, into) -> FIFO of items; app stamps: -1 = untracked *)
-  channels : (int * int, 'm item Queue.t) Hashtbl.t;
-  (* O(log E) channel scheduler. The step scheduler must draw a uniform
-     channel among the nonempty ones, in the canonical sorted (from,
-     into) order — the draw that used to be [choose rng (sort
-     (nonempty_channels t))], an O(E log E) fold-and-sort per step. The
-     same distribution (and the very same PRNG stream: one [int] draw
-     bounded by the nonempty count) comes from a Fenwick tree over the
-     channels in sorted order, flag 1 = nonempty, maintained at every
-     queue push/pop transition. *)
-  sched_keys : (int * int) array; (* every directed channel, sorted *)
-  sched_queues : 'm item Queue.t array; (* parallel to [sched_keys] *)
-  sched_ix : (int * int, int) Hashtbl.t; (* key -> index in the above *)
-  sched_flag : bool array; (* current nonempty flag per channel *)
-  sched_fen : int array; (* 1-based Fenwick over the flags *)
-  mutable sched_nonempty : int;
+  (* Directed channels in canonical sorted (from, into) order, stored as
+     flat ring buffers indexed densely — the hot path never touches a
+     hash table or allocates a key tuple. App stamps: -1 = untracked. *)
+  chan_keys : (int * int) array;
+  chan_from : int array; (* unpacked keys, parallel to [chan_keys] *)
+  chan_into : int array;
+  rings : 'm item Ring.t array;
+  chan_ix : (int * int, int) Hashtbl.t; (* cold-path (from,into) lookup *)
+  nbr_pid : int array array; (* neighbors of p, Graph.neighbors order *)
+  nbr_ci : int array array; (* channel index of p -> nbr_pid.(p).(k) *)
+  (* O(log C) channel scheduler: one uniform [int] draw bounded by the
+     nonempty count selects a nonempty channel in canonical order via
+     the Fenwick tree — the same draw, distribution and stream as the
+     pre-ring network. *)
+  fen : Fenwick.t;
+  mutable flight : int; (* total items in rings, maintained *)
   handler : ('s, 'm) handler;
   loss : float;
   duplication : float;
   reorder : float;
+  (* Partial synchrony: before [gst] the knobs above apply; from [gst]
+     on, fault draws are suppressed and a round-robin age probe forces
+     delivery from channels nonempty for more than [delta] steps. *)
+  synchrony : Synchrony.t option;
+  mutable sync_cursor : int;
+  chan_since : int array; (* step a channel last became nonempty *)
   timeout : (self:int -> 's -> 's * (int * 'm) list) option;
   on_recover : (self:int -> 's -> 's) option;
-  down : int array; (* remaining down step-calls per process; 0 = up *)
+  (* Crash spans as absolute deadlines: [down_until.(p) > now] = down.
+     Expiries live on a timer wheel, so a step pays O(recoveries due)
+     instead of the old O(n) down-counter scan. *)
+  down_until : int array;
+  crash_wheel : Wheel.t;
+  (* User timers (the window layer's RTO/refresh), keyed per process:
+     id = self * timer_keys + key. *)
+  mutable timer_keys : int;
+  mutable timer_wheel : Wheel.t option;
+  mutable timer_handler : (self:int -> key:int -> 's -> 's * (int * 'm) list) option;
+  mutable now : int; (* acted steps so far — the wheels' tick clock *)
   np : prof_state option;
   mutable delivered : int;
   mutable dropped : int;
@@ -97,56 +118,36 @@ type ('s, 'm) t = {
   mutable markers_dropped : int; (* lost, or evaporated at a crashed process *)
 }
 
-let channel t ~from ~into =
+(* Cold-path channel lookup (inject, send_all, channel_contents). *)
+let chan t ~from ~into =
   if not (Topology.Graph.is_edge t.graph from into) then
     invalid_arg "Network: not an edge";
-  (* Every channel is materialized at creation. *)
-  Hashtbl.find t.channels (from, into)
+  Hashtbl.find t.chan_ix (from, into)
 
-(* Fenwick primitives over the nonempty flags (1-based internally). *)
-let fen_add t i delta =
-  let n = Array.length t.sched_keys in
-  let i = ref (i + 1) in
-  while !i <= n do
-    t.sched_fen.(!i) <- t.sched_fen.(!i) + delta;
-    i := !i + (!i land - !i)
-  done
-
-(* Index of the (k+1)-th nonempty channel in canonical order, 0-based:
-   the classic Fenwick select by descending powers of two. *)
-let fen_select t k =
-  let n = Array.length t.sched_keys in
-  let pw = ref 1 in
-  while !pw * 2 <= n do
-    pw := !pw * 2
-  done;
-  let pos = ref 0 and rem = ref k in
-  while !pw > 0 do
-    let np = !pos + !pw in
-    if np <= n && t.sched_fen.(np) <= !rem then begin
-      pos := np;
-      rem := !rem - t.sched_fen.(np)
-    end;
-    pw := !pw lsr 1
-  done;
-  !pos
+(* Hot-path channel lookup by destination pid: a linear probe of the
+   sender's neighbor table — degree-bounded and allocation-free, unlike
+   a hash lookup keyed by a fresh tuple. *)
+let ci_of t from q =
+  let ns = t.nbr_pid.(from) in
+  let cs = t.nbr_ci.(from) in
+  let len = Array.length ns in
+  let rec find i =
+    if i >= len then invalid_arg "Network: not an edge"
+    else if ns.(i) = q then cs.(i)
+    else find (i + 1)
+  in
+  find 0
 
 (* Flag transitions: [note_filled] after any push (idempotent),
    [note_popped] after any pop. *)
-let note_filled t key =
-  let i = Hashtbl.find t.sched_ix key in
-  if not t.sched_flag.(i) then begin
-    t.sched_flag.(i) <- true;
-    t.sched_nonempty <- t.sched_nonempty + 1;
-    fen_add t i 1
+let note_filled t ci =
+  if not (Fenwick.mem t.fen ci) then begin
+    Fenwick.set t.fen ci;
+    t.chan_since.(ci) <- t.now
   end
 
-let note_popped t i q =
-  if Queue.is_empty q then begin
-    t.sched_flag.(i) <- false;
-    t.sched_nonempty <- t.sched_nonempty - 1;
-    fen_add t i (-1)
-  end
+let note_popped t ci =
+  if Ring.is_empty t.rings.(ci) then Fenwick.clear t.fen ci
 
 let make_prof_state prof n =
   if not (Obs.Prof.enabled prof) then None
@@ -167,6 +168,7 @@ let make_prof_state prof n =
         s_lamport = Array.make s_cap 0;
         s_from = Array.make s_cap 0;
         next_stamp = 0;
+        samples_lost = 0;
         hop_mask = hop_cap - 1;
         hop_id = Array.make hop_cap 0;
         hop_from = Array.make hop_cap 0;
@@ -181,53 +183,73 @@ let make_prof_state prof n =
   end
 
 let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.)
-    ?(prof = Obs.Prof.disabled) ?timeout ?on_recover ~init ~handler graph =
-  (* Materialize every channel up front so the scheduler can index them. *)
-  let channels = Hashtbl.create 64 in
-  List.iter
-    (fun (u, v) ->
-      Hashtbl.replace channels (u, v) (Queue.create ());
-      Hashtbl.replace channels (v, u) (Queue.create ()))
-    (Topology.Graph.edges graph);
-  let sched_keys =
-    Hashtbl.fold (fun k _ acc -> k :: acc) channels []
-    |> List.sort compare |> Array.of_list
+    ?(prof = Obs.Prof.disabled) ?synchrony ?timeout ?on_recover ~init ~handler
+    graph =
+  let n = Topology.Graph.n graph in
+  (* Materialize every directed channel up front, in canonical sorted
+     order — the same order the pre-ring scheduler drew from. *)
+  let chan_keys =
+    List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) (Topology.Graph.edges graph)
+    |> List.sort_uniq compare |> Array.of_list
   in
-  let sched_queues = Array.map (Hashtbl.find channels) sched_keys in
-  let sched_ix = Hashtbl.create (2 * Array.length sched_keys) in
-  Array.iteri (fun i k -> Hashtbl.replace sched_ix k i) sched_keys;
-  let t =
-    {
-      graph;
-      states = Array.init (Topology.Graph.n graph) init;
-      channels;
-      sched_keys;
-      sched_queues;
-      sched_ix;
-      sched_flag = Array.make (Array.length sched_keys) false;
-      sched_fen = Array.make (Array.length sched_keys + 1) 0;
-      sched_nonempty = 0;
-      handler;
-      loss;
-      duplication;
-      reorder;
-      timeout;
-      on_recover;
-      down = Array.make (Topology.Graph.n graph) 0;
-      np = make_prof_state prof (Topology.Graph.n graph);
-      delivered = 0;
-      dropped = 0;
-      duplicated = 0;
-      reordered = 0;
-      dropped_down = 0;
-      marker_handler = None;
-      delivery_tap = None;
-      markers_sent = 0;
-      markers_delivered = 0;
-      markers_dropped = 0;
-    }
+  let c = Array.length chan_keys in
+  let chan_ix = Hashtbl.create (2 * c) in
+  Array.iteri (fun i k -> Hashtbl.replace chan_ix k i) chan_keys;
+  let nbr_pid =
+    Array.init n (fun p -> Array.of_list (Topology.Graph.neighbors graph p))
   in
-  t
+  let nbr_ci =
+    Array.init n (fun p ->
+        Array.map (fun q -> Hashtbl.find chan_ix (p, q)) nbr_pid.(p))
+  in
+  {
+    graph;
+    states = Array.init n init;
+    chan_keys;
+    chan_from = Array.map fst chan_keys;
+    chan_into = Array.map snd chan_keys;
+    rings = Array.init c (fun _ -> Ring.create ());
+    chan_ix;
+    nbr_pid;
+    nbr_ci;
+    fen = Fenwick.create c;
+    flight = 0;
+    handler;
+    loss;
+    duplication;
+    reorder;
+    synchrony;
+    sync_cursor = 0;
+    chan_since = Array.make (max c 1) 0;
+    timeout;
+    on_recover;
+    down_until = Array.make n 0;
+    crash_wheel = Wheel.create ~ids:n;
+    timer_keys = 0;
+    timer_wheel = None;
+    timer_handler = None;
+    now = 0;
+    np = make_prof_state prof n;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    reordered = 0;
+    dropped_down = 0;
+    marker_handler = None;
+    delivery_tap = None;
+    markers_sent = 0;
+    markers_delivered = 0;
+    markers_dropped = 0;
+  }
+
+let now t = t.now
+
+(* Are the unreliability knobs live? Under partial synchrony they are
+   suppressed (without consuming draws) once the clock passes GST. *)
+let unreliable t =
+  match t.synchrony with
+  | None -> true
+  | Some sy -> t.now < Synchrony.gst sy
 
 (* One stamp per logical send: duplicated copies and broadcast fan-out
    share the id (seeing one id delivered twice IS the duplication; once
@@ -251,23 +273,34 @@ let stamp t ~from =
 (* Injected messages are unstamped (-1): garbage in flight has no send
    event, so it can have no latency or causal past. *)
 let inject t ~from ~into m =
-  Queue.add (App (m, -1)) (channel t ~from ~into);
-  note_filled t (from, into)
+  let ci = chan t ~from ~into in
+  Ring.push t.rings.(ci) (App (m, -1));
+  t.flight <- t.flight + 1;
+  note_filled t ci
 
 let send_all t ~from m =
   let sid = stamp t ~from in
   List.iter
     (fun q ->
-      Queue.add (App (m, sid)) (channel t ~from ~into:q);
-      note_filled t (from, q))
+      let ci = chan t ~from ~into:q in
+      Ring.push t.rings.(ci) (App (m, sid));
+      t.flight <- t.flight + 1;
+      note_filled t ci)
     (Topology.Graph.neighbors t.graph from)
+
+(* A single stamped send outside the unreliable link (bootstrap traffic,
+   like [send_all] but per-edge — the window layer's frames differ per
+   channel, so broadcasts can't share one payload). *)
+let send_one t ~from ~into m =
+  let ci = ci_of t from into in
+  let sid = stamp t ~from in
+  Ring.push t.rings.(ci) (App (m, sid));
+  t.flight <- t.flight + 1;
+  note_filled t ci
 
 let state t p = t.states.(p)
 let set_state t p s = t.states.(p) <- s
-
-let in_flight t =
-  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.channels 0
-
+let in_flight t = t.flight
 let deliveries t = t.delivered
 let dropped t = t.dropped
 let duplicated t = t.duplicated
@@ -283,50 +316,53 @@ let on_deliver t f = t.delivery_tap <- Some f
 let channel_contents t ~from ~into =
   List.filter_map
     (function App (m, _) -> Some m | Marker _ -> None)
-    (List.of_seq (Queue.to_seq (channel t ~from ~into)))
+    (Ring.to_list t.rings.(chan t ~from ~into))
+
+let is_down t p = t.down_until.(p) > t.now
 
 let crash t p ~down_for =
   if down_for < 1 then invalid_arg "Network.crash: down_for must be >= 1";
-  if p < 0 || p >= Array.length t.down then invalid_arg "Network.crash: no such process";
-  t.down.(p) <- max t.down.(p) down_for
-
-let is_down t p = t.down.(p) > 0
+  if p < 0 || p >= Array.length t.down_until then
+    invalid_arg "Network.crash: no such process";
+  let until = max t.down_until.(p) (t.now + down_for) in
+  t.down_until.(p) <- until;
+  Wheel.arm t.crash_wheel p ~at:until
 
 (* Adversarial FIFO violation: the new message overtakes at least one
    already-queued one. Drawn only when the knob is on and there is
    something to overtake, so the draw sequence of reorder-free networks
    is untouched. *)
-let enqueue t rng ((from, into) as key) m =
-  let q = channel t ~from ~into in
+let enqueue t rng ci m =
+  let r = t.rings.(ci) in
   (if
      t.reorder > 0.
-     && (not (Queue.is_empty q))
+     && (not (Ring.is_empty r))
+     && unreliable t
      && Prng.Splitmix.bernoulli rng t.reorder
    then begin
-     let items = List.of_seq (Queue.to_seq q) in
-     let pos = Prng.Splitmix.int rng (List.length items) in
-     Queue.clear q;
-     List.iteri
-       (fun i x ->
-         if i = pos then Queue.add m q;
-         Queue.add x q)
-       items;
+     let pos = Prng.Splitmix.int rng (Ring.length r) in
+     Ring.insert r pos m;
      t.reordered <- t.reordered + 1
    end
-   else Queue.add m q);
-  note_filled t key
+   else Ring.push r m);
+  t.flight <- t.flight + 1;
+  note_filled t ci
 
 (* Handler-originated sends go through the unreliable link: an optional
    duplicate copy first, then an independent loss draw per copy, then
    possibly out-of-order placement. Every draw is guarded by its knob
-   being > 0 so networks created without a knob see the exact historical
-   draw sequence. *)
+   being > 0 (and by the clock being pre-GST under partial synchrony)
+   so networks created without a knob see the exact historical draw
+   sequence. *)
 let post t rng ~from sends =
   List.iter
     (fun (q, msg) ->
       let sid = stamp t ~from in
+      let ci = ci_of t from q in
       let copies =
-        if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication
+        if
+          t.duplication > 0. && unreliable t
+          && Prng.Splitmix.bernoulli rng t.duplication
         then begin
           t.duplicated <- t.duplicated + 1;
           2
@@ -334,9 +370,9 @@ let post t rng ~from sends =
         else 1
       in
       for _ = 1 to copies do
-        if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
-          t.dropped <- t.dropped + 1
-        else enqueue t rng (from, q) (App (msg, sid))
+        if t.loss > 0. && unreliable t && Prng.Splitmix.bernoulli rng t.loss
+        then t.dropped <- t.dropped + 1
+        else enqueue t rng ci (App (msg, sid))
       done)
     sends
 
@@ -350,34 +386,25 @@ let send_marker t rng ~from ~into ~epoch =
   if not (Topology.Graph.is_edge t.graph from into) then
     invalid_arg "Network.send_marker: not an edge";
   t.markers_sent <- t.markers_sent + 1;
+  let ci = Hashtbl.find t.chan_ix (from, into) in
   let copies =
-    if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication then 2
+    if t.duplication > 0. && unreliable t
+       && Prng.Splitmix.bernoulli rng t.duplication
+    then 2
     else 1
   in
   for _ = 1 to copies do
-    if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
+    if t.loss > 0. && unreliable t && Prng.Splitmix.bernoulli rng t.loss then
       t.markers_dropped <- t.markers_dropped + 1
-    else enqueue t rng (from, into) (Marker epoch)
+    else enqueue t rng ci (Marker epoch)
   done
-
-let tick_down t =
-  Array.iteri
-    (fun p remaining ->
-      if remaining > 0 then begin
-        t.down.(p) <- remaining - 1;
-        if t.down.(p) = 0 then
-          match t.on_recover with
-          | None -> ()
-          | Some f -> t.states.(p) <- f ~self:p t.states.(p)
-      end)
-    t.down
 
 let fire_timeout t rng =
   match t.timeout with
   | None -> false
   | Some f ->
       let p = Prng.Splitmix.int rng (Topology.Graph.n t.graph) in
-      if t.down.(p) = 0 then begin
+      if not (is_down t p) then begin
         let s', sends = f ~self:p t.states.(p) in
         t.states.(p) <- s';
         post t rng ~from:p sends
@@ -385,6 +412,51 @@ let fire_timeout t rng =
       (* A timer drawn on a crashed process simply does not fire, but the
          scheduler step still happened. *)
       true
+
+(* {2 User timers} — the wheel-driven spontaneous actions the window
+   layer runs its RTO and refresh on. Ids are [self * keys + key]. *)
+
+let set_timer_handler t ~keys f =
+  if keys < 1 then invalid_arg "Network.set_timer_handler: keys must be >= 1";
+  t.timer_keys <- keys;
+  t.timer_handler <- Some f;
+  t.timer_wheel <- Some (Wheel.create ~ids:(Topology.Graph.n t.graph * keys))
+
+let timer_id t ~self ~key =
+  if key < 0 || key >= t.timer_keys then invalid_arg "Network: bad timer key";
+  (self * t.timer_keys) + key
+
+let arm_timer t ~self ~key ~after =
+  match t.timer_wheel with
+  | None -> invalid_arg "Network.arm_timer: no timer handler installed"
+  | Some w -> Wheel.arm w (timer_id t ~self ~key) ~at:(t.now + max 1 after)
+
+let cancel_timer t ~self ~key =
+  match t.timer_wheel with
+  | None -> ()
+  | Some w -> Wheel.cancel w (timer_id t ~self ~key)
+
+let timer_armed t ~self ~key =
+  match t.timer_wheel with
+  | None -> false
+  | Some w -> Wheel.armed w (timer_id t ~self ~key)
+
+let fire_timer t rng id =
+  match t.timer_handler with
+  | None -> ()
+  | Some f ->
+      let self = id / t.timer_keys and key = id mod t.timer_keys in
+      if is_down t self then
+        (* Timers survive a crash: re-armed to fire right after the
+           recovery instead of firing into a dead process. *)
+        (match t.timer_wheel with
+        | Some w -> Wheel.arm w id ~at:(t.down_until.(self) + 1)
+        | None -> ())
+      else begin
+        let s', sends = f ~self ~key t.states.(self) in
+        t.states.(self) <- s';
+        post t rng ~from:self sends
+      end
 
 (* Delivery-side profiling: advance the receiver's Lamport clock, take
    the send→deliver latency if the stamp slot still holds this id, and
@@ -410,71 +482,150 @@ let observe_delivery t ~into sid =
         p.hop_next <- (h + 1) land p.hop_mask;
         p.hop_total <- p.hop_total + 1
       end
-      else p.lamport.(into) <- p.lamport.(into) + 1
+      else begin
+        if sid >= 0 then p.samples_lost <- p.samples_lost + 1;
+        p.lamport.(into) <- p.lamport.(into) + 1
+      end
+
+let prof_overwrites t =
+  match t.np with
+  | None -> { stamps_evicted = 0; samples_lost = 0; hops_evicted = 0 }
+  | Some p ->
+      {
+        stamps_evicted = max 0 (p.next_stamp - (p.s_mask + 1));
+        samples_lost = p.samples_lost;
+        hops_evicted = max 0 (p.hop_total - (p.hop_mask + 1));
+      }
 
 (* Queue depths sampled on a tick (every 64th step): total in-flight
-   plus each nonempty channel's depth — the mp hot path's backlog
-   signal without a per-step table scan. *)
+   (an O(1) maintained counter now) plus each nonempty channel's depth. *)
 let sample_depths t =
   match t.np with
   | None -> ()
   | Some p ->
       p.steps <- p.steps + 1;
       if p.steps land 63 = 0 then begin
-        Obs.Prof.observe p.ptr p.h_depth (in_flight t);
-        Hashtbl.iter
-          (fun _ q ->
-            let d = Queue.length q in
+        Obs.Prof.observe p.ptr p.h_depth t.flight;
+        Array.iter
+          (fun r ->
+            let d = Ring.length r in
             if d > 0 then Obs.Prof.observe p.ptr p.h_chan d)
-          t.channels
+          t.rings
       end
+
+(* Post-GST age probe: one channel per step, round robin; a hit forces
+   delivery from a channel whose head has waited more than Δ steps.
+   Consumes no draws, and is skipped entirely without [synchrony]. *)
+let forced_channel t =
+  match t.synchrony with
+  | None -> -1
+  | Some sy ->
+      if t.now < Synchrony.gst sy then -1
+      else begin
+        let c = Array.length t.chan_keys in
+        t.sync_cursor <- (t.sync_cursor + 1) mod c;
+        let ci = t.sync_cursor in
+        if Fenwick.mem t.fen ci && t.now - t.chan_since.(ci) > Synchrony.delta sy
+        then ci
+        else -1
+      end
+
+(* Deliver the head item of channel [ci]. *)
+let deliver_from t rng ci =
+  let r = t.rings.(ci) in
+  let from = t.chan_from.(ci) and into = t.chan_into.(ci) in
+  let item = Ring.pop r in
+  t.flight <- t.flight - 1;
+  note_popped t ci;
+  match item with
+  | Marker epoch ->
+      (* Markers evaporate at a crashed interface exactly like
+         application traffic — the snapshot layer's retransmission
+         is what recovers the epoch. *)
+      if is_down t into then t.markers_dropped <- t.markers_dropped + 1
+      else begin
+        t.markers_delivered <- t.markers_delivered + 1;
+        match t.marker_handler with
+        | None -> () (* stale marker from a detached layer *)
+        | Some f -> f ~self:into ~from ~epoch
+      end
+  | App (m, sid) ->
+      if is_down t into then
+        (* Crashed recipient: the message evaporates at the interface. *)
+        t.dropped_down <- t.dropped_down + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        observe_delivery t ~into sid;
+        (* The tap sees the delivery before the handler mutates
+           anything: channel-state recording captures the payload
+           exactly as it crossed the interface. *)
+        (match t.delivery_tap with
+        | None -> ()
+        | Some f -> f ~self:into ~from m);
+        let s', sends = t.handler ~self:into ~from t.states.(into) m in
+        t.states.(into) <- s';
+        post t rng ~from:into sends
+      end
+
+(* End of an acted step: advance the clock and both wheels. Crash
+   recoveries fire first (in pid order, like the old down-counter scan),
+   then user timers (in deadline order) — so a timer due the tick a
+   process recovers sees the recovered state. *)
+let epilogue t rng =
+  t.now <- t.now + 1;
+  if Wheel.pending t.crash_wheel > 0 then begin
+    let due = ref [] in
+    Wheel.advance t.crash_wheel ~upto:t.now (fun p -> due := p :: !due);
+    match !due with
+    | [] -> ()
+    | ps ->
+        List.iter
+          (fun p ->
+            if t.down_until.(p) <= t.now then
+              match t.on_recover with
+              | None -> ()
+              | Some f -> t.states.(p) <- f ~self:p t.states.(p))
+          (List.sort compare ps)
+  end
+  else Wheel.advance t.crash_wheel ~upto:t.now (fun _ -> ());
+  match t.timer_wheel with
+  | None -> ()
+  | Some w -> Wheel.advance w ~upto:t.now (fun id -> fire_timer t rng id)
+
+(* All channels empty and no [timeout] installed: with wheel timers
+   pending the clock jumps to the next deadline (that fire is the step);
+   otherwise the network is genuinely idle. *)
+let idle_timers t =
+  match t.timer_wheel with
+  | None -> false
+  | Some w -> (
+      match Wheel.next w with
+      | None -> false
+      | Some at ->
+          t.now <- max t.now (at - 1);
+          true)
 
 let step t rng =
   sample_depths t;
   let acted =
-    if t.sched_nonempty = 0 then fire_timeout t rng
-    else if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
-      fire_timeout t rng
+    if Fenwick.count t.fen = 0 then
+      if t.timeout <> None then fire_timeout t rng else idle_timers t
     else begin
-      let ix = fen_select t (Prng.Splitmix.int rng t.sched_nonempty) in
-      let from, into = t.sched_keys.(ix) in
-      let q = t.sched_queues.(ix) in
-      let item = Queue.pop q in
-      note_popped t ix q;
-      (match item with
-          | Marker epoch ->
-              (* Markers evaporate at a crashed interface exactly like
-                 application traffic — the snapshot layer's retransmission
-                 is what recovers the epoch. *)
-              if t.down.(into) > 0 then
-                t.markers_dropped <- t.markers_dropped + 1
-              else begin
-                t.markers_delivered <- t.markers_delivered + 1;
-                match t.marker_handler with
-                | None -> () (* stale marker from a detached layer *)
-                | Some f -> f ~self:into ~from ~epoch
-              end
-          | App (m, sid) ->
-              if t.down.(into) > 0 then
-                (* Crashed recipient: the message evaporates at the interface. *)
-                t.dropped_down <- t.dropped_down + 1
-              else begin
-                t.delivered <- t.delivered + 1;
-                observe_delivery t ~into sid;
-                (* The tap sees the delivery before the handler mutates
-                   anything: channel-state recording captures the payload
-                   exactly as it crossed the interface. *)
-                (match t.delivery_tap with
-                | None -> ()
-                | Some f -> f ~self:into ~from m);
-                let s', sends = t.handler ~self:into ~from t.states.(into) m in
-                t.states.(into) <- s';
-                post t rng ~from:into sends
-              end);
-      true
+      let fci = forced_channel t in
+      if fci >= 0 then begin
+        deliver_from t rng fci;
+        true
+      end
+      else if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
+        fire_timeout t rng
+      else begin
+        let ci = Fenwick.select t.fen (Prng.Splitmix.int rng (Fenwick.count t.fen)) in
+        deliver_from t rng ci;
+        true
+      end
     end
   in
-  if acted then tick_down t;
+  if acted then epilogue t rng;
   acted
 
 let lamport t p =

@@ -1,0 +1,541 @@
+type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
+
+(* Channel items: application payloads (with their stamp id) share the
+   FIFO queues with snapshot markers — the Chandy–Lamport layer rides
+   *under* the application protocol, so markers suffer the same loss,
+   duplication, reordering and crash-evaporation as everything else.
+   A network without an attached snapshot layer never enqueues markers
+   and behaves byte-for-byte as before. *)
+type 'm item = App of 'm * int | Marker of int (* snapshot epoch *)
+
+(* Profiling state: Lamport stamps and hop logging.
+
+   Every handler- or timeout-originated send is stamped with a fresh
+   message id and the sender's incremented Lamport clock; the stamp
+   travels with the message through loss, duplication and reordering (a
+   duplicate carries the same id — seeing an id delivered twice IS the
+   duplication). Stamps live in a ring keyed by [id land s_mask] with
+   the id stored for overwrite detection, so a long-delayed message
+   whose slot was reused simply loses its latency sample instead of
+   producing a bogus one. Deliveries advance the receiver's Lamport
+   clock to [max (own + 1) (send + 1)] and append a hop record — the
+   causal trace that works under loss/reorder because it is built only
+   from sends and deliveries that actually happened, unlike the
+   omniscient ghost-based Obs.Hoptrace. *)
+type prof_state = {
+  prof : Obs.Prof.t;
+  ptr : Obs.Prof.track; (* the scheduler domain's track *)
+  h_latency : Obs.Prof.histo; (* mp.send_deliver_ns *)
+  h_depth : Obs.Prof.histo; (* mp.in_flight, sampled every 64 steps *)
+  h_chan : Obs.Prof.histo; (* mp.channel_depth, nonempty channels only *)
+  c_stamped : Obs.Prof.counter; (* mp.sends *)
+  lamport : int array;
+  s_mask : int;
+  s_id : int array;
+  s_send_ns : int array;
+  s_lamport : int array;
+  s_from : int array;
+  mutable next_stamp : int;
+  hop_mask : int;
+  hop_id : int array;
+  hop_from : int array;
+  hop_into : int array;
+  hop_send_l : int array;
+  hop_recv_l : int array;
+  hop_lat : int array;
+  mutable hop_next : int;
+  mutable hop_total : int;
+  mutable steps : int;
+}
+
+type hop = {
+  hop_id : int;
+  hop_from : int;
+  hop_into : int;
+  hop_send_lamport : int;
+  hop_recv_lamport : int;
+  hop_latency_ns : int;
+}
+
+type ('s, 'm) t = {
+  graph : Topology.Graph.t;
+  states : 's array;
+  (* (from, into) -> FIFO of items; app stamps: -1 = untracked *)
+  channels : (int * int, 'm item Queue.t) Hashtbl.t;
+  (* O(log E) channel scheduler. The step scheduler must draw a uniform
+     channel among the nonempty ones, in the canonical sorted (from,
+     into) order — the draw that used to be [choose rng (sort
+     (nonempty_channels t))], an O(E log E) fold-and-sort per step. The
+     same distribution (and the very same PRNG stream: one [int] draw
+     bounded by the nonempty count) comes from a Fenwick tree over the
+     channels in sorted order, flag 1 = nonempty, maintained at every
+     queue push/pop transition. *)
+  sched_keys : (int * int) array; (* every directed channel, sorted *)
+  sched_queues : 'm item Queue.t array; (* parallel to [sched_keys] *)
+  sched_ix : (int * int, int) Hashtbl.t; (* key -> index in the above *)
+  sched_flag : bool array; (* current nonempty flag per channel *)
+  sched_fen : int array; (* 1-based Fenwick over the flags *)
+  mutable sched_nonempty : int;
+  handler : ('s, 'm) handler;
+  loss : float;
+  duplication : float;
+  reorder : float;
+  timeout : (self:int -> 's -> 's * (int * 'm) list) option;
+  on_recover : (self:int -> 's -> 's) option;
+  down : int array; (* remaining down step-calls per process; 0 = up *)
+  np : prof_state option;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable dropped_down : int;
+  (* Snapshot-layer hooks; both stay [None] in snapshot-free networks. *)
+  mutable marker_handler : (self:int -> from:int -> epoch:int -> unit) option;
+  mutable delivery_tap : (self:int -> from:int -> 'm -> unit) option;
+  mutable markers_sent : int;
+  mutable markers_delivered : int;
+  mutable markers_dropped : int; (* lost, or evaporated at a crashed process *)
+}
+
+let channel t ~from ~into =
+  if not (Topology.Graph.is_edge t.graph from into) then
+    invalid_arg "Network: not an edge";
+  (* Every channel is materialized at creation. *)
+  Hashtbl.find t.channels (from, into)
+
+(* Fenwick primitives over the nonempty flags (1-based internally). *)
+let fen_add t i delta =
+  let n = Array.length t.sched_keys in
+  let i = ref (i + 1) in
+  while !i <= n do
+    t.sched_fen.(!i) <- t.sched_fen.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* Index of the (k+1)-th nonempty channel in canonical order, 0-based:
+   the classic Fenwick select by descending powers of two. *)
+let fen_select t k =
+  let n = Array.length t.sched_keys in
+  let pw = ref 1 in
+  while !pw * 2 <= n do
+    pw := !pw * 2
+  done;
+  let pos = ref 0 and rem = ref k in
+  while !pw > 0 do
+    let np = !pos + !pw in
+    if np <= n && t.sched_fen.(np) <= !rem then begin
+      pos := np;
+      rem := !rem - t.sched_fen.(np)
+    end;
+    pw := !pw lsr 1
+  done;
+  !pos
+
+(* Flag transitions: [note_filled] after any push (idempotent),
+   [note_popped] after any pop. *)
+let note_filled t key =
+  let i = Hashtbl.find t.sched_ix key in
+  if not t.sched_flag.(i) then begin
+    t.sched_flag.(i) <- true;
+    t.sched_nonempty <- t.sched_nonempty + 1;
+    fen_add t i 1
+  end
+
+let note_popped t i q =
+  if Queue.is_empty q then begin
+    t.sched_flag.(i) <- false;
+    t.sched_nonempty <- t.sched_nonempty - 1;
+    fen_add t i (-1)
+  end
+
+let make_prof_state prof n =
+  if not (Obs.Prof.enabled prof) then None
+  else begin
+    let s_cap = 1 lsl 15 and hop_cap = 1 lsl 14 in
+    Some
+      {
+        prof;
+        ptr = Obs.Prof.track prof 0;
+        h_latency = Obs.Prof.histo prof "mp.send_deliver_ns";
+        h_depth = Obs.Prof.histo prof "mp.in_flight";
+        h_chan = Obs.Prof.histo prof "mp.channel_depth";
+        c_stamped = Obs.Prof.counter prof "mp.sends";
+        lamport = Array.make n 0;
+        s_mask = s_cap - 1;
+        s_id = Array.make s_cap (-1);
+        s_send_ns = Array.make s_cap 0;
+        s_lamport = Array.make s_cap 0;
+        s_from = Array.make s_cap 0;
+        next_stamp = 0;
+        hop_mask = hop_cap - 1;
+        hop_id = Array.make hop_cap 0;
+        hop_from = Array.make hop_cap 0;
+        hop_into = Array.make hop_cap 0;
+        hop_send_l = Array.make hop_cap 0;
+        hop_recv_l = Array.make hop_cap 0;
+        hop_lat = Array.make hop_cap 0;
+        hop_next = 0;
+        hop_total = 0;
+        steps = 0;
+      }
+  end
+
+let create ?(loss = 0.) ?(duplication = 0.) ?(reorder = 0.)
+    ?(prof = Obs.Prof.disabled) ?timeout ?on_recover ~init ~handler graph =
+  (* Materialize every channel up front so the scheduler can index them. *)
+  let channels = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace channels (u, v) (Queue.create ());
+      Hashtbl.replace channels (v, u) (Queue.create ()))
+    (Topology.Graph.edges graph);
+  let sched_keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) channels []
+    |> List.sort compare |> Array.of_list
+  in
+  let sched_queues = Array.map (Hashtbl.find channels) sched_keys in
+  let sched_ix = Hashtbl.create (2 * Array.length sched_keys) in
+  Array.iteri (fun i k -> Hashtbl.replace sched_ix k i) sched_keys;
+  let t =
+    {
+      graph;
+      states = Array.init (Topology.Graph.n graph) init;
+      channels;
+      sched_keys;
+      sched_queues;
+      sched_ix;
+      sched_flag = Array.make (Array.length sched_keys) false;
+      sched_fen = Array.make (Array.length sched_keys + 1) 0;
+      sched_nonempty = 0;
+      handler;
+      loss;
+      duplication;
+      reorder;
+      timeout;
+      on_recover;
+      down = Array.make (Topology.Graph.n graph) 0;
+      np = make_prof_state prof (Topology.Graph.n graph);
+      delivered = 0;
+      dropped = 0;
+      duplicated = 0;
+      reordered = 0;
+      dropped_down = 0;
+      marker_handler = None;
+      delivery_tap = None;
+      markers_sent = 0;
+      markers_delivered = 0;
+      markers_dropped = 0;
+    }
+  in
+  t
+
+(* One stamp per logical send: duplicated copies and broadcast fan-out
+   share the id (seeing one id delivered twice IS the duplication; once
+   per neighbor, the broadcast). Stamping never touches the scheduler's
+   PRNG, so draw sequences are identical with profiling on or off. *)
+let stamp t ~from =
+  match t.np with
+  | None -> -1
+  | Some p ->
+      p.lamport.(from) <- p.lamport.(from) + 1;
+      let sid = p.next_stamp in
+      p.next_stamp <- sid + 1;
+      let slot = sid land p.s_mask in
+      p.s_id.(slot) <- sid;
+      p.s_send_ns.(slot) <- Obs.Prof.now p.prof;
+      p.s_lamport.(slot) <- p.lamport.(from);
+      p.s_from.(slot) <- from;
+      Obs.Prof.add p.ptr p.c_stamped 1;
+      sid
+
+(* Injected messages are unstamped (-1): garbage in flight has no send
+   event, so it can have no latency or causal past. *)
+let inject t ~from ~into m =
+  Queue.add (App (m, -1)) (channel t ~from ~into);
+  note_filled t (from, into)
+
+let send_all t ~from m =
+  let sid = stamp t ~from in
+  List.iter
+    (fun q ->
+      Queue.add (App (m, sid)) (channel t ~from ~into:q);
+      note_filled t (from, q))
+    (Topology.Graph.neighbors t.graph from)
+
+let state t p = t.states.(p)
+let set_state t p s = t.states.(p) <- s
+
+let in_flight t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.channels 0
+
+let deliveries t = t.delivered
+let dropped t = t.dropped
+let duplicated t = t.duplicated
+let reordered t = t.reordered
+let dropped_while_down t = t.dropped_down
+let markers_sent t = t.markers_sent
+let markers_delivered t = t.markers_delivered
+let markers_dropped t = t.markers_dropped
+
+let on_marker t f = t.marker_handler <- Some f
+let on_deliver t f = t.delivery_tap <- Some f
+
+let channel_contents t ~from ~into =
+  List.filter_map
+    (function App (m, _) -> Some m | Marker _ -> None)
+    (List.of_seq (Queue.to_seq (channel t ~from ~into)))
+
+let crash t p ~down_for =
+  if down_for < 1 then invalid_arg "Network.crash: down_for must be >= 1";
+  if p < 0 || p >= Array.length t.down then invalid_arg "Network.crash: no such process";
+  t.down.(p) <- max t.down.(p) down_for
+
+let is_down t p = t.down.(p) > 0
+
+(* Adversarial FIFO violation: the new message overtakes at least one
+   already-queued one. Drawn only when the knob is on and there is
+   something to overtake, so the draw sequence of reorder-free networks
+   is untouched. *)
+let enqueue t rng ((from, into) as key) m =
+  let q = channel t ~from ~into in
+  (if
+     t.reorder > 0.
+     && (not (Queue.is_empty q))
+     && Prng.Splitmix.bernoulli rng t.reorder
+   then begin
+     let items = List.of_seq (Queue.to_seq q) in
+     let pos = Prng.Splitmix.int rng (List.length items) in
+     Queue.clear q;
+     List.iteri
+       (fun i x ->
+         if i = pos then Queue.add m q;
+         Queue.add x q)
+       items;
+     t.reordered <- t.reordered + 1
+   end
+   else Queue.add m q);
+  note_filled t key
+
+(* Handler-originated sends go through the unreliable link: an optional
+   duplicate copy first, then an independent loss draw per copy, then
+   possibly out-of-order placement. Every draw is guarded by its knob
+   being > 0 so networks created without a knob see the exact historical
+   draw sequence. *)
+let post t rng ~from sends =
+  List.iter
+    (fun (q, msg) ->
+      let sid = stamp t ~from in
+      let copies =
+        if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication
+        then begin
+          t.duplicated <- t.duplicated + 1;
+          2
+        end
+        else 1
+      in
+      for _ = 1 to copies do
+        if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
+          t.dropped <- t.dropped + 1
+        else enqueue t rng (from, q) (App (msg, sid))
+      done)
+    sends
+
+(* Markers take the same unreliable link as handler sends, but their
+   draws come from the caller's (snapshot layer's) own PRNG stream: the
+   scheduler stream never sees a snapshot-dependent draw, so the only
+   perturbation snapshots cause is the markers actually in the queues.
+   Marker duplication needs no counter bump — a duplicate marker is
+   idempotent at the receiver (the channel is already closed). *)
+let send_marker t rng ~from ~into ~epoch =
+  if not (Topology.Graph.is_edge t.graph from into) then
+    invalid_arg "Network.send_marker: not an edge";
+  t.markers_sent <- t.markers_sent + 1;
+  let copies =
+    if t.duplication > 0. && Prng.Splitmix.bernoulli rng t.duplication then 2
+    else 1
+  in
+  for _ = 1 to copies do
+    if t.loss > 0. && Prng.Splitmix.bernoulli rng t.loss then
+      t.markers_dropped <- t.markers_dropped + 1
+    else enqueue t rng (from, into) (Marker epoch)
+  done
+
+let tick_down t =
+  Array.iteri
+    (fun p remaining ->
+      if remaining > 0 then begin
+        t.down.(p) <- remaining - 1;
+        if t.down.(p) = 0 then
+          match t.on_recover with
+          | None -> ()
+          | Some f -> t.states.(p) <- f ~self:p t.states.(p)
+      end)
+    t.down
+
+let fire_timeout t rng =
+  match t.timeout with
+  | None -> false
+  | Some f ->
+      let p = Prng.Splitmix.int rng (Topology.Graph.n t.graph) in
+      if t.down.(p) = 0 then begin
+        let s', sends = f ~self:p t.states.(p) in
+        t.states.(p) <- s';
+        post t rng ~from:p sends
+      end;
+      (* A timer drawn on a crashed process simply does not fire, but the
+         scheduler step still happened. *)
+      true
+
+(* Delivery-side profiling: advance the receiver's Lamport clock, take
+   the send→deliver latency if the stamp slot still holds this id, and
+   append the hop record. *)
+let observe_delivery t ~into sid =
+  match t.np with
+  | None -> ()
+  | Some p ->
+      if sid >= 0 && p.s_id.(sid land p.s_mask) = sid then begin
+        let slot = sid land p.s_mask in
+        let send_l = p.s_lamport.(slot) in
+        let recv_l = max (p.lamport.(into) + 1) (send_l + 1) in
+        p.lamport.(into) <- recv_l;
+        let lat = Obs.Prof.now p.prof - p.s_send_ns.(slot) in
+        Obs.Prof.observe p.ptr p.h_latency lat;
+        let h = p.hop_next in
+        p.hop_id.(h) <- sid;
+        p.hop_from.(h) <- p.s_from.(slot);
+        p.hop_into.(h) <- into;
+        p.hop_send_l.(h) <- send_l;
+        p.hop_recv_l.(h) <- recv_l;
+        p.hop_lat.(h) <- lat;
+        p.hop_next <- (h + 1) land p.hop_mask;
+        p.hop_total <- p.hop_total + 1
+      end
+      else p.lamport.(into) <- p.lamport.(into) + 1
+
+(* Queue depths sampled on a tick (every 64th step): total in-flight
+   plus each nonempty channel's depth — the mp hot path's backlog
+   signal without a per-step table scan. *)
+let sample_depths t =
+  match t.np with
+  | None -> ()
+  | Some p ->
+      p.steps <- p.steps + 1;
+      if p.steps land 63 = 0 then begin
+        Obs.Prof.observe p.ptr p.h_depth (in_flight t);
+        Hashtbl.iter
+          (fun _ q ->
+            let d = Queue.length q in
+            if d > 0 then Obs.Prof.observe p.ptr p.h_chan d)
+          t.channels
+      end
+
+let step t rng =
+  sample_depths t;
+  let acted =
+    if t.sched_nonempty = 0 then fire_timeout t rng
+    else if t.timeout <> None && Prng.Splitmix.bernoulli rng 0.125 then
+      fire_timeout t rng
+    else begin
+      let ix = fen_select t (Prng.Splitmix.int rng t.sched_nonempty) in
+      let from, into = t.sched_keys.(ix) in
+      let q = t.sched_queues.(ix) in
+      let item = Queue.pop q in
+      note_popped t ix q;
+      (match item with
+          | Marker epoch ->
+              (* Markers evaporate at a crashed interface exactly like
+                 application traffic — the snapshot layer's retransmission
+                 is what recovers the epoch. *)
+              if t.down.(into) > 0 then
+                t.markers_dropped <- t.markers_dropped + 1
+              else begin
+                t.markers_delivered <- t.markers_delivered + 1;
+                match t.marker_handler with
+                | None -> () (* stale marker from a detached layer *)
+                | Some f -> f ~self:into ~from ~epoch
+              end
+          | App (m, sid) ->
+              if t.down.(into) > 0 then
+                (* Crashed recipient: the message evaporates at the interface. *)
+                t.dropped_down <- t.dropped_down + 1
+              else begin
+                t.delivered <- t.delivered + 1;
+                observe_delivery t ~into sid;
+                (* The tap sees the delivery before the handler mutates
+                   anything: channel-state recording captures the payload
+                   exactly as it crossed the interface. *)
+                (match t.delivery_tap with
+                | None -> ()
+                | Some f -> f ~self:into ~from m);
+                let s', sends = t.handler ~self:into ~from t.states.(into) m in
+                t.states.(into) <- s';
+                post t rng ~from:into sends
+              end);
+      true
+    end
+  in
+  if acted then tick_down t;
+  acted
+
+let lamport t p =
+  match t.np with None -> 0 | Some ps -> ps.lamport.(p)
+
+let hops t =
+  match t.np with
+  | None -> []
+  | Some p ->
+      let cap = p.hop_mask + 1 in
+      let n = min p.hop_total cap in
+      let first = if p.hop_total <= cap then 0 else p.hop_next in
+      List.init n (fun k ->
+          let i = (first + k) land p.hop_mask in
+          {
+            hop_id = p.hop_id.(i);
+            hop_from = p.hop_from.(i);
+            hop_into = p.hop_into.(i);
+            hop_send_lamport = p.hop_send_l.(i);
+            hop_recv_lamport = p.hop_recv_l.(i);
+            hop_latency_ns = p.hop_lat.(i);
+          })
+
+(* Causal past of one delivery, reconstructed purely from the hop log:
+   hop [c] precedes hop [h] when [c] delivered into [h]'s sender with a
+   receive Lamport no greater than [h]'s send Lamport — information
+   from [c] could have flowed into the send. Among candidates we take
+   the latest (max receive Lamport): the tightest causal predecessor.
+   Lost and still-in-flight messages simply produce no hop, so the
+   chain degrades gracefully under loss/reorder instead of lying. *)
+let causal_chain t ~id =
+  let all = hops t in
+  match List.rev (List.filter (fun h -> h.hop_id = id) all) with
+  | [] -> []
+  | h :: _ ->
+      let rec back h acc =
+        let pred =
+          List.fold_left
+            (fun best c ->
+              if
+                c.hop_into = h.hop_from
+                && c.hop_recv_lamport <= h.hop_send_lamport
+              then
+                match best with
+                | Some b when b.hop_recv_lamport >= c.hop_recv_lamport -> best
+                | _ -> Some c
+              else best)
+            None all
+        in
+        match pred with
+        | Some c when not (List.memq c acc) -> back c (c :: acc)
+        | _ -> acc
+      in
+      back h [ h ]
+
+let run ?(max_deliveries = 5_000_000) ?stop t rng =
+  let stop_now () = match stop with Some f -> f t | None -> false in
+  let rec loop budget =
+    if budget = 0 then `Max_deliveries
+    else if stop_now () then `Stopped
+    else if step t rng then loop (budget - 1)
+    else `Idle
+  in
+  loop max_deliveries

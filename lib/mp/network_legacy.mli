@@ -1,4 +1,10 @@
-(** Asynchronous message-passing substrate (paper §4: "it will be
+(** Frozen pre-ring event loop: the Hashtbl-of-queues network exactly as
+    it shipped before the ring-buffer/timer-wheel rework, kept as (a)
+    the baseline the b4 bench measures its speedup against and (b) the
+    reference implementation the byte-identity differential tests drive
+    in lockstep with {!Network}. Not for new code.
+
+    Asynchronous message-passing substrate (paper §4: "it will be
     interesting to carry our protocol in the message passing model").
 
     Processes communicate over FIFO channels, one per directed edge. A
@@ -15,14 +21,7 @@
     whole processes ({!crash}). All unreliability draws come from the
     scheduler's PRNG stream and are guarded by their knob being non-zero,
     so a network created without a knob replays the exact draw sequence
-    it had before the knob existed.
-
-    Internals (production-scale runtime): channels are flat {!Ring}
-    buffers indexed densely (no hash lookups or key allocation on the
-    delivery path), the nonempty-channel draw is a {!Fenwick} select
-    (one PRNG draw bounded by the nonempty count, the historical
-    stream), and crash expiries plus user timers live on a hierarchical
-    {!Wheel} — a step costs O(log C + expired), never O(n). *)
+    it had before the knob existed. *)
 
 type ('s, 'm) handler = self:int -> from:int -> 's -> 'm -> 's * (int * 'm) list
 (** [handler ~self ~from state msg] consumes one message and returns the
@@ -35,7 +34,6 @@ val create :
   ?duplication:float ->
   ?reorder:float ->
   ?prof:Obs.Prof.t ->
-  ?synchrony:Synchrony.t ->
   ?timeout:(self:int -> 's -> 's * (int * 'm) list) ->
   ?on_recover:(self:int -> 's -> 's) ->
   init:(int -> 's) ->
@@ -56,15 +54,6 @@ val create :
     state at the moment its {!crash} span expires — the hook where a
     protocol models amnesia or re-initialization.
 
-    [?synchrony] switches the channels to the partial-synchrony model
-    (known Δ, unknown GST): before step [gst] the three knobs apply
-    unchanged; from [gst] on, fault draws are suppressed (consuming no
-    PRNG draws) and a round-robin age probe forces delivery from any
-    channel continuously nonempty for more than [delta] steps, so every
-    post-GST channel head is delivered within [delta + C] steps
-    ({!Synchrony}). Without it, behaviour is byte-identical to the
-    fully-asynchronous network.
-
     [?prof] (track 0 = the scheduler's domain) turns on Lamport-stamped
     causal tracing: every handler/timeout send gets a fresh message id
     and the sender's incremented Lamport clock (duplicated copies and
@@ -82,17 +71,10 @@ val inject : ('s, 'm) t -> from:int -> into:int -> 'm -> unit
 val send_all : ('s, 'm) t -> from:int -> 'm -> unit
 (** Enqueue a broadcast from [from] to all its neighbors. *)
 
-val send_one : ('s, 'm) t -> from:int -> into:int -> 'm -> unit
-(** Enqueue one stamped message on [from → into] outside the unreliable
-    link — the per-edge form of {!send_all} for bootstrap traffic whose
-    payload differs per channel (window frames carry per-channel
-    sequence numbers). @raise Invalid_argument on a non-edge. *)
-
 val state : ('s, 'm) t -> int -> 's
 val set_state : ('s, 'm) t -> int -> 's -> unit
-
 val in_flight : ('s, 'm) t -> int
-(** Total messages currently in channels — an O(1) maintained counter. *)
+(** Total messages currently in channels. *)
 
 val deliveries : ('s, 'm) t -> int
 (** Channel deliveries performed so far. *)
@@ -109,34 +91,9 @@ val reordered : ('s, 'm) t -> int
 val dropped_while_down : ('s, 'm) t -> int
 (** Messages that arrived at a crashed process and evaporated. *)
 
-val now : ('s, 'm) t -> int
-(** Acted scheduler steps so far — the clock the timer wheels, crash
-    spans and the partial-synchrony GST are measured in. *)
-
-(** {2 Timers} — wheel-driven per-process timers for retransmission
-    layers. Unlike [timeout] (which fires on a {e random} process),
-    these fire deterministically at their armed deadline, cost
-    O(expired) per step, and survive crashes (a timer due while its
-    process is down is re-armed to fire right after recovery). When all
-    channels are empty and no [timeout] is installed, pending timers
-    drive the step: the clock jumps to the next deadline. *)
-
-val set_timer_handler :
-  ('s, 'm) t -> keys:int -> (self:int -> key:int -> 's -> 's * (int * 'm) list) -> unit
-(** Install the timer-fire handler and allocate the wheel: each process
-    owns timer keys [0 .. keys-1]. The handler's sends go through the
-    unreliable link like any handler send. Call once, before arming. *)
-
-val arm_timer : ('s, 'm) t -> self:int -> key:int -> after:int -> unit
-(** (Re-)arm [self]'s timer [key] to fire [max 1 after] steps from now.
-    @raise Invalid_argument without a handler installed or on a bad key. *)
-
-val cancel_timer : ('s, 'm) t -> self:int -> key:int -> unit
-val timer_armed : ('s, 'm) t -> self:int -> key:int -> bool
-
 (** {2 Snapshot layer} — Chandy–Lamport markers multiplexed {e under}
-    the application protocol. Markers share the per-edge FIFO rings
-    with application payloads (their position in the ring is what
+    the application protocol. Markers share the per-edge FIFO queues
+    with application payloads (their position in the queue is what
     defines the channel-state cut), travel the same unreliable link
     (loss, duplication, reordering, crash evaporation), and are
     dispatched to {!on_marker} instead of the application handler. A
@@ -214,31 +171,14 @@ val causal_chain : ('s, 'm) t -> id:int -> hop list
     deliveries that actually happened, so it works under loss,
     duplication and reordering; [[]] if [id] was never delivered. *)
 
-type prof_overwrites = {
-  stamps_evicted : int;
-      (** stamps whose ring slot was reused while the message might
-          still be in flight (stamp ring capacity 32768) *)
-  samples_lost : int;
-      (** deliveries that found their stamp slot reused — latency
-          samples and hops the histograms are missing *)
-  hops_evicted : int;  (** hop records pushed out of the 16384-hop ring *)
-}
-
-val prof_overwrites : ('s, 'm) t -> prof_overwrites
-(** Ring-overwrite accounting for saturated runs; all zero without
-    [?prof]. *)
-
 (** {2 Scheduling} *)
 
 val step : ('s, 'm) t -> Prng.Splitmix.t -> bool
 (** Deliver one message from a uniformly random non-empty channel, or
     (with probability 1/8, or whenever all channels are empty) fire the
-    [timeout] of a random process; [false] when channels are empty and
-    neither a [timeout] nor a pending wheel timer exists. Down-spans
-    decrement once per returning-true step. Under [?synchrony], a
-    post-GST age-probe hit delivers from the over-age channel instead
-    (no draws consumed); with wheel timers pending and channels empty,
-    the clock jumps to the next deadline and that fire is the step. *)
+    [timeout] of a random process; [false] when channels are empty and no
+    [timeout] is installed. Down-spans decrement once per returning-true
+    step. *)
 
 val run :
   ?max_deliveries:int ->

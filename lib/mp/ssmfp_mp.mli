@@ -63,6 +63,9 @@ val create :
   ?reorder:float ->
   ?seed:int ->
   ?prof:Obs.Prof.t ->
+  ?window:int ->
+  ?synchrony:Synchrony.t ->
+  ?rto:int ->
   Topology.Graph.t ->
   Harness.Workload.t ->
   t
@@ -71,20 +74,51 @@ val create :
     (default pristine) corrupts the process states as in the state-model
     runs; [loss]/[duplication]/[reorder] (default 0.) are the
     {!Network.create} unreliability knobs applied to every sent snapshot.
-    Retransmission with exponential backoff keeps barriers completing
-    under loss: a process's timer republishes its current pulse's
-    snapshot only once [2^backoff] timer fires have accumulated, the
-    backoff growing (capped at [2^6]) with each retransmission and
-    resetting whenever the pulse advances. Snapshots are idempotent for
-    receivers, so duplication and reordering are tolerated by
-    construction; crashes ({!crash_process}) lose the synchronizer's
-    volatile state (mirrors, timers) while the SSMFP core and pulse
-    counter survive on stable storage.
+
+    [?window] picks the retransmission layer. With [window = 0] (the
+    default, byte-identical to every build before the window layer
+    existed): exponential backoff — a process's random timer republishes
+    its current pulse's snapshot only once [2^backoff] timer fires have
+    accumulated, the backoff growing (capped at [2^6]) with each
+    retransmission and resetting whenever the pulse advances. With
+    [window = w > 0]: each directed channel gets a {!Window}
+    sender/receiver pair of size [w]; snapshots ride sequence-numbered
+    Data frames, receivers return cumulative acks with nak-based
+    selective retransmit, and liveness is driven by deterministic
+    per-channel RTO timers plus a slow per-process refresh timer on the
+    network's wheel (no random [timeout] at all). Snapshots are
+    full-state, so publishing conflates each channel's overflow backlog
+    to the newest payload ({!Window.send_latest}) — bounding channel
+    lag at [w + 1] payloads so congested channels carry current state
+    rather than an unbounded queue of stale pulses. [?rto] overrides the
+    {e base} retransmission timeout (default [2 * (delta + C)] under
+    [?synchrony], else [max 64 C], where [C] is the directed-channel
+    count — the scheduler delivers one message per step, so an RTO
+    below the in-flight count would retransmit into its own queue);
+    each channel doubles its RTO on consecutive fires without an
+    intervening ack (capped at [1024 * rto]) and resets to the base on
+    any ack. The refresh period is [max (8 * rto) (16 * C)], staggered
+    per process across a whole period.
+    Channel garbage is planted as Data frames with random epochs and
+    sequence numbers, attacking the window state machines too.
+
+    [?synchrony] threads the partial-synchrony config to
+    {!Network.create}: before GST all knobs apply; after GST faults stop
+    and channel age is bounded by [delta], which with the window layer's
+    epoch resync yields eventual barrier completion from any
+    configuration.
+
+    Snapshots are idempotent for receivers, so duplication and
+    reordering are tolerated by construction; crashes
+    ({!crash_process}) lose the synchronizer's volatile state (mirrors,
+    timers, window state) while the SSMFP core and pulse counter survive
+    on stable storage.
 
     [?prof] threads through to {!Network.create} (Lamport stamps, hop
     log, latency and queue-depth histograms) and additionally counts
-    every backoff-gated republish in ["mp.retransmissions"]. Profiling
-    consumes no PRNG draws: the run is identical with it on or off. *)
+    every republish and window retransmission in
+    ["mp.retransmissions"]. Profiling consumes no PRNG draws: the run is
+    identical with it on or off. *)
 
 val run : ?max_deliveries:int -> t -> result
 (** Deliver channel messages under the fair random scheduler until every
@@ -123,6 +157,18 @@ val is_down : t -> int -> bool
 val pulse_of : t -> int -> int
 (** Process [p]'s own pulse counter (as opposed to the global
     {!max_pulse}). *)
+
+val window : t -> int
+(** The window size this instance was created with (0 = backoff mode). *)
+
+val window_retransmits : t -> int
+(** Total window-layer retransmissions (RTO, nak, resync) across all
+    channels; 0 in backoff mode. *)
+
+val prof_overwrites : t -> Network.prof_overwrites
+(** Profiling-ring overwrite accounting from the underlying network
+    (stamp/hop ring evictions, lost latency samples) — all zero without
+    [?prof]. *)
 
 (** {2 Snapshot layer access}
 

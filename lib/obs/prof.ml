@@ -357,6 +357,7 @@ type histo_summary = {
   hs_max : int;
   hs_p50 : int;
   hs_p90 : int;
+  hs_p95 : int;
   hs_p99 : int;
 }
 
@@ -389,6 +390,7 @@ let histo_summary_of_buckets buckets count sum mn mx =
         hs_max = mx;
         hs_p50 = pct 50.;
         hs_p90 = pct 90.;
+        hs_p95 = pct 95.;
         hs_p99 = pct 99.;
       }
   end

@@ -119,6 +119,7 @@ type histo_summary = {
   hs_max : int;
   hs_p50 : int;  (** bucket-midpoint estimate *)
   hs_p90 : int;
+  hs_p95 : int;
   hs_p99 : int;
 }
 

@@ -280,9 +280,10 @@ let summary (p : Prof.t) : string =
         | None -> ()
         | Some s ->
             pr
-              "histo   %-22s n=%d sum=%d min=%d max=%d p50~%d p90~%d p99~%d\n"
+              "histo   %-22s n=%d sum=%d min=%d max=%d p50~%d p90~%d p95~%d \
+               p99~%d\n"
               name s.Prof.hs_count s.Prof.hs_sum s.Prof.hs_min s.Prof.hs_max
-              s.Prof.hs_p50 s.Prof.hs_p90 s.Prof.hs_p99)
+              s.Prof.hs_p50 s.Prof.hs_p90 s.Prof.hs_p95 s.Prof.hs_p99)
       hnames;
     pr "attributed: %.1f%% of wall-clock to named spans (track 0 top-level)\n"
       !attribution;

@@ -316,7 +316,9 @@ let verdict ok =
   { Harness.Oracle.ok; violations = (if ok then [] else [ "sp" ]) }
 
 let test_chaos_verdict_rule () =
-  let lossy_only = { Chaos.Schedule.bursts = []; channel = Chaos.Schedule.Lossy } in
+  let lossy_only =
+    { Chaos.Schedule.none with Chaos.Schedule.channel = Chaos.Schedule.Lossy }
+  in
   let bursty = sched_exn "5:rb:1" in
   (* none: whole-run SP alone, no report in the artifact *)
   let ok, _, rep =
